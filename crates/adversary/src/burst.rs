@@ -1,0 +1,69 @@
+//! Full-band burst jamming.
+
+use rcb_sim::{Adversary, JamSet};
+
+/// Jams **every** channel in every slot from `start_slot` onward, until the
+/// budget runs out.
+///
+/// With `start_slot == 0` this is the *front-loaded* adversary: she blocks
+/// all communication outright for roughly `T / C` slots (where `C` is the
+/// channel count) and then goes bankrupt — the strategy that witnesses the
+/// `Ω(T/C)` time lower bound mentioned at the end of Section 7. It is also
+/// the cleanest way to measure the paper's fast-termination remark (Section
+/// 4: once Eve stops, `MultiCastCore` finishes within one `Θ(lg T̂)`-slot
+/// iteration): the jam end time is sharply defined.
+#[derive(Clone, Copy, Debug)]
+pub struct FullBandBurst {
+    t: u64,
+    start_slot: u64,
+}
+
+impl FullBandBurst {
+    /// Burst starting at slot `start_slot` with budget `t`.
+    pub fn new(t: u64, start_slot: u64) -> Self {
+        Self { t, start_slot }
+    }
+
+    /// The front-loaded variant: burn the whole budget from slot 0.
+    pub fn front_loaded(t: u64) -> Self {
+        Self::new(t, 0)
+    }
+}
+
+impl Adversary for FullBandBurst {
+    fn jam(&mut self, slot: u64, _channels: u64) -> JamSet {
+        if slot >= self.start_slot {
+            JamSet::All
+        } else {
+            JamSet::Empty
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "full-band-burst"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_before_start() {
+        let mut adv = FullBandBurst::new(100, 10);
+        assert_eq!(adv.jam(9, 8), JamSet::Empty);
+        assert_eq!(adv.jam(10, 8), JamSet::All);
+        assert_eq!(adv.jam(11, 8), JamSet::All);
+    }
+
+    #[test]
+    fn front_loaded_starts_at_zero() {
+        let mut adv = FullBandBurst::front_loaded(100);
+        assert_eq!(adv.jam(0, 8), JamSet::All);
+        assert_eq!(adv.budget(), 100);
+    }
+}

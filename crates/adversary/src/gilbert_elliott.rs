@@ -1,0 +1,158 @@
+//! Bursty environmental interference via a Gilbert–Elliott channel model.
+
+use crate::frac_to_count;
+use rcb_sim::{Adversary, JamSet, Xoshiro256};
+
+/// A two-state Markov interference source: in the **good** state nothing is
+/// jammed; in the **bad** state a fraction of the band is. Transitions
+/// good→bad with probability `p_gb` and bad→good with probability `p_bg`
+/// per slot, giving geometrically distributed burst and gap lengths — the
+/// classic Gilbert–Elliott model of bursty channel noise.
+///
+/// The paper folds environmental noise and malicious jamming into the same
+/// adversary ("Eve, which captures environmental noise and potentially
+/// malicious interference"); this strategy instantiates the environmental
+/// end of that spectrum. The chain's evolution uses only private randomness
+/// and the slot index, so it remains oblivious.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    t: u64,
+    p_gb: f64,
+    p_bg: f64,
+    frac_bad: f64,
+    bad: bool,
+    rng: Xoshiro256,
+    last_slot: Option<u64>,
+}
+
+impl GilbertElliott {
+    /// `p_gb`: per-slot probability of entering a burst; `p_bg`: per-slot
+    /// probability of leaving one; `frac_bad`: fraction of channels disturbed
+    /// while in a burst.
+    pub fn new(t: u64, p_gb: f64, p_bg: f64, frac_bad: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_gb) && (0.0..=1.0).contains(&p_bg));
+        assert!((0.0..=1.0).contains(&frac_bad));
+        Self {
+            t,
+            p_gb,
+            p_bg,
+            frac_bad,
+            bad: false,
+            rng: Xoshiro256::seeded(seed),
+            last_slot: None,
+        }
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    fn step(&mut self) {
+        let flip = if self.bad { self.p_bg } else { self.p_gb };
+        if self.rng.gen_bool(flip) {
+            self.bad = !self.bad;
+        }
+    }
+}
+
+impl Adversary for GilbertElliott {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+        // Advance the chain by the number of elapsed slots (robust to the
+        // engine skipping calls after bankruptcy).
+        let steps = match self.last_slot {
+            None => 1,
+            Some(last) => slot.saturating_sub(last),
+        };
+        self.last_slot = Some(slot);
+        for _ in 0..steps {
+            self.step();
+        }
+        if !self.bad {
+            return JamSet::Empty;
+        }
+        let k = frac_to_count(self.frac_bad, channels);
+        if k == 0 {
+            JamSet::Empty
+        } else if k >= channels {
+            JamSet::All
+        } else {
+            let start = self.rng.gen_range(channels);
+            JamSet::Window { start, len: k }
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "gilbert-elliott"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_fraction_matches_theory() {
+        let mut adv = GilbertElliott::new(u64::MAX, 0.02, 0.08, 1.0, 7);
+        let slots = 200_000u64;
+        let mut bad_slots = 0u64;
+        for slot in 0..slots {
+            if adv.jam(slot, 8) != JamSet::Empty {
+                bad_slots += 1;
+            }
+        }
+        let measured = bad_slots as f64 / slots as f64;
+        let expected = adv.stationary_bad(); // 0.2
+        assert!(
+            (measured - expected).abs() < 0.03,
+            "measured {measured:.3} vs stationary {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn bursts_are_bursty() {
+        // With small transition probabilities, consecutive slots should be
+        // highly correlated: count state flips, which should be far fewer
+        // than for i.i.d. slots.
+        let mut adv = GilbertElliott::new(u64::MAX, 0.01, 0.01, 1.0, 9);
+        let slots = 50_000u64;
+        let mut prev = false;
+        let mut flips = 0u64;
+        for slot in 0..slots {
+            let bad = adv.jam(slot, 8) != JamSet::Empty;
+            if bad != prev {
+                flips += 1;
+            }
+            prev = bad;
+        }
+        // i.i.d. with p = 0.5 would flip ~25_000 times; the chain flips
+        // ~ slots * 0.01 = 500 times.
+        assert!(flips < 2_000, "flips = {flips}, interference is not bursty");
+    }
+
+    #[test]
+    fn zero_transition_never_jams() {
+        let mut adv = GilbertElliott::new(100, 0.0, 0.5, 1.0, 1);
+        for slot in 0..100 {
+            assert_eq!(adv.jam(slot, 8), JamSet::Empty);
+        }
+        assert_eq!(adv.stationary_bad(), 0.0);
+    }
+
+    #[test]
+    fn partial_fraction_in_bad_state() {
+        let mut adv = GilbertElliott::new(u64::MAX, 1.0, 0.0, 0.5, 3);
+        // p_gb = 1 means we enter the bad state immediately and stay.
+        for slot in 0..10 {
+            assert_eq!(adv.jam(slot, 16).count(16), 8);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! # rcb-adversary — oblivious jamming strategies for Eve
+//!
+//! The paper's adversary model (Section 3): Eve may jam any set of channels
+//! in each slot at one unit of energy per channel-slot, limited only by her
+//! total budget `T`. She is **oblivious** — she knows the algorithm and may
+//! pursue an arbitrary pre-committed strategy, but cannot observe the
+//! execution. Structurally, every strategy here is a function of the slot
+//! index, the (publicly known) per-slot channel count, and the strategy's own
+//! private randomness; the engine never passes execution state to it.
+//!
+//! The library covers the strategy space the paper's proofs quantify over:
+//!
+//! * [`Silent`] — no jamming (the `T = 0` baseline of every theorem).
+//! * [`UniformFraction`] — jam a fixed fraction of channels every slot, at a
+//!   rotating random offset. The "constant fraction of channels for a
+//!   constant fraction of slots" shape that Lemmas 4.1/5.1 call *effective*
+//!   disruption.
+//! * [`FullBandBurst`] — jam *all* channels from a chosen slot until the
+//!   budget runs out: the strongest possible burst, and the strategy behind
+//!   the `Ω(T/C)` optimality remark of Section 7.
+//! * [`PeriodicPulse`] — duty-cycled bursts (microwave-oven-style periodic
+//!   interference).
+//! * [`Sweep`] — a contiguous window sweeping across the band.
+//! * [`SpanJammer`] — jam only designated slot spans (built by the harness
+//!   from a protocol's public schedule: e.g. "jam phase `lg n − 1` of every
+//!   epoch of `MultiCastAdv`", the worst case for resource competitiveness
+//!   discussed in Section 6.1).
+//! * [`GilbertElliott`] — a two-state Markov environmental-noise model, for
+//!   realistic non-malicious interference.
+
+pub mod burst;
+pub mod gilbert_elliott;
+pub mod pulse;
+pub mod random_subset;
+pub mod reactive;
+pub mod spans;
+pub mod sweep;
+pub mod uniform;
+
+pub use burst::FullBandBurst;
+pub use gilbert_elliott::GilbertElliott;
+pub use pulse::PeriodicPulse;
+pub use random_subset::RandomSubset;
+pub use reactive::{HotspotJammer, ReactiveJammer};
+pub use spans::{JamSpan, SpanJammer};
+pub use sweep::Sweep;
+pub use uniform::UniformFraction;
+
+use rcb_sim::{Adversary, JamSet};
+
+/// The absent adversary: never jams, budget zero.
+///
+/// Identical in behaviour to [`rcb_sim::protocol::NoAdversary`]; re-exported
+/// here under the experiment-facing name so adversary line-ups in the harness
+/// read uniformly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl Adversary for Silent {
+    fn jam(&mut self, _slot: u64, _channels: u64) -> JamSet {
+        JamSet::Empty
+    }
+
+    fn budget(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+}
+
+/// Round `frac * channels` to a jam count, clamped to the band.
+pub(crate) fn frac_to_count(frac: f64, channels: u64) -> u64 {
+    if frac <= 0.0 {
+        0
+    } else if frac >= 1.0 {
+        channels
+    } else {
+        ((frac * channels as f64).round() as u64).min(channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_never_jams() {
+        let mut s = Silent;
+        assert_eq!(s.jam(0, 100), JamSet::Empty);
+        assert_eq!(s.budget(), 0);
+        assert_eq!(s.name(), "silent");
+    }
+
+    #[test]
+    fn frac_rounding() {
+        assert_eq!(frac_to_count(0.0, 10), 0);
+        assert_eq!(frac_to_count(1.0, 10), 10);
+        assert_eq!(frac_to_count(2.0, 10), 10);
+        assert_eq!(frac_to_count(0.9, 10), 9);
+        assert_eq!(frac_to_count(0.05, 10), 1, "0.5 rounds up");
+        assert_eq!(frac_to_count(-0.5, 10), 0);
+    }
+}

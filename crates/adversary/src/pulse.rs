@@ -1,0 +1,99 @@
+//! Duty-cycled periodic jamming.
+
+use crate::frac_to_count;
+use rcb_sim::{Adversary, JamSet, Xoshiro256};
+
+/// Jams `frac` of the band during the first `duty` slots of every `period`
+/// slots — periodic pulsed interference (think microwave ovens at the
+/// 2.4 GHz band, or a duty-cycle-limited jammer).
+///
+/// Interesting against the paper's protocols because the noisy-slot
+/// termination criterion integrates over a whole iteration: a pulse that is
+/// strong but brief must still average above the `R·p/2` threshold to keep
+/// nodes awake, so Eve gains nothing by concentrating the same energy — which
+/// is exactly what resource competitiveness predicts.
+#[derive(Clone, Debug)]
+pub struct PeriodicPulse {
+    t: u64,
+    period: u64,
+    duty: u64,
+    frac: f64,
+    rng: Xoshiro256,
+}
+
+impl PeriodicPulse {
+    /// `period`: cycle length in slots; `duty`: jamming slots per cycle
+    /// (`0 < duty ≤ period`); `frac`: fraction of channels jammed during the
+    /// duty window.
+    pub fn new(t: u64, period: u64, duty: u64, frac: f64, seed: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(duty > 0 && duty <= period, "duty must be in (0, period]");
+        assert!((0.0..=1.0).contains(&frac));
+        Self {
+            t,
+            period,
+            duty,
+            frac,
+            rng: Xoshiro256::seeded(seed),
+        }
+    }
+}
+
+impl Adversary for PeriodicPulse {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+        if slot % self.period >= self.duty {
+            return JamSet::Empty;
+        }
+        let k = frac_to_count(self.frac, channels);
+        if k == 0 {
+            JamSet::Empty
+        } else if k >= channels {
+            JamSet::All
+        } else {
+            let start = self.rng.gen_range(channels);
+            JamSet::Window { start, len: k }
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic-pulse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_pattern() {
+        let mut adv = PeriodicPulse::new(1000, 10, 3, 1.0, 1);
+        for slot in 0..30 {
+            let jammed = adv.jam(slot, 8) != JamSet::Empty;
+            assert_eq!(jammed, slot % 10 < 3, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn fraction_applied_during_duty() {
+        let mut adv = PeriodicPulse::new(1000, 4, 4, 0.5, 2);
+        for slot in 0..20 {
+            assert_eq!(adv.jam(slot, 16).count(16), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_period() {
+        PeriodicPulse::new(10, 0, 1, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duty_exceeding_period() {
+        PeriodicPulse::new(10, 4, 5, 0.5, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exact-k random-subset jamming.
+
+use rcb_sim::{Adversary, JamSet, Xoshiro256};
+
+/// Jams exactly `k` distinct channels per slot, drawn uniformly at random
+/// (Floyd's sampling algorithm), until the budget runs out.
+///
+/// Statistically this is the same per-slot damage as [`UniformFraction`]
+/// (`frac = k/C`) against channel-hopping protocols, but the jammed set is
+/// an arbitrary subset rather than a contiguous window — it exercises the
+/// `List`/`Mask` jam-set paths and models frequency-agile jammers that can
+/// retune each antenna independently.
+///
+/// [`UniformFraction`]: crate::UniformFraction
+#[derive(Clone, Debug)]
+pub struct RandomSubset {
+    t: u64,
+    k: u64,
+    rng: Xoshiro256,
+    scratch: Vec<u64>,
+}
+
+impl RandomSubset {
+    pub fn new(t: u64, k: u64, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            t,
+            k,
+            rng: Xoshiro256::seeded(seed),
+            scratch: Vec::with_capacity(k as usize),
+        }
+    }
+
+    /// Floyd's algorithm: a uniform `k`-subset of `[0, c)` in `O(k)` draws.
+    fn sample(&mut self, c: u64) -> Vec<u64> {
+        let k = self.k.min(c);
+        self.scratch.clear();
+        for j in (c - k)..c {
+            let t = self.rng.gen_range(j + 1);
+            if self.scratch.contains(&t) {
+                self.scratch.push(j);
+            } else {
+                self.scratch.push(t);
+            }
+        }
+        self.scratch.clone()
+    }
+}
+
+impl Adversary for RandomSubset {
+    fn jam(&mut self, _slot: u64, channels: u64) -> JamSet {
+        if self.k >= channels {
+            return JamSet::All;
+        }
+        JamSet::from_channels(self.sample(channels))
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "random-subset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jams_exactly_k_channels() {
+        let mut adv = RandomSubset::new(1000, 5, 1);
+        for slot in 0..200 {
+            assert_eq!(adv.jam(slot, 32).count(32), 5, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn k_at_least_c_is_all() {
+        let mut adv = RandomSubset::new(1000, 64, 2);
+        assert_eq!(adv.jam(0, 16), JamSet::All);
+    }
+
+    #[test]
+    fn subsets_are_uniform_per_channel() {
+        // Each channel should be hit with probability k/C.
+        let (k, c) = (4u64, 16u64);
+        let mut adv = RandomSubset::new(u64::MAX, k, 3);
+        let trials = 40_000u64;
+        let mut hits = vec![0u64; c as usize];
+        for slot in 0..trials {
+            let set = adv.jam(slot, c);
+            for ch in 0..c {
+                if set.contains(ch, c) {
+                    hits[ch as usize] += 1;
+                }
+            }
+        }
+        let p = k as f64 / c as f64;
+        let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+        for (ch, &h) in hits.iter().enumerate() {
+            let z = (h as f64 - trials as f64 * p) / sd;
+            assert!(z.abs() < 5.0, "channel {ch}: z = {z:.2}");
+        }
+    }
+
+    #[test]
+    fn subsets_vary_across_slots() {
+        let mut adv = RandomSubset::new(1000, 3, 4);
+        let a = format!("{:?}", adv.jam(0, 64));
+        let distinct = (1..32)
+            .map(|s| format!("{:?}", adv.jam(s, 64)))
+            .filter(|x| *x != a)
+            .count();
+        assert!(distinct > 25, "subsets should differ across slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_k() {
+        RandomSubset::new(10, 0, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Adaptive (reactive) jamming strategies — the Section 8 future-work model.
+//!
+//! These implement [`AdaptiveAdversary`]: unlike every strategy in the rest
+//! of this crate, they may condition on the band activity of previous slots.
+//! The paper conjectures its protocols survive such adversaries essentially
+//! unchanged; experiment E13 measures it. The structural reason the
+//! conjecture holds for *these* protocols is simple and worth stating: every
+//! node picks a **fresh uniformly random channel every slot**, so yesterday's
+//! busy set carries zero information about today's — reactive energy is
+//! spent exactly like random energy.
+
+use rcb_sim::{AdaptiveAdversary, BandObservation, JamSet, Xoshiro256};
+
+/// Jams, in each slot, every channel that carried a transmission in the
+/// previous slot (capped at `max_channels` per slot, lowest first) — the
+/// classic full-band reactive jammer.
+#[derive(Clone, Debug)]
+pub struct ReactiveJammer {
+    t: u64,
+    max_channels: u64,
+}
+
+impl ReactiveJammer {
+    pub fn new(t: u64, max_channels: u64) -> Self {
+        assert!(max_channels > 0);
+        Self { t, max_channels }
+    }
+}
+
+impl AdaptiveAdversary for ReactiveJammer {
+    fn jam(&mut self, _slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+        if prev.busy.is_empty() {
+            return JamSet::Empty;
+        }
+        let take: Vec<u64> = prev
+            .busy
+            .iter()
+            .copied()
+            .filter(|&ch| ch < channels)
+            .take(self.max_channels as usize)
+            .collect();
+        JamSet::from_channels(take)
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+}
+
+/// A reactive jammer with memory: maintains an activity score per channel
+/// (exponential decay + bump on observed traffic) and jams the `k`
+/// currently hottest channels. Models a sensing jammer that tries to learn
+/// favoured frequencies; against uniform channel hopping there is nothing to
+/// learn, which is the point of E13.
+#[derive(Clone, Debug)]
+pub struct HotspotJammer {
+    t: u64,
+    k: u64,
+    decay: f64,
+    scores: Vec<f64>,
+    rng: Xoshiro256,
+}
+
+impl HotspotJammer {
+    /// `k`: channels jammed per slot; `decay ∈ (0, 1)`: per-slot score decay.
+    pub fn new(t: u64, k: u64, decay: f64, seed: u64) -> Self {
+        assert!(k > 0);
+        assert!((0.0..1.0).contains(&decay));
+        Self {
+            t,
+            k,
+            decay,
+            scores: Vec::new(),
+            rng: Xoshiro256::seeded(seed),
+        }
+    }
+}
+
+impl AdaptiveAdversary for HotspotJammer {
+    fn jam(&mut self, _slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+        let c = channels as usize;
+        if self.scores.len() < c {
+            self.scores.resize(c, 0.0);
+        }
+        for s in &mut self.scores[..c] {
+            *s *= self.decay;
+        }
+        for &ch in &prev.busy {
+            if (ch as usize) < c {
+                self.scores[ch as usize] += 1.0;
+            }
+        }
+        // Pick the k hottest channels (ties broken randomly so the jammer
+        // does not degenerate to a fixed prefix on a cold board).
+        let mut order: Vec<u64> = (0..channels).collect();
+        self.rng.shuffle(&mut order);
+        order.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .partial_cmp(&self.scores[a as usize])
+                .expect("scores are finite")
+        });
+        order.truncate(self.k.min(channels) as usize);
+        JamSet::from_channels(order)
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(channels: u64, busy: &[u64]) -> BandObservation {
+        BandObservation {
+            channels,
+            busy: busy.to_vec(),
+        }
+    }
+
+    #[test]
+    fn reactive_jams_exactly_previous_busy_set() {
+        let mut adv = ReactiveJammer::new(1000, 64);
+        let set = adv.jam(1, 8, &obs(8, &[2, 5]));
+        assert!(set.contains(2, 8) && set.contains(5, 8));
+        assert_eq!(set.count(8), 2);
+    }
+
+    #[test]
+    fn reactive_is_silent_on_quiet_band() {
+        let mut adv = ReactiveJammer::new(1000, 64);
+        assert_eq!(adv.jam(0, 8, &obs(8, &[])), JamSet::Empty);
+    }
+
+    #[test]
+    fn reactive_respects_channel_cap_and_band_bounds() {
+        let mut adv = ReactiveJammer::new(1000, 2);
+        // Channel 9 is out of range for a 8-channel slot; cap keeps 2 lowest.
+        let set = adv.jam(1, 8, &obs(16, &[1, 3, 6, 9]));
+        assert_eq!(set.count(8), 2);
+        assert!(set.contains(1, 8) && set.contains(3, 8));
+        assert!(!set.contains(6, 8) && !set.contains(9, 8));
+    }
+
+    #[test]
+    fn hotspot_tracks_recurring_traffic() {
+        let mut adv = HotspotJammer::new(1000, 1, 0.5, 7);
+        // Channel 4 is busy repeatedly; after a few slots it must be the
+        // jammed one.
+        for slot in 0..5 {
+            adv.jam(slot, 8, &obs(8, &[4]));
+        }
+        let set = adv.jam(5, 8, &obs(8, &[4]));
+        assert!(set.contains(4, 8), "hotspot should lock onto channel 4");
+        assert_eq!(set.count(8), 1);
+    }
+
+    #[test]
+    fn hotspot_jams_k_channels() {
+        let mut adv = HotspotJammer::new(1000, 3, 0.9, 8);
+        let set = adv.jam(0, 16, &obs(16, &[]));
+        assert_eq!(set.count(16), 3, "cold board still burns k channels");
+    }
+}

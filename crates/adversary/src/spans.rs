@@ -1,0 +1,168 @@
+//! Schedule-targeted jamming: concentrate energy on designated slot spans.
+//!
+//! An oblivious adversary knows the algorithm, and the algorithms' schedules
+//! (iteration boundaries of `MultiCast`, the `(i, j)`-phase map of
+//! `MultiCastAdv`) are deterministic functions of the slot index. Eve can
+//! therefore pre-compute *which* slots matter and jam only those — e.g. only
+//! phase `j = lg n − 1` of each `MultiCastAdv` epoch, the single "good" phase
+//! whose disruption Section 6.1 identifies as her best strategy. The
+//! `SpanJammer` takes an iterator of [`JamSpan`]s (produced by
+//! `rcb-harness` from a protocol's public schedule) and jams a fraction of
+//! the band inside each span.
+
+use crate::frac_to_count;
+use rcb_sim::{Adversary, JamSet, Xoshiro256};
+
+/// A half-open slot interval `[start, end)` to jam, with the fraction of
+/// channels to jam inside it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JamSpan {
+    pub start: u64,
+    pub end: u64,
+    pub frac: f64,
+}
+
+impl JamSpan {
+    pub fn new(start: u64, end: u64, frac: f64) -> Self {
+        assert!(start < end, "span must be non-empty");
+        assert!((0.0..=1.0).contains(&frac));
+        Self { start, end, frac }
+    }
+}
+
+/// Jams only within the given spans (which must be sorted by `start` and
+/// non-overlapping), a window of `frac · channels` at a random offset per
+/// slot. The span source is an iterator so that infinite schedules (every
+/// iteration of `MultiCast`, every epoch of `MultiCastAdv`) can be targeted
+/// lazily.
+pub struct SpanJammer<I: Iterator<Item = JamSpan>> {
+    t: u64,
+    spans: I,
+    current: Option<JamSpan>,
+    rng: Xoshiro256,
+    last_slot: Option<u64>,
+}
+
+impl<I: Iterator<Item = JamSpan>> SpanJammer<I> {
+    pub fn new(t: u64, spans: I, seed: u64) -> Self {
+        Self {
+            t,
+            spans,
+            current: None,
+            rng: Xoshiro256::seeded(seed),
+            last_slot: None,
+        }
+    }
+}
+
+/// Convenience constructor from a finite list of spans.
+impl SpanJammer<std::vec::IntoIter<JamSpan>> {
+    pub fn from_spans(t: u64, spans: Vec<JamSpan>, seed: u64) -> Self {
+        // Validate ordering once up front.
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start, "spans must be sorted and disjoint");
+        }
+        Self::new(t, spans.into_iter(), seed)
+    }
+}
+
+impl<I: Iterator<Item = JamSpan>> Adversary for SpanJammer<I> {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+        if let Some(last) = self.last_slot {
+            debug_assert!(slot > last, "SpanJammer expects strictly increasing slots");
+        }
+        self.last_slot = Some(slot);
+        // Advance past expired spans.
+        loop {
+            match self.current {
+                Some(span) if span.end > slot => break,
+                _ => match self.spans.next() {
+                    Some(next) => self.current = Some(next),
+                    None => {
+                        self.current = None;
+                        return JamSet::Empty;
+                    }
+                },
+            }
+        }
+        let span = self.current.expect("loop guarantees a live span");
+        if slot < span.start {
+            return JamSet::Empty;
+        }
+        let k = frac_to_count(span.frac, channels);
+        if k == 0 {
+            JamSet::Empty
+        } else if k >= channels {
+            JamSet::All
+        } else {
+            let start = self.rng.gen_range(channels);
+            JamSet::Window { start, len: k }
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "span-targeted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jams_only_inside_spans() {
+        let spans = vec![JamSpan::new(10, 20, 1.0), JamSpan::new(30, 35, 1.0)];
+        let mut adv = SpanJammer::from_spans(1000, spans, 1);
+        for slot in 0..50 {
+            let jammed = adv.jam(slot, 8) != JamSet::Empty;
+            let expect = (10..20).contains(&slot) || (30..35).contains(&slot);
+            assert_eq!(jammed, expect, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn fraction_inside_span() {
+        let spans = vec![JamSpan::new(0, 100, 0.5)];
+        let mut adv = SpanJammer::from_spans(1000, spans, 2);
+        assert_eq!(adv.jam(0, 16).count(16), 8);
+        assert_eq!(adv.jam(1, 16).count(16), 8);
+    }
+
+    #[test]
+    fn works_with_infinite_span_iterators() {
+        // Every 100-slot window jams its first 10 slots, forever.
+        let spans = (0u64..).map(|k| JamSpan {
+            start: k * 100,
+            end: k * 100 + 10,
+            frac: 1.0,
+        });
+        let mut adv = SpanJammer::new(u64::MAX, spans, 3);
+        let mut jammed_slots = 0;
+        for slot in 0..1000 {
+            if adv.jam(slot, 4) != JamSet::Empty {
+                jammed_slots += 1;
+            }
+        }
+        assert_eq!(jammed_slots, 100, "10 slots per 100, over 1000 slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn rejects_overlapping_spans() {
+        SpanJammer::from_spans(
+            10,
+            vec![JamSpan::new(0, 10, 1.0), JamSpan::new(5, 15, 1.0)],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_span() {
+        JamSpan::new(5, 5, 1.0);
+    }
+}

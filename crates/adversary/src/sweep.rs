@@ -1,0 +1,86 @@
+//! Sweeping-window jamming.
+
+use rcb_sim::{Adversary, JamSet};
+
+/// Jams a contiguous window of `width` channels that advances by `step`
+/// channels every slot, wrapping around the band — a model of swept-frequency
+/// jammers and of narrowband interferers drifting through the spectrum.
+///
+/// Because the protocols pick a fresh uniformly random channel every slot,
+/// a sweeping window of width `w` is statistically equivalent to jamming `w`
+/// random channels — the experiments confirm that the *position* of the
+/// jammed set is irrelevant and only its size matters, as the paper's
+/// analysis assumes.
+#[derive(Clone, Copy, Debug)]
+pub struct Sweep {
+    t: u64,
+    width: u64,
+    step: u64,
+}
+
+impl Sweep {
+    /// `width`: window size in channels; `step`: channels advanced per slot.
+    pub fn new(t: u64, width: u64, step: u64) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self { t, width, step }
+    }
+}
+
+impl Adversary for Sweep {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+        if self.width >= channels {
+            return JamSet::All;
+        }
+        let start = (slot.wrapping_mul(self.step)) % channels;
+        JamSet::Window {
+            start,
+            len: self.width,
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_advances_each_slot() {
+        let mut adv = Sweep::new(1000, 2, 1);
+        assert!(adv.jam(0, 8).contains(0, 8));
+        assert!(adv.jam(0, 8).contains(1, 8));
+        assert!(!adv.jam(0, 8).contains(2, 8));
+        assert!(adv.jam(1, 8).contains(1, 8));
+        assert!(adv.jam(1, 8).contains(2, 8));
+        assert!(!adv.jam(1, 8).contains(0, 8));
+    }
+
+    #[test]
+    fn wraps_around_band() {
+        let mut adv = Sweep::new(1000, 3, 1);
+        let set = adv.jam(7, 8); // start = 7, covers 7, 0, 1
+        assert!(set.contains(7, 8) && set.contains(0, 8) && set.contains(1, 8));
+        assert_eq!(set.count(8), 3);
+    }
+
+    #[test]
+    fn wide_window_is_all() {
+        let mut adv = Sweep::new(1000, 100, 1);
+        assert_eq!(adv.jam(5, 8), JamSet::All);
+    }
+
+    #[test]
+    fn constant_energy_per_slot() {
+        let mut adv = Sweep::new(1000, 5, 3);
+        for slot in 0..50 {
+            assert_eq!(adv.jam(slot, 32).count(32), 5);
+        }
+    }
+}

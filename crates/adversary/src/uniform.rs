@@ -1,0 +1,135 @@
+//! Jam a fixed fraction of the band every slot.
+
+use crate::frac_to_count;
+use rcb_sim::{Adversary, JamSet, Xoshiro256};
+
+/// Jams `⌈frac · channels⌉` channels in every slot, as a contiguous window at
+/// a per-slot random offset, until the budget is exhausted.
+///
+/// This is the canonical "effective disruption" shape of the paper's
+/// analysis: Lemma 4.1 (and 5.1, 6.7) show epidemic broadcast survives unless
+/// Eve jams more than ninety percent of channels for more than ninety percent
+/// of slots, and Lemmas 4.3/5.3 show termination survives unless she jams
+/// more than twenty percent of channels for more than twenty percent of
+/// slots. Sweeping the `frac` knob across those thresholds is experiment E2.
+///
+/// The random offset (rather than a fixed prefix) removes any reliance on
+/// protocols choosing channels uniformly — every channel is equally likely to
+/// be jammed in every slot.
+///
+/// ```
+/// use rcb_adversary::UniformFraction;
+/// use rcb_sim::Adversary;
+///
+/// let mut eve = UniformFraction::new(50_000, 0.9, 42);
+/// let set = eve.jam(0, 32);
+/// assert_eq!(set.count(32), 29); // 0.9 · 32 rounds to 29 channels
+/// assert_eq!(eve.budget(), 50_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UniformFraction {
+    t: u64,
+    frac: f64,
+    rng: Xoshiro256,
+}
+
+impl UniformFraction {
+    /// `t`: Eve's budget; `frac ∈ [0, 1]`: fraction of channels to jam each
+    /// slot; `seed`: private randomness for the window offset.
+    pub fn new(t: u64, frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "frac must be in [0, 1], got {frac}"
+        );
+        Self {
+            t,
+            frac,
+            rng: Xoshiro256::seeded(seed),
+        }
+    }
+}
+
+impl Adversary for UniformFraction {
+    fn jam(&mut self, _slot: u64, channels: u64) -> JamSet {
+        let k = frac_to_count(self.frac, channels);
+        if k == 0 {
+            JamSet::Empty
+        } else if k >= channels {
+            JamSet::All
+        } else {
+            let start = self.rng.gen_range(channels);
+            JamSet::Window { start, len: k }
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-fraction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jams_requested_fraction() {
+        let mut adv = UniformFraction::new(1_000, 0.9, 1);
+        for slot in 0..100 {
+            let set = adv.jam(slot, 64);
+            assert_eq!(set.count(64), 58, "0.9 * 64 rounds to 58");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_empty() {
+        let mut adv = UniformFraction::new(1_000, 0.0, 1);
+        assert_eq!(adv.jam(0, 64), JamSet::Empty);
+    }
+
+    #[test]
+    fn full_fraction_is_all() {
+        let mut adv = UniformFraction::new(1_000, 1.0, 1);
+        assert_eq!(adv.jam(0, 64), JamSet::All);
+    }
+
+    #[test]
+    fn offsets_vary_across_slots() {
+        let mut adv = UniformFraction::new(1_000, 0.5, 2);
+        let sets: Vec<JamSet> = (0..16).map(|s| adv.jam(s, 64)).collect();
+        let distinct = sets
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 4, "window offset should move around");
+    }
+
+    #[test]
+    fn every_channel_gets_jammed_eventually() {
+        let mut adv = UniformFraction::new(u64::MAX, 0.25, 3);
+        let channels = 32u64;
+        let mut hit = vec![false; channels as usize];
+        for slot in 0..1000 {
+            let set = adv.jam(slot, channels);
+            for ch in 0..channels {
+                if set.contains(ch, channels) {
+                    hit[ch as usize] = true;
+                }
+            }
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "uniform jamming covers the whole band"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_fraction() {
+        UniformFraction::new(10, 1.5, 0);
+    }
+}

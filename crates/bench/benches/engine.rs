@@ -1,0 +1,135 @@
+//! Microbenchmarks of the simulator substrate: RNG, subset sampler, channel
+//! board, and end-to-end engine slot throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcb_core::{CoreParams, MultiCastCore};
+use rcb_sim::{
+    bernoulli_subset, run, ChannelBoard, EngineConfig, JamSet, NoAdversary, Payload, Xoshiro256,
+};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_u64", |b| {
+        let mut rng = Xoshiro256::seeded(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("gen_range_1000", |b| {
+        let mut rng = Xoshiro256::seeded(2);
+        b.iter(|| black_box(rng.gen_range(1000)));
+    });
+    g.bench_function("next_f64", |b| {
+        let mut rng = Xoshiro256::seeded(3);
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampler");
+    for &(m, p) in &[(1024usize, 1.0 / 64.0), (1024, 0.25), (65536, 1.0 / 64.0)] {
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(
+            BenchmarkId::new("bernoulli_subset", format!("m{m}_p{p:.3}")),
+            &(m, p),
+            |b, &(m, p)| {
+                let mut rng = Xoshiro256::seeded(4);
+                let mut out = Vec::with_capacity((m as f64 * p * 2.0) as usize);
+                b.iter(|| {
+                    out.clear();
+                    bernoulli_subset(&mut rng, m, p, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_channel_board(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_board");
+    g.bench_function("resolve_32_bcasts_32_listens", |b| {
+        let mut board = ChannelBoard::new();
+        let mut rng = Xoshiro256::seeded(5);
+        b.iter(|| {
+            board.clear();
+            for _ in 0..32 {
+                board.add_broadcast(rng.gen_range(512), Payload::Data);
+            }
+            board.resolve();
+            let mut noise = 0u32;
+            for _ in 0..32 {
+                if board.outcome(rng.gen_range(512), false) == rcb_sim::Feedback::Noise {
+                    noise += 1;
+                }
+            }
+            black_box(noise)
+        });
+    });
+    g.finish();
+}
+
+fn bench_jamset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jamset");
+    let window = JamSet::Window {
+        start: 100,
+        len: 200,
+    };
+    let list = JamSet::from_channels((0..200).map(|i| i * 3).collect());
+    g.bench_function("window_contains", |b| {
+        let mut ch = 0u64;
+        b.iter(|| {
+            ch = (ch + 7) % 512;
+            black_box(window.contains(ch, 512))
+        });
+    });
+    g.bench_function("list_contains", |b| {
+        let mut ch = 0u64;
+        b.iter(|| {
+            ch = (ch + 7) % 512;
+            black_box(list.contains(ch, 512))
+        });
+    });
+    g.finish();
+}
+
+/// End-to-end engine throughput: physical slots per second on the
+/// `MultiCastCore` workload (sparse sampling, n/2 channels).
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for &n in &[64u64, 256, 1024] {
+        let slots = 20_000u64;
+        g.throughput(Throughput::Elements(slots));
+        g.bench_with_input(BenchmarkId::new("core_slots", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut proto = MultiCastCore::with_params(
+                    n,
+                    1000,
+                    CoreParams {
+                        a: 64.0,
+                        ..Default::default()
+                    },
+                );
+                let out = run(
+                    &mut proto,
+                    &mut NoAdversary,
+                    7,
+                    &EngineConfig::capped(slots),
+                );
+                black_box(out.slots)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_sampler,
+    bench_channel_board,
+    bench_jamset,
+    bench_engine_throughput
+);
+criterion_main!(benches);

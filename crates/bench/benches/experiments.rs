@@ -1,0 +1,223 @@
+//! One criterion bench per experiment table (E1–E12): a scaled-down kernel
+//! of each experiment's workload, so `cargo bench` tracks the wall-clock
+//! cost of regenerating every table in EXPERIMENTS.md. (The full tables are
+//! produced by the `repro` binary; these kernels use one seed and the
+//! smallest sweep point so each iteration stays in the tens-of-milliseconds
+//! range.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rcb_core::AdvParams;
+use rcb_harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
+
+fn kernel(spec: TrialSpec) -> u64 {
+    let r = run_trial(&spec);
+    assert_eq!(r.safety_violations, 0);
+    r.slots
+}
+
+fn adv_params() -> AdvParams {
+    AdvParams {
+        alpha: 0.24,
+        ..AdvParams::default()
+    }
+}
+
+fn bench_experiment_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    // E1: naive epidemic through 90% jamming, n = 256.
+    g.bench_function("e01_epidemic_90pct", |b| {
+        b.iter(|| {
+            black_box(kernel(
+                TrialSpec::new(
+                    ProtocolKind::Naive {
+                        n: 256,
+                        act_prob: 1.0,
+                    },
+                    AdversaryKind::Uniform {
+                        t: u64::MAX / 2,
+                        frac: 0.9,
+                    },
+                    1,
+                )
+                .with_max_slots(100_000),
+            ))
+        });
+    });
+
+    // E2: MultiCastCore under uniform jamming (one budget point).
+    g.bench_function("e02_core_t2m", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::Core {
+                    n: 64,
+                    t: 2_000_000,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 2_000_000,
+                    frac: 0.9,
+                },
+                2,
+            )))
+        });
+    });
+
+    // E3: burst recovery.
+    g.bench_function("e03_core_burst", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::Core {
+                    n: 64,
+                    t: 2_000_000,
+                    params: Default::default(),
+                },
+                AdversaryKind::Burst {
+                    t: 2_000_000,
+                    start: 0,
+                },
+                3,
+            )))
+        });
+    });
+
+    // E4/E5: one MultiCast sweep point (they share the workload).
+    g.bench_function("e04_e05_multicast_t400k", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n: 16,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 400_000,
+                    frac: 0.9,
+                },
+                4,
+            )))
+        });
+    });
+
+    // E6: the single-channel comparator at the same point.
+    g.bench_function("e06_single_channel_t400k", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::SingleChannel {
+                    n: 16,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 400_000,
+                    frac: 0.9,
+                },
+                5,
+            )))
+        });
+    });
+
+    // E7: one safety-matrix cell (95% jamming).
+    g.bench_function("e07_safety_cell", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n: 32,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 100_000,
+                    frac: 0.95,
+                },
+                6,
+            )))
+        });
+    });
+
+    // E8: MultiCastAdv, T = 0 kernel (n = 16, α = 0.24).
+    g.bench_function("e08_adv_n16_t0", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::Adv {
+                    n: 16,
+                    params: adv_params(),
+                },
+                AdversaryKind::Silent,
+                7,
+            )))
+        });
+    });
+
+    // E9: helper audit under 30% jamming.
+    g.bench_function("e09_adv_jammed", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::Adv {
+                    n: 16,
+                    params: adv_params(),
+                },
+                AdversaryKind::Uniform {
+                    t: 200_000,
+                    frac: 0.3,
+                },
+                8,
+            )))
+        });
+    });
+
+    // E10: MultiCast(C) at C = 8.
+    g.bench_function("e10_multicast_c8", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::MultiCastC {
+                    n: 64,
+                    c: 8,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 500_000,
+                    frac: 0.6,
+                },
+                9,
+            )))
+        });
+    });
+
+    // E11: MultiCastAdv(C) at C = 8 (= n/2: the cheap cap point).
+    g.bench_function("e11_adv_c8", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::Adv {
+                    n: 16,
+                    params: AdvParams {
+                        channel_cap: Some(8),
+                        ..adv_params()
+                    },
+                },
+                AdversaryKind::Silent,
+                10,
+            )))
+        });
+    });
+
+    // E12: one competitiveness row (MultiCast at a large budget).
+    g.bench_function("e12_competitive_row", |b| {
+        b.iter(|| {
+            black_box(kernel(TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n: 16,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 1_600_000,
+                    frac: 0.9,
+                },
+                11,
+            )))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_kernels);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Protocol kernels under criterion: wall-clock cost of simulating each
+//! algorithm of the paper (fixed slot budgets, so numbers are comparable
+//! engine-throughput measurements rather than completion times).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcb_adversary::UniformFraction;
+use rcb_core::baseline::{Decay, NaiveEpidemic, SingleChannelRcb};
+use rcb_core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
+use rcb_sim::{run, EngineConfig, NoAdversary};
+
+const SLOTS: u64 = 50_000;
+
+fn bench_protocol_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_kernels");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SLOTS));
+    let n = 64u64;
+    let cfg = EngineConfig::capped(SLOTS);
+
+    g.bench_function("multicast_core", |b| {
+        b.iter(|| {
+            let mut p = MultiCastCore::new(n, 100_000);
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("multicast", |b| {
+        b.iter(|| {
+            let mut p = MultiCast::new(n);
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("multicast_c8", |b| {
+        b.iter(|| {
+            let mut p = MultiCastC::new(n, 8);
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("multicast_adv", |b| {
+        b.iter(|| {
+            let mut p = MultiCastAdv::with_params(
+                n,
+                AdvParams {
+                    alpha: 0.24,
+                    ..Default::default()
+                },
+            );
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("single_channel", |b| {
+        b.iter(|| {
+            let mut p = SingleChannelRcb::new(n);
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("naive_epidemic_sparse", |b| {
+        b.iter(|| {
+            let mut p = NaiveEpidemic::with_act_prob(n, 1.0 / 64.0);
+            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+        });
+    });
+    g.bench_function("decay", |b| {
+        b.iter(|| {
+            let mut p = Decay::new(n);
+            // Decay's dense per-slot sampling is the slow path; cap lower.
+            black_box(run(&mut p, &mut NoAdversary, 1, &EngineConfig::capped(5_000)).slots)
+        });
+    });
+    g.finish();
+}
+
+/// Jamming overhead: how much does an active adversary cost the engine?
+fn bench_adversary_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversary_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SLOTS));
+    let n = 64u64;
+    let cfg = EngineConfig::capped(SLOTS);
+    for frac in [0.0f64, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::new("uniform_frac", frac), &frac, |b, &frac| {
+            b.iter(|| {
+                let mut p = MultiCast::new(n);
+                if frac == 0.0 {
+                    black_box(run(&mut p, &mut NoAdversary, 2, &cfg).slots)
+                } else {
+                    let mut eve = UniformFraction::new(u64::MAX / 2, frac, 3);
+                    black_box(run(&mut p, &mut eve, 2, &cfg).slots)
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_kernels, bench_adversary_overhead);
+criterion_main!(benches);

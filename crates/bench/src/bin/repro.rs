@@ -1,0 +1,102 @@
+//! `repro` — regenerate every experiment table of the reproduction.
+//!
+//! The paper (Chen & Zheng, SPAA 2019) is evaluated through its theorems;
+//! this binary regenerates the empirical table for each of them (experiment
+//! index in DESIGN.md §4, recorded results in EXPERIMENTS.md).
+//!
+//! ```text
+//! repro --list                 # show the experiment index
+//! repro --exp e5               # regenerate one table (quick scale)
+//! repro --exp e5,e8            # several
+//! repro --exp all --full       # everything, full scale
+//! repro --exp all --out report.md   # also write the reports to a file
+//! ```
+
+use rcb_bench::{all_experiments, Scale};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--list] [--exp <id>[,<id>…]|all] [--full] [--out <file>]\n\
+         ids: {}",
+        all_experiments()
+            .iter()
+            .map(|e| e.id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut list = false;
+    let mut out_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--full" => scale = Scale::Full,
+            "--exp" => match it.next() {
+                Some(v) => wanted.extend(v.split(',').map(|s| s.trim().to_lowercase())),
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let experiments = all_experiments();
+    if list || (wanted.is_empty()) {
+        println!("experiment index (DESIGN.md §4):\n");
+        for e in &experiments {
+            println!("  {:>4}  {}\n        {}\n", e.id, e.title, e.claim);
+        }
+        if !list {
+            println!("run with: repro --exp all   (or --exp e1,e2,…; add --full for more seeds)");
+        }
+        return;
+    }
+
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|e| run_all || wanted.iter().any(|w| w == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {wanted:?}");
+        usage();
+    }
+
+    let mut full_report = format!(
+        "# Reproduction run — scale: {scale:?}, {} experiment(s)\n\n",
+        selected.len()
+    );
+    print!("{full_report}");
+    let total = Instant::now();
+    for e in selected {
+        let start = Instant::now();
+        let report = (e.run)(scale);
+        let stamp = format!("_[{} regenerated in {:.1?}]_\n", e.id, start.elapsed());
+        println!("{report}");
+        println!("{stamp}");
+        full_report.push_str(&report);
+        full_report.push('\n');
+        full_report.push_str(&stamp);
+        full_report.push('\n');
+    }
+    println!("total wall time: {:.1?}", total.elapsed());
+    if let Some(path) = out_path {
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        f.write_all(full_report.as_bytes()).expect("write report");
+        println!("report written to {path}");
+    }
+}

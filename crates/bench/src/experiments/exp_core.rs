@@ -1,0 +1,239 @@
+//! Experiments E1–E3: the epidemic primitive and `MultiCastCore`.
+
+use super::header;
+use crate::scale::Scale;
+use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_stats::{fit_power_law, Summary, Table};
+
+/// E1 — epidemic growth beats 90% jamming (Claim 4.1.1 / Lemma 4.1).
+pub fn e1_epidemic_growth(scale: Scale) -> String {
+    let ns: &[u64] = scale.pick(&[64, 256, 1024][..], &[64, 128, 256, 512, 1024][..]);
+    let fracs = [0.0, 0.5, 0.9];
+    let seeds = scale.seeds().max(5);
+
+    let mut out = header(
+        "E1",
+        "Epidemic growth under heavy jamming",
+        "Claim 4.1.1 / Lemma 4.1: even with 90% of all n/2 channels jammed in \
+         every slot, the number of informed nodes keeps growing geometrically, \
+         so the naive epidemic completes in O(lg n) slots.",
+        &format!(
+            "NaiveEpidemic (everyone acts every slot) on n/2 channels; uniform \
+             jammer with unbounded budget jamming a fixed fraction; {seeds} seeds; \
+             time = slots until all n nodes are informed."
+        ),
+    );
+
+    let mut table = Table::new(&[
+        "n",
+        "jam 0% (slots)",
+        "jam 50% (slots)",
+        "jam 90% (slots)",
+        "90% slots / lg n",
+    ]);
+    let mut per_lgn = Vec::new();
+    for &n in ns {
+        let mut cells = vec![n.to_string()];
+        let mut jam90 = 0.0;
+        for &frac in &fracs {
+            let specs: Vec<TrialSpec> = (0..seeds)
+                .map(|s| {
+                    TrialSpec::new(
+                        ProtocolKind::Naive { n, act_prob: 1.0 },
+                        if frac == 0.0 {
+                            AdversaryKind::Silent
+                        } else {
+                            AdversaryKind::Uniform {
+                                t: u64::MAX / 2,
+                                frac,
+                            }
+                        },
+                        11_000 + n + s,
+                    )
+                    .with_max_slots(10_000_000)
+                })
+                .collect();
+            let rs = run_trials(&specs, 0);
+            assert!(rs.iter().all(|r| r.completed), "E1: epidemic must complete");
+            let times: Vec<f64> = rs.iter().map(|r| r.completion_time() as f64).collect();
+            let s = Summary::of(&times).expect("nonempty");
+            cells.push(format!("{:.0} ± {:.0}", s.mean, s.ci95()));
+            if frac == 0.9 {
+                jam90 = s.mean;
+            }
+        }
+        let lgn = (n as f64).log2();
+        per_lgn.push(jam90 / lgn);
+        cells.push(format!("{:.1}", jam90 / lgn));
+        table.row(&cells);
+    }
+    out.push_str(&table.markdown());
+    let spread = per_lgn.iter().cloned().fold(f64::MIN, f64::max)
+        / per_lgn.iter().cloned().fold(f64::MAX, f64::min);
+    out.push_str(&format!(
+        "\n**Result.** Completion under 90% jamming stays within a {spread:.2}x band \
+         of c·lg n across a {}x range of n — logarithmic growth as claimed; \
+         jamming a constant fraction of channels costs only a constant factor.\n",
+        ns[ns.len() - 1] / ns[0]
+    ));
+    out
+}
+
+/// E2 — `MultiCastCore` time & cost scale as `O(T/n + lg T̂)` (Theorem 4.4).
+pub fn e2_core_scaling(scale: Scale) -> String {
+    let n = 64u64;
+    // Budgets start where T/n dominates the Θ(lg T̂)-slot iteration floor
+    // (R ≈ 250k slots; Eve's 90%-band jamming costs ~29/slot, so T = 8M buys
+    // ~280k jammed slots ≈ one iteration).
+    let budgets: &[u64] = scale.pick(
+        &[0, 8_000_000, 64_000_000, 512_000_000][..],
+        &[0, 8_000_000, 32_000_000, 128_000_000, 512_000_000][..],
+    );
+    let seeds = scale.seeds().min(3);
+
+    let mut out = header(
+        "E2",
+        "MultiCastCore time and cost vs T",
+        "Theorem 4.4: every node's running time *and* energy are \
+         O(T/n + max{lg T, lg n}), i.e. both scale linearly in T once T \
+         dominates the logarithmic floor.",
+        &format!(
+            "n = {n} (32 channels), uniform jammer at 90% of the band; Core is \
+             given the true T; {seeds} seeds per budget."
+        ),
+    );
+
+    let mut table = Table::new(&["T", "time (slots)", "time·n/T", "max node cost", "cost·n/T"]);
+    let mut time_points = Vec::new();
+    let mut cost_points = Vec::new();
+    for &t in budgets {
+        let specs: Vec<TrialSpec> = (0..seeds)
+            .map(|s| {
+                TrialSpec::new(
+                    ProtocolKind::Core {
+                        n,
+                        t,
+                        params: Default::default(),
+                    },
+                    if t == 0 {
+                        AdversaryKind::Silent
+                    } else {
+                        AdversaryKind::Uniform { t, frac: 0.9 }
+                    },
+                    22_000 + t + s,
+                )
+            })
+            .collect();
+        let rs = run_trials(&specs, 0);
+        for r in &rs {
+            assert!(
+                r.completed && r.safety_violations == 0,
+                "E2 trial failed: {r:?}"
+            );
+        }
+        let time = rs.iter().map(|r| r.completion_time() as f64).sum::<f64>() / rs.len() as f64;
+        let cost = rs.iter().map(|r| r.max_cost as f64).sum::<f64>() / rs.len() as f64;
+        if t > 0 {
+            time_points.push((t as f64, time));
+            cost_points.push((t as f64, cost));
+        }
+        table.row(&[
+            t.to_string(),
+            format!("{time:.0}"),
+            if t > 0 {
+                format!("{:.3}", time * n as f64 / t as f64)
+            } else {
+                "-".into()
+            },
+            format!("{cost:.0}"),
+            if t > 0 {
+                format!("{:.4}", cost * n as f64 / t as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    out.push_str(&table.markdown());
+    let (_, bt, rt) = fit_power_law(&time_points);
+    let (_, bc, rc) = fit_power_law(&cost_points);
+    out.push_str("\n```text\ntime vs T (w.h.p. linear shape):\n");
+    out.push_str(&rcb_stats::loglog_plot(&time_points, 56, 10));
+    out.push_str("```\n");
+    out.push_str(&format!(
+        "\n**Result.** time ∝ T^{bt:.2} (r² = {rt:.3}), max cost ∝ T^{bc:.2} \
+         (r² = {rc:.3}); Theorem 4.4 predicts exponent 1.0 for both once \
+         T ≫ n·lg T̂. Unlike MultiCast (E5), Core's *energy* is also linear in \
+         T — the price of its simplicity.\n"
+    ));
+    out
+}
+
+/// E3 — fast termination after a burst ends (Section 4 remark).
+pub fn e3_core_fast_termination(scale: Scale) -> String {
+    let n = 64u64;
+    let budgets: &[u64] = scale.pick(
+        &[2_000_000u64, 8_000_000, 32_000_000][..],
+        &[2_000_000u64, 8_000_000, 32_000_000, 128_000_000][..],
+    );
+    let seeds = scale.seeds();
+
+    let mut out = header(
+        "E3",
+        "MultiCastCore fast termination after jamming stops",
+        "Section 4 remark: once Eve stops disrupting, all remaining nodes learn \
+         m (if needed) and halt within one Θ(lg T̂)-slot iteration — a property \
+         the paper notes other resource-competitive algorithms (needing Θ̃(T)) \
+         lack.",
+        &format!(
+            "n = {n}; front-loaded full-band burst spends the whole budget in the \
+             first T/(n/2) slots; gap = (last halt + 1) − (jam end), reported in \
+             units of the iteration length R; {seeds} seeds."
+        ),
+    );
+
+    let mut table = Table::new(&["T", "jam end (slot)", "R", "gap (slots)", "gap / R"]);
+    let mut worst_ratio: f64 = 0.0;
+    for &t in budgets {
+        let jam_end = t / (n / 2);
+        let specs: Vec<TrialSpec> = (0..seeds)
+            .map(|s| {
+                TrialSpec::new(
+                    ProtocolKind::Core {
+                        n,
+                        t,
+                        params: Default::default(),
+                    },
+                    AdversaryKind::Burst { t, start: 0 },
+                    33_000 + t + s,
+                )
+            })
+            .collect();
+        let rs = run_trials(&specs, 0);
+        // Recover R from the protocol parameters.
+        let r_len = rcb_core::MultiCastCore::new(n, t).iteration_len();
+        let mut gaps = Vec::new();
+        for r in &rs {
+            assert!(r.completed && r.all_informed, "E3 trial failed");
+            let end = r.last_halt.expect("halted") + 1;
+            gaps.push(end.saturating_sub(jam_end) as f64);
+        }
+        let gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let ratio = gap / r_len as f64;
+        worst_ratio = worst_ratio.max(ratio);
+        table.row(&[
+            t.to_string(),
+            jam_end.to_string(),
+            r_len.to_string(),
+            format!("{gap:.0}"),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    out.push_str(&table.markdown());
+    out.push_str(&format!(
+        "\n**Result.** The halt gap stays ≤ {worst_ratio:.2}·R across a 16x range \
+         of T — constant in iterations, exactly the paper's \"within one \
+         iteration\" recovery (≤ 2R is the guarantee: the tail of the burst \
+         iteration plus one clean iteration).\n"
+    ));
+    out
+}

@@ -1,0 +1,48 @@
+//! Experiment scale presets.
+
+/// How big to run an experiment. `Quick` regenerates every table with
+/// enough seeds/points to show the shapes in minutes; `Full` adds seeds,
+/// sweep points, and larger `n`/`T` for tighter fits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    /// Seeds per sweep point.
+    pub fn seeds(&self) -> u64 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Seeds for expensive (`MultiCastAdv`-class) trials.
+    pub fn seeds_heavy(&self) -> u64 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 4,
+        }
+    }
+
+    /// Pick between a quick and a full variant of a constant.
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(Scale::Full.seeds() > Scale::Quick.seeds());
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

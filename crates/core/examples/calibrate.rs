@@ -1,0 +1,88 @@
+//! Calibration tool for the protocol constants in `rcb_core::params`.
+//!
+//! Prints (a) the epidemic completion time at `p = 1/64`, which anchors the
+//! iteration-length constants of `MultiCastCore`/`MultiCast`, and (b)
+//! `MultiCastAdv` life-cycle diagnostics (helper phases, halt epochs,
+//! runtime) across `n` and `α`. Run after changing any default in
+//! `params.rs`:
+//!
+//! ```text
+//! cargo run --release -p rcb-core --example calibrate
+//! ```
+
+use rcb_core::baseline::NaiveEpidemic;
+use rcb_core::{AdvParams, MultiCastAdv};
+use rcb_sim::{run, EngineConfig, NoAdversary};
+
+fn epidemic_times() {
+    println!("== epidemic completion at p = 1/64 (anchors CoreParams.a / McParams.a) ==");
+    for n in [16u64, 32, 64, 128, 256, 512, 1024] {
+        let mut worst = 0u64;
+        let mut sum = 0u64;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut proto = NaiveEpidemic::with_act_prob(n, 1.0 / 64.0);
+            let cfg = EngineConfig {
+                stop_when_all_informed: true,
+                ..EngineConfig::capped(100_000_000)
+            };
+            let out = run(&mut proto, &mut NoAdversary, seed, &cfg);
+            assert!(out.all_informed);
+            worst = worst.max(out.slots);
+            sum += out.slots;
+        }
+        let lgn = (n as f64).log2();
+        println!(
+            "n={n:5}  mean={:8}  worst={worst:8}  worst/lg n = {:7.0}",
+            sum / trials,
+            worst as f64 / lgn
+        );
+    }
+}
+
+fn adv_lifecycle() {
+    println!("\n== MultiCastAdv life-cycle (T = 0) ==");
+    for (n, alpha) in [(16u64, 0.2f64), (32, 0.2), (64, 0.2), (16, 0.1), (16, 0.24)] {
+        let params = AdvParams {
+            alpha,
+            ..AdvParams::default()
+        };
+        let mut proto = MultiCastAdv::with_params(n, params);
+        let start = std::time::Instant::now();
+        let out = run(
+            &mut proto,
+            &mut NoAdversary,
+            1,
+            &EngineConfig::capped(2_000_000_000),
+        );
+        let elapsed = start.elapsed();
+        let helper_epochs: Vec<f64> = out
+            .nodes
+            .iter()
+            .filter_map(|x| x.extra.get("helper_epoch"))
+            .collect();
+        let helper_phases: Vec<f64> = out
+            .nodes
+            .iter()
+            .filter_map(|x| x.extra.get("helper_phase"))
+            .collect();
+        let he = helper_epochs.iter().cloned().fold(0.0, f64::max);
+        let hp_min = helper_phases.iter().cloned().fold(f64::MAX, f64::min);
+        let hp_max = helper_phases.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "n={n:4} alpha={alpha}  slots={:>12}  informed={} halted={} \
+             helper_phase=[{hp_min},{hp_max}] (want {}) last_helper_epoch={he} \
+             max_cost={}  wall={elapsed:.2?}",
+            out.slots,
+            out.all_informed,
+            out.all_halted,
+            (n as f64).log2() as u32 - 1,
+            out.max_cost(),
+        );
+    }
+}
+
+fn main() {
+    epidemic_times();
+    adv_lifecycle();
+}

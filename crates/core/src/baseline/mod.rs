@@ -1,0 +1,22 @@
+//! Comparison baselines for the experiments.
+//!
+//! * [`NaiveEpidemic`] — the bare multi-channel epidemic broadcast sketched
+//!   in the paper's introduction: maximal parallel dissemination, no
+//!   robustness machinery, no termination detection. Demonstrates both why
+//!   epidemic spreading is fast (experiment E1) and why the paper's
+//!   termination/competitiveness machinery is necessary.
+//! * [`SingleChannelRcb`] — a single-channel resource-competitive broadcast
+//!   with the `Õ(T + n)` time / `Õ(√(T/n))` energy bounds of Gilbert et al.
+//!   (SPAA 2014), realized as `MultiCast(C = 1)`. The multi-channel speedup
+//!   headline (experiment E6) is measured against this.
+//! * [`Decay`] — the classical non-robust broadcast primitive of Bar-Yehuda
+//!   et al., as an energy-naive control: its listeners pay `Θ(T)` under
+//!   jamming, the cost the resource-competitive algorithms avoid.
+
+mod decay;
+mod naive_epidemic;
+mod single_channel;
+
+pub use decay::Decay;
+pub use naive_epidemic::NaiveEpidemic;
+pub use single_channel::SingleChannelRcb;

@@ -1,0 +1,231 @@
+//! `MultiCast(C)` (Section 7, Figure 5): run `MultiCast` when only
+//! `C ≤ n/2` physical channels exist.
+//!
+//! `MultiCast` is *channel-uniform* (every active node draws from the same
+//! channel set each slot), so it can be simulated in a `C`-channel network
+//! by stretching each virtual slot into a **round** of `n/(2C)` physical
+//! slots: a node that would use virtual channel `k ∈ [0, n/2)` instead uses
+//! physical channel `k mod C` during sub-slot `⌊k/C⌋` of the round. One
+//! round carries exactly one virtual slot's traffic, so correctness is
+//! untouched and the running time scales by `n/(2C)`.
+//!
+//! Guarantees (Corollary 7.1, w.h.p.): all nodes receive `m` and halt within
+//! `O(T/C + (n/C)·lg²n)` slots, each spending `O(√(T/n)·√(lg T)·lg n + lg²n)`
+//! energy — i.e. limited spectrum costs time, never energy. At `C = 1` this
+//! *is* a single-channel resource-competitive broadcast matching the bounds
+//! of Gilbert et al. (SPAA'14); see [`crate::baseline::SingleChannelRcb`].
+//!
+//! The engine's round machinery (`SlotProfile::round_len`) implements the
+//! sub-slot mapping; node behaviour is byte-for-byte the [`McNode`] of
+//! `MultiCast`, with thresholds computed in rounds.
+
+use crate::multicast::McNode;
+use crate::params::McParams;
+use rcb_sim::{Protocol, SlotProfile};
+
+/// The `MultiCast(C)` protocol (schedule side).
+///
+/// ```
+/// use rcb_core::MultiCastC;
+/// use rcb_sim::{run, EngineConfig, NoAdversary};
+///
+/// // Only 4 physical channels: each virtual MultiCast slot is simulated by
+/// // a round of n/(2·4) = 4 physical slots.
+/// let mut limited = MultiCastC::new(32, 4);
+/// assert_eq!(limited.round_len(), 4);
+/// let outcome = run(&mut limited, &mut NoAdversary, 7, &EngineConfig::default());
+/// assert!(outcome.all_informed && outcome.all_halted);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiCastC {
+    n: u64,
+    c: u64,
+    params: McParams,
+    next_iteration: u32,
+}
+
+impl MultiCastC {
+    /// Create for `n` nodes (a power of two ≥ 4) on `c` channels. Per the
+    /// paper, `c` is rounded down so that it divides `n/2`; since `n` is a
+    /// power of two this means rounding `c` down to a power of two (and
+    /// capping it at `n/2`).
+    pub fn new(n: u64, c: u64) -> Self {
+        Self::with_params(n, c, McParams::default())
+    }
+
+    pub fn with_params(n: u64, c: u64, params: McParams) -> Self {
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "n must be a power of two >= 4, got {n}"
+        );
+        assert!(c >= 1, "need at least one channel");
+        let c_eff = c.min(n / 2).next_power_of_two();
+        let c_eff = if c_eff > c.min(n / 2) {
+            c_eff / 2
+        } else {
+            c_eff
+        };
+        Self {
+            n,
+            c: c_eff,
+            params,
+            next_iteration: params.first_iteration,
+        }
+    }
+
+    /// The effective (rounded-down) channel count actually used.
+    pub fn channels(&self) -> u64 {
+        self.c
+    }
+
+    /// Physical slots per round: `n/(2C)`.
+    pub fn round_len(&self) -> u64 {
+        self.n / 2 / self.c
+    }
+}
+
+impl Protocol for MultiCastC {
+    type Node = McNode;
+
+    fn num_nodes(&self) -> u32 {
+        self.n as u32
+    }
+
+    fn segment(&mut self, _start_slot: u64) -> SlotProfile {
+        let i = self.next_iteration;
+        self.next_iteration += 1;
+        let p = self.params.p(i);
+        let rounds = self.params.rounds(i, self.n);
+        let round_len = self.round_len();
+        SlotProfile {
+            p1: p,
+            p2: p,
+            channels: self.c,
+            virt_channels: self.n / 2,
+            round_len: round_len as u32,
+            seg_len: rounds * round_len,
+            seg_major: i,
+            seg_minor: 0,
+            step: 0,
+        }
+    }
+
+    fn make_node(&self, _id: u32, is_source: bool) -> McNode {
+        McNode::new(is_source, self.params.halt_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_sim::{run, EngineConfig, NoAdversary, ProtocolNode};
+
+    fn quick() -> McParams {
+        McParams::default()
+    }
+
+    #[test]
+    fn channel_count_rounds_down_to_divisor() {
+        assert_eq!(MultiCastC::new(64, 32).channels(), 32);
+        assert_eq!(MultiCastC::new(64, 33).channels(), 32, "capped at n/2");
+        assert_eq!(
+            MultiCastC::new(64, 5).channels(),
+            4,
+            "rounded to power of two"
+        );
+        assert_eq!(MultiCastC::new(64, 1).channels(), 1);
+        assert_eq!(
+            MultiCastC::new(64, 8).round_len(),
+            4,
+            "32 virtual / 8 physical"
+        );
+    }
+
+    #[test]
+    fn profile_stretches_iterations_by_round_len() {
+        let mut full = crate::multicast::MultiCast::with_params(64, quick());
+        let mut limited = MultiCastC::with_params(64, 8, quick());
+        let pf = full.segment(0);
+        let pl = limited.segment(0);
+        assert_eq!(pl.seg_len, pf.seg_len * 4, "n/(2C) = 4 slots per round");
+        assert_eq!(pl.rounds(), pf.seg_len, "same number of virtual slots");
+        assert_eq!(pl.virt_channels, 32);
+        assert_eq!(pl.channels, 8);
+        assert_eq!(pl.p1, pf.p1);
+    }
+
+    #[test]
+    fn completes_with_limited_channels() {
+        for c in [1u64, 4, 16] {
+            let mut proto = MultiCastC::with_params(32, c, quick());
+            let out = run(
+                &mut proto,
+                &mut NoAdversary,
+                c,
+                &EngineConfig::capped(100_000_000),
+            );
+            assert!(out.all_informed, "C = {c}");
+            assert!(out.all_halted, "C = {c}");
+            assert_eq!(out.safety_violations(), 0, "C = {c}");
+        }
+    }
+
+    #[test]
+    fn time_scales_inversely_with_channels_but_cost_does_not() {
+        let run_c = |c: u64, seed: u64| {
+            let mut proto = MultiCastC::with_params(32, c, quick());
+            let out = run(
+                &mut proto,
+                &mut NoAdversary,
+                seed,
+                &EngineConfig::capped(100_000_000),
+            );
+            assert!(out.all_halted);
+            (out.slots, out.mean_cost())
+        };
+        let (t16, c16) = run_c(16, 1);
+        let (t1, c1) = run_c(1, 1);
+        assert_eq!(t1, 16 * t16, "T = 0: runtime is exactly rounds x n/(2C)");
+        let ratio = c1 / c16;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "energy should not scale with C (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn at_c_equals_half_n_behaves_like_multicast() {
+        // Round length 1: the schedule degenerates to plain MultiCast.
+        let mut limited = MultiCastC::with_params(32, 16, quick());
+        let p = limited.segment(0);
+        assert_eq!(p.round_len, 1);
+        assert_eq!(p.virt_channels, p.channels);
+    }
+
+    #[test]
+    fn node_threshold_uses_rounds_not_slots() {
+        // With round_len = 4, an iteration of 100 rounds spans 400 slots;
+        // the halting threshold must use 100 (rounds), not 400.
+        let profile = SlotProfile {
+            p1: 1.0 / 64.0,
+            p2: 1.0 / 64.0,
+            channels: 4,
+            virt_channels: 16,
+            round_len: 4,
+            seg_len: 400,
+            seg_major: 6,
+            seg_minor: 0,
+            step: 0,
+        };
+        let mut node = McNode::new(true, 0.5);
+        // threshold = 0.5 · 100 · (1/64) ≈ 0.78 → zero noise halts...
+        assert_eq!(node.on_boundary(&profile), rcb_sim::BoundaryDecision::Halt);
+        // ...and one noisy slot does not.
+        let mut node2 = McNode::new(true, 0.5);
+        node2.on_feedback(&profile, rcb_sim::Feedback::Noise);
+        assert_eq!(
+            node2.on_boundary(&profile),
+            rcb_sim::BoundaryDecision::Continue
+        );
+    }
+}

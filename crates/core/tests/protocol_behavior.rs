@@ -1,0 +1,176 @@
+//! Cross-parameter behavioural tests for the protocol implementations.
+
+use rcb_adversary::UniformFraction;
+use rcb_core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
+use rcb_sim::{run, EngineConfig, NoAdversary, Sampling};
+
+/// `MultiCast` completes at the first iteration boundary for every network
+/// size in the calibrated range when Eve is absent.
+#[test]
+fn multicast_first_boundary_across_network_sizes() {
+    for n in [16u64, 32, 64, 128] {
+        let mut proto = MultiCast::new(n);
+        let r6 = proto.iteration_rounds(6);
+        let out = run(&mut proto, &mut NoAdversary, n, &EngineConfig::default());
+        assert!(out.all_informed, "n = {n}");
+        assert!(out.all_halted, "n = {n}");
+        assert_eq!(out.slots, r6, "n = {n}: should end at the first boundary");
+        assert_eq!(out.safety_violations(), 0, "n = {n}");
+    }
+}
+
+/// `MultiCast(C)` completes for every power-of-two channel count.
+#[test]
+fn multicast_c_all_channel_counts() {
+    let n = 16u64;
+    for c in [1u64, 2, 4, 8] {
+        let mut proto = MultiCastC::new(n, c);
+        let out = run(
+            &mut proto,
+            &mut NoAdversary,
+            c + 100,
+            &EngineConfig::default(),
+        );
+        assert!(out.all_informed && out.all_halted, "C = {c}");
+        assert_eq!(out.safety_violations(), 0, "C = {c}");
+        assert_eq!(
+            out.slots % proto.round_len(),
+            0,
+            "C = {c}: runs stop at whole rounds"
+        );
+    }
+}
+
+/// `MultiCastCore` degrades gracefully when the declared `T` underestimates
+/// Eve's actual budget: the iteration length is sized for the declared
+/// value, but the halting rule still refuses to stop while her jamming is
+/// loud, so safety holds and only the per-iteration error probability
+/// guarantee weakens (Section 4's reason `T` must be known).
+#[test]
+fn core_with_underestimated_budget_stays_safe() {
+    let n = 64u64;
+    let declared_t = 1_000u64;
+    let actual_t = 1_000_000u64;
+    let mut proto = MultiCastCore::new(n, declared_t);
+    let mut eve = UniformFraction::new(actual_t, 0.9, 5);
+    let out = run(&mut proto, &mut eve, 3, &EngineConfig::default());
+    assert!(out.all_informed);
+    assert!(out.all_halted);
+    assert_eq!(out.safety_violations(), 0);
+    assert!(out.eve_spent <= actual_t);
+}
+
+/// The dense (reference) sampling path agrees with the sparse path on the
+/// two-step `MultiCastAdv` structure as well — the protocol with the most
+/// intricate coin semantics.
+#[test]
+fn adv_dense_and_sparse_sampling_agree() {
+    let n = 16u64;
+    let params = AdvParams {
+        alpha: 0.24,
+        ..AdvParams::default()
+    };
+    let run_mode = |sampling: Sampling, seed: u64| {
+        let mut proto = MultiCastAdv::with_params(n, params);
+        let cfg = EngineConfig {
+            sampling,
+            ..EngineConfig::default()
+        };
+        let out = run(&mut proto, &mut NoAdversary, seed, &cfg);
+        assert!(out.all_halted && out.all_informed);
+        for node in &out.nodes {
+            assert_eq!(node.extra.get("helper_phase"), Some(3.0));
+        }
+        out.slots as f64
+    };
+    let sparse: f64 = (0..3).map(|s| run_mode(Sampling::Sparse, s)).sum::<f64>() / 3.0;
+    let dense: f64 = (0..3)
+        .map(|s| run_mode(Sampling::DensePerNode, s))
+        .sum::<f64>()
+        / 3.0;
+    let ratio = sparse / dense;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "sampling modes diverge on MultiCastAdv: {sparse} vs {dense}"
+    );
+}
+
+/// Moderate jamming must never be *cheaper* for the nodes than no jamming —
+/// monotonicity sanity across budgets.
+#[test]
+fn multicast_cost_is_monotone_in_adversary_strength() {
+    let n = 16u64;
+    let mut costs = Vec::new();
+    for (t, frac) in [(0u64, 0.0), (400_000u64, 0.9), (1_600_000u64, 0.9)] {
+        let mut proto = MultiCast::new(n);
+        let out = if t == 0 {
+            run(&mut proto, &mut NoAdversary, 9, &EngineConfig::default())
+        } else {
+            let mut eve = UniformFraction::new(t, frac, 11);
+            run(&mut proto, &mut eve, 9, &EngineConfig::default())
+        };
+        assert!(out.all_halted);
+        costs.push(out.max_cost());
+    }
+    assert!(costs[0] < costs[1], "jamming must cost the nodes something");
+    assert!(costs[1] < costs[2], "more jamming must cost more");
+}
+
+/// Source cost is in line with everyone else's (the epidemic shares the
+/// broadcast burden — no node is a hotspot), which is what distinguishes
+/// these protocols from single-transmitter schemes.
+#[test]
+fn broadcast_burden_is_shared() {
+    let n = 64u64;
+    let mut proto = MultiCast::new(n);
+    let out = run(&mut proto, &mut NoAdversary, 13, &EngineConfig::default());
+    assert!(out.all_halted);
+    let source = out.nodes[0].cost() as f64;
+    let mean = out.mean_cost();
+    assert!(
+        source < 2.0 * mean,
+        "source cost {source} should be comparable to mean {mean}"
+    );
+}
+
+/// Per-node costs concentrate: max/mean stays small (the per-slot action
+/// coins are i.i.d., so Chernoff keeps every node near the mean) — this is
+/// why the paper can bound the *max* node cost, not just the average.
+#[test]
+fn per_node_costs_concentrate() {
+    let n = 64u64;
+    let mut proto = MultiCast::new(n);
+    let mut eve = UniformFraction::new(200_000, 0.7, 17);
+    let out = run(&mut proto, &mut eve, 15, &EngineConfig::default());
+    assert!(out.all_halted);
+    let ratio = out.max_cost() as f64 / out.mean_cost();
+    assert!(
+        ratio < 1.3,
+        "max/mean cost ratio {ratio:.3} — costs should concentrate"
+    );
+}
+
+/// An `(α, b)` grid sanity check: every valid combination completes and
+/// localizes helpers correctly (the threshold calibration is not tuned to a
+/// single parameter point).
+#[test]
+fn adv_parameter_grid() {
+    for (alpha, b) in [(0.2f64, 2.0f64), (0.24, 2.0), (0.24, 4.0)] {
+        let params = AdvParams {
+            alpha,
+            b,
+            ..AdvParams::default()
+        };
+        let mut proto = MultiCastAdv::with_params(16, params);
+        let out = run(&mut proto, &mut NoAdversary, 21, &EngineConfig::default());
+        assert!(out.all_informed && out.all_halted, "alpha={alpha} b={b}");
+        assert_eq!(out.safety_violations(), 0);
+        for node in &out.nodes {
+            assert_eq!(
+                node.extra.get("helper_phase"),
+                Some(3.0),
+                "alpha={alpha} b={b}: helper localization must hold"
+            );
+        }
+    }
+}

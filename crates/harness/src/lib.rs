@@ -1,0 +1,19 @@
+//! # rcb-harness — parallel Monte-Carlo experiment runner
+//!
+//! Describes trials as plain data ([`TrialSpec`] = protocol × adversary ×
+//! seed), runs them — in parallel across CPU cores via crossbeam scoped
+//! threads — and aggregates [`TrialResult`]s into the series and tables the
+//! experiments in EXPERIMENTS.md report.
+//!
+//! The data-description layer exists so that sweeps are declarative: an
+//! experiment is a list of `TrialSpec`s, and every trial is reproducible
+//! from its spec alone (the spec carries the master seed; all randomness
+//! derives from it).
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{sweep_by, SweepPoint};
+pub use runner::{run_trial, run_trials, TrialResult};
+pub use spec::{AdversaryKind, ProtocolKind, TrialSpec};

@@ -1,0 +1,152 @@
+//! Aggregation of trial results into sweep series.
+
+use crate::runner::TrialResult;
+use rcb_stats::Summary;
+
+/// Aggregated statistics at one point of a parameter sweep (one `x` value,
+/// many seeds).
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The swept parameter value (e.g. `T`, `C`, or `n`).
+    pub x: f64,
+    /// Completion-time statistics (slots).
+    pub time: Summary,
+    /// Max-per-node-cost statistics (energy units).
+    pub max_cost: Summary,
+    /// Mean-per-node-cost statistics.
+    pub mean_cost: Summary,
+    /// Eve's actual spend statistics.
+    pub eve_spent: Summary,
+    /// Fraction of trials that completed.
+    pub completion_rate: f64,
+    /// Total safety violations across trials (must be 0).
+    pub safety_violations: usize,
+}
+
+impl SweepPoint {
+    /// Aggregate a batch of results that share one sweep value `x`.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn aggregate(x: f64, results: &[TrialResult]) -> SweepPoint {
+        assert!(!results.is_empty(), "cannot aggregate zero trials");
+        let times: Vec<f64> = results.iter().map(|r| r.completion_time() as f64).collect();
+        let max_costs: Vec<f64> = results.iter().map(|r| r.max_cost as f64).collect();
+        let mean_costs: Vec<f64> = results.iter().map(|r| r.mean_cost).collect();
+        let eve: Vec<f64> = results.iter().map(|r| r.eve_spent as f64).collect();
+        let completed = results.iter().filter(|r| r.completed).count();
+        SweepPoint {
+            x,
+            time: Summary::of(&times).expect("nonempty"),
+            max_cost: Summary::of(&max_costs).expect("nonempty"),
+            mean_cost: Summary::of(&mean_costs).expect("nonempty"),
+            eve_spent: Summary::of(&eve).expect("nonempty"),
+            completion_rate: completed as f64 / results.len() as f64,
+            safety_violations: results.iter().map(|r| r.safety_violations).sum(),
+        }
+    }
+}
+
+/// Group results by a key and aggregate each group into a [`SweepPoint`],
+/// sorted by `x`.
+pub fn sweep_by<F>(results: &[TrialResult], key: F) -> Vec<SweepPoint>
+where
+    F: Fn(&TrialResult) -> f64,
+{
+    let mut groups: Vec<(f64, Vec<TrialResult>)> = Vec::new();
+    for r in results {
+        let x = key(r);
+        match groups.iter_mut().find(|(gx, _)| (*gx - x).abs() < 1e-9) {
+            Some((_, v)) => v.push(r.clone()),
+            None => groups.push((x, vec![r.clone()])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sweep key"));
+    groups
+        .iter()
+        .map(|(x, v)| SweepPoint::aggregate(*x, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(budget: u64, slots: u64, max_cost: u64, completed: bool) -> TrialResult {
+        TrialResult {
+            protocol: "test",
+            adversary: "test",
+            n: 16,
+            budget,
+            seed: 0,
+            slots,
+            completed,
+            all_informed: completed,
+            all_informed_at: Some(slots / 2),
+            last_halt: if completed { Some(slots - 1) } else { None },
+            max_cost,
+            mean_cost: max_cost as f64 / 2.0,
+            source_cost: max_cost / 2,
+            eve_spent: budget,
+            safety_violations: 0,
+            helper_phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_stats() {
+        let rs = vec![
+            fake(100, 10, 4, true),
+            fake(100, 20, 8, true),
+            fake(100, 30, 12, true),
+        ];
+        let p = SweepPoint::aggregate(100.0, &rs);
+        assert_eq!(p.time.n, 3);
+        assert_eq!(p.time.mean, 20.0);
+        assert_eq!(p.max_cost.mean, 8.0);
+        assert_eq!(p.completion_rate, 1.0);
+        assert_eq!(p.safety_violations, 0);
+    }
+
+    #[test]
+    fn aggregate_counts_incomplete_trials() {
+        // An incomplete trial reports its informed time (41) instead of a
+        // halt time and drags the completion rate down.
+        let rs = vec![fake(100, 10, 4, true), fake(100, 100, 8, false)];
+        let p = SweepPoint::aggregate(100.0, &rs);
+        assert!((p.completion_rate - 0.5).abs() < 1e-12);
+        assert_eq!(p.time.mean, (10.0 + 51.0) / 2.0);
+    }
+
+    #[test]
+    fn sweep_groups_and_sorts() {
+        let rs = vec![
+            fake(200, 20, 2, true),
+            fake(100, 10, 1, true),
+            fake(200, 40, 4, true),
+        ];
+        let sweep = sweep_by(&rs, |r| r.budget as f64);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].x, 100.0);
+        assert_eq!(sweep[1].x, 200.0);
+        assert_eq!(sweep[1].time.n, 2);
+        assert_eq!(sweep[1].time.mean, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn aggregate_rejects_empty() {
+        SweepPoint::aggregate(1.0, &[]);
+    }
+
+    #[test]
+    fn completion_time_prefers_halt() {
+        let r = fake(0, 100, 1, true);
+        assert_eq!(r.completion_time(), 100); // last_halt 99 + 1
+        let mut r2 = fake(0, 100, 1, false);
+        r2.all_informed_at = Some(40);
+        assert_eq!(r2.completion_time(), 41);
+        r2.all_informed_at = None;
+        assert_eq!(r2.completion_time(), 100, "falls back to slots");
+    }
+}

@@ -1,0 +1,398 @@
+//! Trial execution: build protocol + adversary from a spec, run the engine,
+//! and fan trials out across CPU cores.
+
+use crate::spec::{AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_adversary::{
+    FullBandBurst, GilbertElliott, HotspotJammer, JamSpan, PeriodicPulse, RandomSubset,
+    ReactiveJammer, Silent, SpanJammer, Sweep, UniformFraction,
+};
+use rcb_core::baseline::{Decay, NaiveEpidemic, SingleChannelRcb};
+use rcb_core::{AdvScheduleIter, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
+use rcb_sim::{
+    derive_seed, run_adaptive_with_observer, run_with_observer, AdaptiveAdversary, Adversary,
+    EngineConfig, Observer, RunOutcome,
+};
+
+/// The distilled result of one trial — everything the experiment reports
+/// need, small enough to collect by the thousands.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    pub protocol: &'static str,
+    pub adversary: &'static str,
+    pub n: u64,
+    pub budget: u64,
+    pub seed: u64,
+    /// Physical slots executed.
+    pub slots: u64,
+    /// All nodes halted (for halting protocols) / all informed (for
+    /// baselines without termination) before the slot cap.
+    pub completed: bool,
+    pub all_informed: bool,
+    /// Slot by which the last node was informed (if all were).
+    pub all_informed_at: Option<u64>,
+    /// Slot by which the last node halted (if all did).
+    pub last_halt: Option<u64>,
+    pub max_cost: u64,
+    pub mean_cost: f64,
+    pub source_cost: u64,
+    pub eve_spent: u64,
+    /// Nodes that halted while uninformed (must be 0).
+    pub safety_violations: usize,
+    /// `(epoch, phase)` at which each node became a helper
+    /// (`MultiCastAdv` only; empty otherwise).
+    pub helper_phases: Vec<(u32, u32)>,
+}
+
+impl TrialResult {
+    fn from_outcome(spec: &TrialSpec, out: &RunOutcome) -> Self {
+        let completed = if spec.protocol.never_halts() {
+            out.all_informed
+        } else {
+            out.all_halted
+        };
+        let helper_phases = out
+            .nodes
+            .iter()
+            .filter_map(|n| {
+                let i = n.extra.get("helper_epoch")?;
+                let j = n.extra.get("helper_phase")?;
+                Some((i as u32, j as u32))
+            })
+            .collect();
+        TrialResult {
+            protocol: spec.protocol.name(),
+            adversary: spec.adversary.name(),
+            n: spec.protocol.n(),
+            budget: spec.adversary.budget(),
+            seed: spec.seed,
+            slots: out.slots,
+            completed,
+            all_informed: out.all_informed,
+            all_informed_at: out.all_informed_at,
+            last_halt: out.last_halt(),
+            max_cost: out.max_cost(),
+            mean_cost: out.mean_cost(),
+            source_cost: out.nodes[0].cost(),
+            eve_spent: out.eve_spent,
+            safety_violations: out.safety_violations(),
+            helper_phases,
+        }
+    }
+
+    /// Completion time in slots: last halt for halting protocols, last
+    /// informed for baselines; falls back to executed slots if incomplete.
+    pub fn completion_time(&self) -> u64 {
+        self.last_halt
+            .or(self.all_informed_at)
+            .map(|s| s + 1)
+            .unwrap_or(self.slots)
+    }
+}
+
+/// A built adversary: either oblivious (the paper's model) or adaptive
+/// (the Section 8 extension), dispatched to the matching engine entry point.
+enum BuiltAdversary {
+    Oblivious(Box<dyn Adversary + Send>),
+    Adaptive(Box<dyn AdaptiveAdversary + Send>),
+}
+
+/// Build the adversary described by `kind`. The strategy's private stream is
+/// derived from the trial's master seed (stream id `1_000_003`).
+fn build_adversary(kind: &AdversaryKind, master_seed: u64) -> BuiltAdversary {
+    use BuiltAdversary::{Adaptive, Oblivious};
+    let seed = derive_seed(master_seed, 1_000_003);
+    match kind.clone() {
+        AdversaryKind::Silent => Oblivious(Box::new(Silent)),
+        AdversaryKind::Uniform { t, frac } => {
+            Oblivious(Box::new(UniformFraction::new(t, frac, seed)))
+        }
+        AdversaryKind::Burst { t, start } => Oblivious(Box::new(FullBandBurst::new(t, start))),
+        AdversaryKind::Pulse {
+            t,
+            period,
+            duty,
+            frac,
+        } => Oblivious(Box::new(PeriodicPulse::new(t, period, duty, frac, seed))),
+        AdversaryKind::Sweep { t, width, step } => Oblivious(Box::new(Sweep::new(t, width, step))),
+        AdversaryKind::RandomSubset { t, k } => Oblivious(Box::new(RandomSubset::new(t, k, seed))),
+        AdversaryKind::GilbertElliott {
+            t,
+            p_gb,
+            p_bg,
+            frac,
+        } => Oblivious(Box::new(GilbertElliott::new(t, p_gb, p_bg, frac, seed))),
+        AdversaryKind::TargetAdvPhase {
+            t,
+            frac,
+            phase,
+            from_epoch,
+            params,
+        } => {
+            let spans = AdvScheduleIter::new(params.validated())
+                .filter(move |seg| seg.phase == phase && seg.epoch >= from_epoch)
+                .map(move |seg| JamSpan {
+                    start: seg.start,
+                    end: seg.start + seg.len,
+                    frac,
+                });
+            Oblivious(Box::new(SpanJammer::new(t, spans, seed)))
+        }
+        AdversaryKind::TargetMcIterations {
+            t,
+            frac,
+            n,
+            params,
+            count,
+        } => {
+            let proto = MultiCast::with_params(n, params);
+            let spans: Vec<JamSpan> = proto
+                .iteration_spans(count)
+                .into_iter()
+                .map(|(start, end)| JamSpan { start, end, frac })
+                .collect();
+            Oblivious(Box::new(SpanJammer::from_spans(t, spans, seed)))
+        }
+        AdversaryKind::Reactive { t, max_channels } => {
+            Adaptive(Box::new(ReactiveJammer::new(t, max_channels)))
+        }
+        AdversaryKind::Hotspot { t, k, decay } => {
+            Adaptive(Box::new(HotspotJammer::new(t, k, decay, seed)))
+        }
+    }
+}
+
+struct Noop;
+impl Observer for Noop {}
+
+/// Dispatch a built adversary (oblivious or adaptive) to the matching
+/// engine entry point.
+fn dispatch<P: rcb_sim::Protocol>(
+    protocol: &mut P,
+    adversary: &mut BuiltAdversary,
+    seed: u64,
+    cfg: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
+    match adversary {
+        BuiltAdversary::Oblivious(a) => {
+            run_with_observer(protocol, a.as_mut(), seed, cfg, observer)
+        }
+        BuiltAdversary::Adaptive(a) => {
+            run_adaptive_with_observer(protocol, a.as_mut(), seed, cfg, observer)
+        }
+    }
+}
+
+/// Run a single trial.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    run_trial_with_observer(spec, &mut Noop)
+}
+
+/// Run a single trial, streaming engine events into `observer` (used by the
+/// epidemic-growth experiment to capture informed-count curves).
+pub fn run_trial_with_observer(spec: &TrialSpec, observer: &mut dyn Observer) -> TrialResult {
+    let cfg = EngineConfig {
+        max_slots: spec.max_slots,
+        stop_when_all_informed: spec.protocol.never_halts(),
+        ..EngineConfig::default()
+    };
+    let mut adversary = build_adversary(&spec.adversary, spec.seed);
+    let out = match spec.protocol.clone() {
+        ProtocolKind::Core { n, t, params } => {
+            let mut p = MultiCastCore::with_params(n, t, params);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::MultiCast { n, params } => {
+            let mut p = MultiCast::with_params(n, params);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::MultiCastC { n, c, params } => {
+            let mut p = MultiCastC::with_params(n, c, params);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::Adv { n, params } => {
+            let mut p = MultiCastAdv::with_params(n, params);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::Naive { n, act_prob } => {
+            let mut p = NaiveEpidemic::with_act_prob(n, act_prob);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::NaiveConfig {
+            n,
+            channels,
+            act_prob,
+        } => {
+            let mut p = NaiveEpidemic::with_config(n, channels, act_prob);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::SingleChannel { n, params } => {
+            let mut p = SingleChannelRcb::with_params(n, params);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::Decay { n } => {
+            let mut p = Decay::new(n);
+            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+        }
+    };
+    TrialResult::from_outcome(spec, &out)
+}
+
+/// Run many trials in parallel across `threads` workers (0 = one per
+/// available core). Results come back in spec order.
+///
+/// ```
+/// use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+///
+/// // A tiny sweep: MultiCast at two budgets, one seed each.
+/// let specs: Vec<TrialSpec> = [10_000u64, 40_000]
+///     .iter()
+///     .map(|&t| TrialSpec::new(
+///         ProtocolKind::MultiCast { n: 16, params: Default::default() },
+///         AdversaryKind::Uniform { t, frac: 0.5 },
+///         7,
+///     ))
+///     .collect();
+/// let results = run_trials(&specs, 0);
+/// assert!(results.iter().all(|r| r.completed && r.safety_violations == 0));
+/// ```
+pub fn run_trials(specs: &[TrialSpec], threads: usize) -> Vec<TrialResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(specs.len());
+    if threads <= 1 {
+        return specs.iter().map(run_trial).collect();
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<TrialResult>>> = specs
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= specs.len() {
+                    break;
+                }
+                let result = run_trial(&specs[idx]);
+                *results[idx].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::McParams;
+
+    fn quick_spec(seed: u64) -> TrialSpec {
+        TrialSpec::new(
+            ProtocolKind::Naive {
+                n: 32,
+                act_prob: 1.0,
+            },
+            AdversaryKind::Silent,
+            seed,
+        )
+        .with_max_slots(100_000)
+    }
+
+    #[test]
+    fn single_trial_runs() {
+        let r = run_trial(&quick_spec(1));
+        assert!(r.completed);
+        assert!(r.all_informed);
+        assert_eq!(r.safety_violations, 0);
+        assert_eq!(r.protocol, "NaiveEpidemic");
+        assert_eq!(r.adversary, "silent");
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let a = run_trial(&quick_spec(7));
+        let b = run_trial(&quick_spec(7));
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.max_cost, b.max_cost);
+        let c = run_trial(&quick_spec(8));
+        assert!(a.slots != c.slots || a.max_cost != c.max_cost);
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let specs: Vec<TrialSpec> = (0..12).map(quick_spec).collect();
+        let serial = run_trials(&specs, 1);
+        let parallel = run_trials(&specs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.seed, p.seed, "order preserved");
+            assert_eq!(s.slots, p.slots, "identical results per seed");
+            assert_eq!(s.max_cost, p.max_cost);
+        }
+    }
+
+    #[test]
+    fn multicast_trial_with_uniform_adversary() {
+        let spec = TrialSpec::new(
+            ProtocolKind::MultiCast {
+                n: 32,
+                params: McParams::default(),
+            },
+            AdversaryKind::Uniform {
+                t: 10_000,
+                frac: 0.5,
+            },
+            3,
+        );
+        let r = run_trial(&spec);
+        assert!(r.completed, "{r:?}");
+        assert_eq!(r.safety_violations, 0);
+        assert!(r.eve_spent <= 10_000);
+        assert!(r.completion_time() > 0);
+    }
+
+    #[test]
+    fn targeted_mc_adversary_builds_spans() {
+        let spec = TrialSpec::new(
+            ProtocolKind::MultiCast {
+                n: 32,
+                params: McParams::default(),
+            },
+            AdversaryKind::TargetMcIterations {
+                t: 50_000,
+                frac: 0.9,
+                n: 32,
+                params: McParams::default(),
+                count: 3,
+            },
+            4,
+        );
+        let r = run_trial(&spec);
+        assert!(r.completed);
+        assert_eq!(r.safety_violations, 0);
+        assert!(r.eve_spent > 0, "the targeted jammer must actually jam");
+    }
+
+    #[test]
+    fn empty_spec_list() {
+        assert!(run_trials(&[], 4).is_empty());
+    }
+}

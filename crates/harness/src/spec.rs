@@ -1,0 +1,244 @@
+//! Declarative descriptions of protocols, adversaries, and trials.
+
+use rcb_core::{AdvParams, CoreParams, McParams};
+
+/// Which protocol to run, with its parameters. Plain data: `Clone + Send`,
+/// so sweeps can be built declaratively and dispatched across threads.
+#[derive(Clone, Debug)]
+pub enum ProtocolKind {
+    /// `MultiCastCore` (knows `n` and `T`).
+    Core { n: u64, t: u64, params: CoreParams },
+    /// `MultiCast` (knows `n`).
+    MultiCast { n: u64, params: McParams },
+    /// `MultiCast(C)` on `c` channels.
+    MultiCastC { n: u64, c: u64, params: McParams },
+    /// `MultiCastAdv` (knows nothing). A `channel_cap` inside `params` makes
+    /// it `MultiCastAdv(C)`.
+    Adv { n: u64, params: AdvParams },
+    /// Naive multi-channel epidemic (baseline; never halts).
+    Naive { n: u64, act_prob: f64 },
+    /// Naive epidemic with an explicit channel count (for the channel-count
+    /// ablation E14).
+    NaiveConfig {
+        n: u64,
+        channels: u64,
+        act_prob: f64,
+    },
+    /// Single-channel resource-competitive baseline (SPAA'14 bounds).
+    SingleChannel { n: u64, params: McParams },
+    /// Classical `Decay` (baseline; never halts).
+    Decay { n: u64 },
+}
+
+impl ProtocolKind {
+    /// Network size of the trial.
+    pub fn n(&self) -> u64 {
+        match *self {
+            ProtocolKind::Core { n, .. }
+            | ProtocolKind::MultiCast { n, .. }
+            | ProtocolKind::MultiCastC { n, .. }
+            | ProtocolKind::Adv { n, .. }
+            | ProtocolKind::Naive { n, .. }
+            | ProtocolKind::NaiveConfig { n, .. }
+            | ProtocolKind::SingleChannel { n, .. }
+            | ProtocolKind::Decay { n } => n,
+        }
+    }
+
+    /// Short name for report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Core { .. } => "MultiCastCore",
+            ProtocolKind::MultiCast { .. } => "MultiCast",
+            ProtocolKind::MultiCastC { .. } => "MultiCast(C)",
+            ProtocolKind::Adv { n: _, params } => {
+                if params.channel_cap.is_some() {
+                    "MultiCastAdv(C)"
+                } else {
+                    "MultiCastAdv"
+                }
+            }
+            ProtocolKind::Naive { .. } | ProtocolKind::NaiveConfig { .. } => "NaiveEpidemic",
+            ProtocolKind::SingleChannel { .. } => "SingleChannelRcb",
+            ProtocolKind::Decay { .. } => "Decay",
+        }
+    }
+
+    /// Protocols without termination detection are run until all nodes are
+    /// informed rather than until all halt.
+    pub fn never_halts(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Naive { .. }
+                | ProtocolKind::NaiveConfig { .. }
+                | ProtocolKind::Decay { .. }
+        )
+    }
+}
+
+/// Which adversary to run against, with its budget. The `seed` for strategy
+/// randomness is derived from the trial's master seed, so a spec is fully
+/// reproducible.
+#[derive(Clone, Debug)]
+pub enum AdversaryKind {
+    /// No jamming (`T = 0`).
+    Silent,
+    /// Jam `frac` of the band every slot until the budget is gone.
+    Uniform { t: u64, frac: f64 },
+    /// Jam the full band from `start` until the budget is gone.
+    Burst { t: u64, start: u64 },
+    /// Duty-cycled pulses.
+    Pulse {
+        t: u64,
+        period: u64,
+        duty: u64,
+        frac: f64,
+    },
+    /// Sweeping window.
+    Sweep { t: u64, width: u64, step: u64 },
+    /// Exactly `k` uniformly random distinct channels per slot.
+    RandomSubset { t: u64, k: u64 },
+    /// Gilbert–Elliott bursty environmental noise.
+    GilbertElliott {
+        t: u64,
+        p_gb: f64,
+        p_bg: f64,
+        frac: f64,
+    },
+    /// Schedule-targeted: jam `frac` of the band during every step of
+    /// `MultiCastAdv` phases with `j == phase`, starting at `from_epoch`.
+    /// `params` must match the protocol's so that the (public) schedule
+    /// arithmetic agrees.
+    TargetAdvPhase {
+        t: u64,
+        frac: f64,
+        phase: u32,
+        from_epoch: u32,
+        params: AdvParams,
+    },
+    /// Schedule-targeted: jam `frac` of the band during `MultiCast`
+    /// iterations `first..first+count` (spans computed from the public
+    /// schedule for network size `n`).
+    TargetMcIterations {
+        t: u64,
+        frac: f64,
+        n: u64,
+        params: McParams,
+        count: u32,
+    },
+    /// **Adaptive** (Section 8 model): jam every channel that carried a
+    /// transmission in the previous slot, up to `max_channels`.
+    Reactive { t: u64, max_channels: u64 },
+    /// **Adaptive**: decay-scored hotspot tracker jamming the `k` hottest
+    /// channels each slot.
+    Hotspot { t: u64, k: u64, decay: f64 },
+}
+
+impl AdversaryKind {
+    /// The budget `T` this adversary is allowed to spend.
+    pub fn budget(&self) -> u64 {
+        match *self {
+            AdversaryKind::Silent => 0,
+            AdversaryKind::Uniform { t, .. }
+            | AdversaryKind::Burst { t, .. }
+            | AdversaryKind::Pulse { t, .. }
+            | AdversaryKind::Sweep { t, .. }
+            | AdversaryKind::RandomSubset { t, .. }
+            | AdversaryKind::GilbertElliott { t, .. }
+            | AdversaryKind::TargetAdvPhase { t, .. }
+            | AdversaryKind::TargetMcIterations { t, .. }
+            | AdversaryKind::Reactive { t, .. }
+            | AdversaryKind::Hotspot { t, .. } => t,
+        }
+    }
+
+    /// Is this one of the adaptive (execution-observing) strategies?
+    pub fn is_adaptive(&self) -> bool {
+        matches!(
+            self,
+            AdversaryKind::Reactive { .. } | AdversaryKind::Hotspot { .. }
+        )
+    }
+
+    /// Short name for report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryKind::Silent => "silent",
+            AdversaryKind::Uniform { .. } => "uniform",
+            AdversaryKind::Burst { .. } => "burst",
+            AdversaryKind::Pulse { .. } => "pulse",
+            AdversaryKind::Sweep { .. } => "sweep",
+            AdversaryKind::RandomSubset { .. } => "random-subset",
+            AdversaryKind::GilbertElliott { .. } => "gilbert-elliott",
+            AdversaryKind::TargetAdvPhase { .. } => "target-adv-phase",
+            AdversaryKind::TargetMcIterations { .. } => "target-mc-iter",
+            AdversaryKind::Reactive { .. } => "reactive (adaptive)",
+            AdversaryKind::Hotspot { .. } => "hotspot (adaptive)",
+        }
+    }
+}
+
+/// One fully-specified trial.
+#[derive(Clone, Debug)]
+pub struct TrialSpec {
+    pub protocol: ProtocolKind,
+    pub adversary: AdversaryKind,
+    /// Master seed; node streams, engine sampling, and adversary randomness
+    /// all derive from it.
+    pub seed: u64,
+    /// Engine slot cap.
+    pub max_slots: u64,
+}
+
+impl TrialSpec {
+    pub fn new(protocol: ProtocolKind, adversary: AdversaryKind, seed: u64) -> Self {
+        Self {
+            protocol,
+            adversary,
+            seed,
+            max_slots: 2_000_000_000,
+        }
+    }
+
+    pub fn with_max_slots(mut self, cap: u64) -> Self {
+        self.max_slots = cap;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_n() {
+        let p = ProtocolKind::MultiCast {
+            n: 64,
+            params: McParams::default(),
+        };
+        assert_eq!(p.name(), "MultiCast");
+        assert_eq!(p.n(), 64);
+        assert!(!p.never_halts());
+        assert!(ProtocolKind::Naive {
+            n: 16,
+            act_prob: 1.0
+        }
+        .never_halts());
+
+        let capped = ProtocolKind::Adv {
+            n: 32,
+            params: AdvParams {
+                channel_cap: Some(8),
+                ..AdvParams::default()
+            },
+        };
+        assert_eq!(capped.name(), "MultiCastAdv(C)");
+    }
+
+    #[test]
+    fn budgets() {
+        assert_eq!(AdversaryKind::Silent.budget(), 0);
+        assert_eq!(AdversaryKind::Uniform { t: 99, frac: 0.5 }.budget(), 99);
+        assert_eq!(AdversaryKind::Burst { t: 7, start: 0 }.name(), "burst");
+    }
+}

@@ -1,0 +1,127 @@
+//! Adaptive adversaries — the paper's Section 8 future-work model.
+//!
+//! The paper proves its guarantees for an *oblivious* Eve and conjectures
+//! ("we suspect MultiCast and MultiCastAdv can handle such more powerful
+//! adversary with few (or even no) modifications") that they survive an
+//! *adaptive* one. This module adds the machinery to test that conjecture
+//! empirically: an [`AdaptiveAdversary`] receives, each slot, a public
+//! observation of what happened on the band in the **previous** slot —
+//! which channels carried transmissions and which carried noise — and may
+//! condition its jamming on the full history of such observations.
+//!
+//! Model notes:
+//!
+//! * Sensing is free and full-band (the strongest reasonable sensing model;
+//!   a budget-limited sensor would only be weaker).
+//! * Reaction latency is one slot: Eve cannot sense and jam within the same
+//!   slot, matching the synchronous model where all slot-t actions are
+//!   committed simultaneously. (This is also the standard "reactive jammer"
+//!   abstraction of Richa et al.)
+//! * She still cannot read node state or randomness — only the channel
+//!   outcomes any listener could observe.
+
+use crate::jamset::JamSet;
+use crate::protocol::Adversary;
+
+/// What a full-band sensor saw in one slot. (Eve's own jamming is not
+/// included: she knows her own actions and can remember them herself.)
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BandObservation {
+    /// Channels in use that slot.
+    pub channels: u64,
+    /// Channels on which at least one node transmitted, sorted ascending.
+    pub busy: Vec<u64>,
+}
+
+impl BandObservation {
+    /// Forget the slot (reused buffer).
+    pub fn clear(&mut self) {
+        self.channels = 0;
+        self.busy.clear();
+    }
+}
+
+/// A jamming adversary that observes the previous slot's band activity.
+///
+/// `prev` is the observation of slot `slot − 1` (empty for slot 0). Energy
+/// accounting and budget enforcement are identical to the oblivious
+/// [`Adversary`].
+///
+/// ```
+/// use rcb_sim::{AdaptiveAdversary, BandObservation, JamSet};
+///
+/// /// Jam whatever was busy last slot — the classic reactive jammer.
+/// struct Reactive;
+/// impl AdaptiveAdversary for Reactive {
+///     fn jam(&mut self, _slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+///         JamSet::from_channels(
+///             prev.busy.iter().copied().filter(|&c| c < channels).collect(),
+///         )
+///     }
+///     fn budget(&self) -> u64 { 1_000 }
+/// }
+///
+/// let mut eve = Reactive;
+/// let quiet = BandObservation::default();
+/// assert_eq!(eve.jam(0, 8, &quiet), JamSet::Empty);
+/// let busy = BandObservation { channels: 8, busy: vec![2, 5] };
+/// assert_eq!(eve.jam(1, 8, &busy).count(8), 2);
+/// ```
+pub trait AdaptiveAdversary {
+    fn jam(&mut self, slot: u64, channels: u64, prev: &BandObservation) -> JamSet;
+
+    /// Eve's total energy budget `T`.
+    fn budget(&self) -> u64;
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+/// Adapter: every oblivious adversary is trivially an adaptive one that
+/// ignores its observations. Lets the engine run both through one code path
+/// and lets experiments compare like for like.
+pub struct ObliviousAsAdaptive<'a, A: Adversary + ?Sized>(pub &'a mut A);
+
+impl<A: Adversary + ?Sized> AdaptiveAdversary for ObliviousAsAdaptive<'_, A> {
+    fn jam(&mut self, slot: u64, channels: u64, _prev: &BandObservation) -> JamSet {
+        self.0.jam(slot, channels)
+    }
+
+    fn budget(&self) -> u64 {
+        self.0.budget()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NoAdversary;
+
+    #[test]
+    fn oblivious_adapter_forwards() {
+        let mut inner = NoAdversary;
+        let mut adapted = ObliviousAsAdaptive(&mut inner);
+        let obs = BandObservation {
+            channels: 8,
+            busy: vec![1, 2],
+        };
+        assert_eq!(adapted.jam(0, 8, &obs), JamSet::Empty);
+        assert_eq!(adapted.budget(), 0);
+        assert_eq!(adapted.name(), "none");
+    }
+
+    #[test]
+    fn observation_clear_resets() {
+        let mut obs = BandObservation {
+            channels: 4,
+            busy: vec![0],
+        };
+        obs.clear();
+        assert_eq!(obs, BandObservation::default());
+    }
+}

@@ -1,0 +1,361 @@
+//! Compact representations of the set of channels Eve jams in one slot.
+//!
+//! Jam sets are produced by [`Adversary`](crate::protocol::Adversary)
+//! implementations once per slot and queried by the engine for (a) membership
+//! when resolving listener feedback and (b) cardinality when charging Eve's
+//! energy budget. Different strategies favour different shapes — a full-band
+//! burst is `All`, "jam the first 90% of channels" is a `Prefix`, a sparse
+//! random pick is a sorted `List`, a dense random pick is a `Mask` — so we
+//! keep an enum rather than forcing everything through one representation.
+
+/// The set of channels jammed in a single slot.
+///
+/// Channel indices are `0`-based and interpreted relative to the number of
+/// channels in use that slot (`channels`); members `≥ channels` are ignored
+/// by both [`contains`](JamSet::contains) and [`count`](JamSet::count) —
+/// jamming a channel no node can use would be wasted energy, and the engine
+/// does not charge for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JamSet {
+    /// No jamming this slot.
+    Empty,
+    /// Every channel in `[0, channels)`.
+    All,
+    /// Channels `[0, k)`.
+    Prefix(u64),
+    /// An explicit sorted, deduplicated list of channels.
+    List(Vec<u64>),
+    /// A bitmask; bit `i` of word `i / 64` marks channel `i`.
+    Mask(Vec<u64>),
+    /// A contiguous window of `len` channels starting at `start`, wrapping
+    /// around modulo the channel count (the natural shape for sweeping
+    /// jammers). `start` is reduced modulo `channels` at query time.
+    Window { start: u64, len: u64 },
+}
+
+impl JamSet {
+    /// Build a `List` variant from arbitrary (possibly unsorted, duplicated)
+    /// channel indices.
+    pub fn from_channels(mut chs: Vec<u64>) -> Self {
+        chs.sort_unstable();
+        chs.dedup();
+        if chs.is_empty() {
+            JamSet::Empty
+        } else {
+            JamSet::List(chs)
+        }
+    }
+
+    /// Build a `Mask` variant covering `channels` channels from a membership
+    /// predicate.
+    pub fn from_predicate(channels: u64, mut f: impl FnMut(u64) -> bool) -> Self {
+        let words = channels.div_ceil(64) as usize;
+        let mut mask = vec![0u64; words];
+        let mut any = false;
+        for ch in 0..channels {
+            if f(ch) {
+                mask[(ch / 64) as usize] |= 1u64 << (ch % 64);
+                any = true;
+            }
+        }
+        if any {
+            JamSet::Mask(mask)
+        } else {
+            JamSet::Empty
+        }
+    }
+
+    /// Is channel `ch` jammed? (`ch` must be `< channels` for a meaningful
+    /// answer; out-of-range channels report `false`.)
+    #[inline]
+    pub fn contains(&self, ch: u64, channels: u64) -> bool {
+        if ch >= channels {
+            return false;
+        }
+        match self {
+            JamSet::Empty => false,
+            JamSet::All => true,
+            JamSet::Prefix(k) => ch < *k,
+            JamSet::List(list) => list.binary_search(&ch).is_ok(),
+            JamSet::Mask(mask) => {
+                let w = (ch / 64) as usize;
+                w < mask.len() && mask[w] & (1u64 << (ch % 64)) != 0
+            }
+            JamSet::Window { start, len } => {
+                let s = start % channels;
+                let offset = (ch + channels - s) % channels;
+                offset < (*len).min(channels)
+            }
+        }
+    }
+
+    /// Number of jammed channels within `[0, channels)` — what Eve pays this
+    /// slot.
+    pub fn count(&self, channels: u64) -> u64 {
+        match self {
+            JamSet::Empty => 0,
+            JamSet::All => channels,
+            JamSet::Prefix(k) => (*k).min(channels),
+            JamSet::List(list) => list.partition_point(|&c| c < channels) as u64,
+            JamSet::Mask(mask) => {
+                let full_words = (channels / 64) as usize;
+                let mut total: u64 = mask
+                    .iter()
+                    .take(full_words)
+                    .map(|w| w.count_ones() as u64)
+                    .sum();
+                let rem = channels % 64;
+                if rem > 0 && full_words < mask.len() {
+                    let keep = (1u64 << rem) - 1;
+                    total += (mask[full_words] & keep).count_ones() as u64;
+                }
+                total
+            }
+            JamSet::Window { len, .. } => (*len).min(channels),
+        }
+    }
+
+    /// Restrict the set to its `limit` lowest-indexed members within
+    /// `[0, channels)`. Used by the engine when Eve's remaining budget cannot
+    /// pay for the full request; the truncation rule is deterministic so the
+    /// adversary stays oblivious.
+    pub fn truncate(self, limit: u64, channels: u64) -> JamSet {
+        if limit == 0 {
+            return JamSet::Empty;
+        }
+        if self.count(channels) <= limit {
+            return self;
+        }
+        match self {
+            JamSet::Empty => JamSet::Empty,
+            JamSet::All => JamSet::Prefix(limit),
+            JamSet::Prefix(_) => JamSet::Prefix(limit),
+            JamSet::List(list) => {
+                let keep: Vec<u64> = list
+                    .into_iter()
+                    .filter(|&c| c < channels)
+                    .take(limit as usize)
+                    .collect();
+                if keep.is_empty() {
+                    JamSet::Empty
+                } else {
+                    JamSet::List(keep)
+                }
+            }
+            JamSet::Mask(mut mask) => {
+                // Masks never contain bits >= channels (constructor invariant),
+                // so keeping the lowest `limit` set bits is exactly "the
+                // `limit` lowest-indexed jammed channels".
+                let mut remaining = limit;
+                for w in mask.iter_mut() {
+                    if remaining == 0 {
+                        *w = 0;
+                        continue;
+                    }
+                    let ones = w.count_ones() as u64;
+                    if ones <= remaining {
+                        remaining -= ones;
+                    } else {
+                        // Keep only the lowest `remaining` set bits of this word.
+                        let mut kept = 0u64;
+                        let mut word = *w;
+                        for _ in 0..remaining {
+                            let bit = word & word.wrapping_neg();
+                            kept |= bit;
+                            word ^= bit;
+                        }
+                        *w = kept;
+                        remaining = 0;
+                    }
+                }
+                JamSet::Mask(mask)
+            }
+            JamSet::Window { start, len } => {
+                // Materialize and defer to the List rule (truncation happens
+                // at most once per run, at Eve's bankruptcy moment).
+                let s = start % channels;
+                let l = len.min(channels);
+                let members: Vec<u64> = (0..l).map(|i| (s + i) % channels).collect();
+                JamSet::from_channels(members).truncate(limit, channels)
+            }
+        }
+    }
+
+    /// Fraction of channels jammed (for diagnostics).
+    pub fn fraction(&self, channels: u64) -> f64 {
+        if channels == 0 {
+            0.0
+        } else {
+            self.count(channels) as f64 / channels as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert_eq!(JamSet::Empty.count(10), 0);
+        assert!(!JamSet::Empty.contains(3, 10));
+        assert_eq!(JamSet::All.count(10), 10);
+        assert!(JamSet::All.contains(9, 10));
+        assert!(!JamSet::All.contains(10, 10), "out of range is not jammed");
+    }
+
+    #[test]
+    fn prefix_semantics() {
+        let s = JamSet::Prefix(4);
+        assert!(s.contains(0, 8) && s.contains(3, 8));
+        assert!(!s.contains(4, 8));
+        assert_eq!(s.count(8), 4);
+        assert_eq!(s.count(2), 2, "count clamps to channels in use");
+    }
+
+    #[test]
+    fn list_built_sorted_and_deduped() {
+        let s = JamSet::from_channels(vec![5, 1, 5, 3]);
+        assert!(s.contains(1, 8) && s.contains(3, 8) && s.contains(5, 8));
+        assert!(!s.contains(2, 8));
+        assert_eq!(s.count(8), 3);
+        assert_eq!(s.count(4), 2, "channel 5 is outside a 4-channel slot");
+    }
+
+    #[test]
+    fn from_channels_empty_is_empty_variant() {
+        assert_eq!(JamSet::from_channels(vec![]), JamSet::Empty);
+    }
+
+    #[test]
+    fn mask_counting_across_word_boundaries() {
+        let s = JamSet::from_predicate(130, |ch| ch % 2 == 0);
+        assert_eq!(s.count(130), 65);
+        assert!(s.contains(0, 130) && s.contains(128, 130));
+        assert!(!s.contains(1, 130));
+        assert_eq!(s.count(64), 32);
+        assert_eq!(s.count(65), 33);
+    }
+
+    #[test]
+    fn truncate_all_becomes_prefix() {
+        let t = JamSet::All.truncate(3, 10);
+        assert_eq!(t.count(10), 3);
+        assert!(t.contains(0, 10) && t.contains(2, 10) && !t.contains(3, 10));
+    }
+
+    #[test]
+    fn truncate_list_keeps_lowest() {
+        let s = JamSet::from_channels(vec![2, 4, 6, 8]);
+        let t = s.truncate(2, 10);
+        assert!(t.contains(2, 10) && t.contains(4, 10));
+        assert!(!t.contains(6, 10) && !t.contains(8, 10));
+        assert_eq!(t.count(10), 2);
+    }
+
+    #[test]
+    fn truncate_noop_when_within_budget() {
+        let s = JamSet::from_channels(vec![1, 2]);
+        let t = s.clone().truncate(5, 10);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn truncate_mask_keeps_lowest_bits() {
+        let s = JamSet::from_predicate(100, |ch| ch >= 10);
+        let t = s.truncate(5, 100);
+        assert_eq!(t.count(100), 5);
+        for ch in 10..15 {
+            assert!(t.contains(ch, 100), "channel {ch} should survive");
+        }
+        assert!(!t.contains(15, 100));
+    }
+
+    #[test]
+    fn truncate_to_zero_is_empty() {
+        assert_eq!(JamSet::All.truncate(0, 10), JamSet::Empty);
+        assert_eq!(
+            JamSet::from_channels(vec![1]).truncate(0, 10),
+            JamSet::Empty
+        );
+    }
+
+    #[test]
+    fn fraction_diagnostic() {
+        assert_eq!(JamSet::Prefix(5).fraction(10), 0.5);
+        assert_eq!(JamSet::Empty.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn window_without_wraparound() {
+        let s = JamSet::Window { start: 2, len: 3 };
+        for ch in 0..10 {
+            assert_eq!(s.contains(ch, 10), (2..5).contains(&ch), "channel {ch}");
+        }
+        assert_eq!(s.count(10), 3);
+    }
+
+    #[test]
+    fn window_with_wraparound() {
+        let s = JamSet::Window { start: 8, len: 4 };
+        // Covers 8, 9, 0, 1 in a 10-channel slot.
+        for ch in [8u64, 9, 0, 1] {
+            assert!(s.contains(ch, 10), "channel {ch} should be jammed");
+        }
+        for ch in [2u64, 3, 7] {
+            assert!(!s.contains(ch, 10), "channel {ch} should be clear");
+        }
+        assert_eq!(s.count(10), 4);
+    }
+
+    #[test]
+    fn window_longer_than_band_is_all() {
+        let s = JamSet::Window { start: 3, len: 100 };
+        assert_eq!(s.count(10), 10);
+        for ch in 0..10 {
+            assert!(s.contains(ch, 10));
+        }
+    }
+
+    #[test]
+    fn window_start_normalized() {
+        let s = JamSet::Window { start: 12, len: 2 };
+        // start 12 ≡ 2 (mod 10)
+        assert!(s.contains(2, 10) && s.contains(3, 10));
+        assert!(!s.contains(4, 10));
+    }
+
+    #[test]
+    fn window_truncates_to_lowest_indices() {
+        let s = JamSet::Window { start: 8, len: 4 }; // {8, 9, 0, 1}
+        let t = s.truncate(2, 10);
+        assert!(t.contains(0, 10) && t.contains(1, 10));
+        assert!(!t.contains(8, 10) && !t.contains(9, 10));
+        assert_eq!(t.count(10), 2);
+    }
+
+    /// All representations of the same set must agree on contains/count.
+    #[test]
+    fn representations_agree() {
+        let channels = 96u64;
+        let members: Vec<u64> = (0..channels).filter(|c| c % 7 == 0).collect();
+        let list = JamSet::from_channels(members.clone());
+        let mask = JamSet::from_predicate(channels, |c| c % 7 == 0);
+        assert_eq!(list.count(channels), mask.count(channels));
+        for ch in 0..channels {
+            assert_eq!(
+                list.contains(ch, channels),
+                mask.contains(ch, channels),
+                "disagreement at {ch}"
+            );
+        }
+        // And after truncation to the same limit:
+        let lt = list.truncate(5, channels);
+        let mt = mask.truncate(5, channels);
+        assert_eq!(lt.count(channels), 5);
+        assert_eq!(mt.count(channels), 5);
+        for ch in 0..channels {
+            assert_eq!(lt.contains(ch, channels), mt.contains(ch, channels));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # rcb-sim — slot-synchronous multi-channel radio network simulator
+//!
+//! This crate is the substrate for reproducing *Fast and Resource Competitive
+//! Broadcast in Multi-channel Radio Networks* (Chen & Zheng, SPAA 2019). It
+//! implements exactly the communication model of Section 3 of the paper:
+//!
+//! * Time is divided into discrete slots; all nodes start at slot 0.
+//! * In each slot a node accesses one channel and either **broadcasts**,
+//!   **listens**, or stays **idle**. Broadcast and listen cost one unit of
+//!   energy per slot; idling is free.
+//! * Per channel per slot: zero broadcasters and no jamming → listeners hear
+//!   **silence**; exactly one broadcaster and no jamming → listeners receive
+//!   the **message**; two or more broadcasters, or jamming by the adversary
+//!   (or both) → listeners hear **noise**. Collisions and jamming are
+//!   indistinguishable, and broadcasters get no feedback.
+//! * The adversary (*Eve*) may jam any set of channels each slot at one unit
+//!   of energy per channel-slot, up to a total budget `T`. She is
+//!   **oblivious**: the [`Adversary`] trait only ever receives the slot index
+//!   and the (publicly known) channel count for that slot — never any
+//!   execution state.
+//!
+//! ## Engine design
+//!
+//! Every protocol in the paper has the property that, within a slot, all
+//! active nodes share the same action probabilities (listen w.p. `p₁`,
+//! broadcast-candidate w.p. `p₂`), with only the *interpretation* of a drawn
+//! coin differing by node status. The [`engine`] exploits this: it samples the
+//! acting subset exactly (geometric-skip Bernoulli thinning, `O(#actors)` per
+//! slot rather than `O(n)`), asks only the selected nodes for their concrete
+//! action, and resolves channel outcomes from a sparse broadcast board. See
+//! [`protocol`] for the trait contract and [`sampler`] for the exactness
+//! argument and tests.
+
+pub mod adaptive;
+pub mod channel;
+pub mod engine;
+pub mod jamset;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+pub mod sampler;
+pub mod trace;
+
+pub use adaptive::{AdaptiveAdversary, BandObservation, ObliviousAsAdaptive};
+pub use channel::{ChannelBoard, Feedback, Payload};
+pub use engine::{
+    run, run_adaptive, run_adaptive_with_observer, run_with_observer, EngineConfig, Sampling,
+};
+pub use jamset::JamSet;
+pub use metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
+pub use protocol::{
+    Action, Adversary, BoundaryDecision, Coin, NoAdversary, NodeId, Protocol, ProtocolNode,
+    SlotProfile,
+};
+pub use rng::{derive_seed, SplitMix64, Xoshiro256};
+pub use sampler::{bernoulli_subset, sample_two_class};
+pub use trace::{Observer, RecordingObserver, TraceEvent};

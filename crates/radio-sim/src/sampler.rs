@@ -1,0 +1,292 @@
+//! Exact Bernoulli-subset sampling via geometric skips.
+//!
+//! In every protocol of the paper, each active node independently acts in a
+//! slot with a small probability `p` (e.g. `1/64` in `MultiCastCore`,
+//! `1/2ⁱ` in iteration `i` of `MultiCast`). Iterating all `n` nodes per slot
+//! to flip those coins would make the simulator `O(n)` per slot; instead we
+//! sample the *gaps* between selected indices, which are i.i.d.
+//! `Geometric(p)`. This produces exactly the same distribution as `m`
+//! independent Bernoulli draws — see `bernoulli_subset_matches_dense` below,
+//! which cross-validates against the dense method — in `O(p·m)` expected time.
+
+use crate::rng::Xoshiro256;
+
+/// Append to `out` a sorted sample of `0..m` where each index is included
+/// independently with probability `p`.
+///
+/// Exactness: the gap between consecutive selected indices (and the offset of
+/// the first) is distributed `Geometric(p)` on `{0, 1, …}`; we draw it as
+/// `⌊ln(1−U)/ln(1−p)⌋` with `U ∈ [0,1)` uniform, the standard inversion.
+pub fn bernoulli_subset(rng: &mut Xoshiro256, m: usize, p: f64, out: &mut Vec<u32>) {
+    if m == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        out.extend(0..m as u32);
+        return;
+    }
+    let ln_q = (1.0 - p).ln(); // strictly negative
+    let mut i: u64 = 0;
+    loop {
+        let u = rng.next_f64(); // [0, 1)
+                                // 1 - u ∈ (0, 1]; ln(1-u) ∈ (-inf, 0]; skip ∈ {0, 1, ...}
+        let skip = ((1.0 - u).ln() / ln_q).floor();
+        if !skip.is_finite() || skip >= (m as f64) {
+            break; // next selected index would be past the end
+        }
+        i += skip as u64;
+        if i >= m as u64 {
+            break;
+        }
+        out.push(i as u32);
+        i += 1;
+        if i >= m as u64 {
+            break;
+        }
+    }
+}
+
+/// Reference implementation: flip one coin per index. Used by tests and by
+/// the engine's dense cross-validation mode.
+pub fn bernoulli_subset_dense(rng: &mut Xoshiro256, m: usize, p: f64, out: &mut Vec<u32>) {
+    for i in 0..m {
+        if rng.gen_bool(p) {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// Sample two *mutually exclusive* index classes over `0..m`:
+/// each index lands in class 1 with probability `p1`, in class 2 with
+/// probability `p2`, and in neither with probability `1 − p1 − p2`,
+/// independently across indices.
+///
+/// This models the per-node coin of the paper's pseudocode
+/// (`coin ← rnd(1, 1/p)`; `coin == 1` → one action, `coin == 2` → another):
+/// we first sample the union (an index acts w.p. `p1 + p2`) and then assign
+/// each actor to class 1 w.p. `p1/(p1+p2)` — an exact multinomial thinning.
+///
+/// # Panics
+/// Panics if `p1 + p2 > 1 + ε`.
+pub fn sample_two_class(
+    rng: &mut Xoshiro256,
+    m: usize,
+    p1: f64,
+    p2: f64,
+    class1: &mut Vec<u32>,
+    class2: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) {
+    debug_assert!(p1 >= 0.0 && p2 >= 0.0);
+    let total = p1 + p2;
+    assert!(
+        total <= 1.0 + 1e-12,
+        "action probabilities must satisfy p1 + p2 <= 1 (got {p1} + {p2})"
+    );
+    if total <= 0.0 || m == 0 {
+        return;
+    }
+    scratch.clear();
+    bernoulli_subset(rng, m, total.min(1.0), scratch);
+    if p2 <= 0.0 {
+        class1.extend_from_slice(scratch);
+        return;
+    }
+    if p1 <= 0.0 {
+        class2.extend_from_slice(scratch);
+        return;
+    }
+    let frac1 = p1 / total;
+    for &idx in scratch.iter() {
+        if rng.gen_bool(frac1) {
+            class1.push(idx);
+        } else {
+            class2.push(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_count(p: f64, m: usize, trials: usize, seed: u64) -> (f64, f64) {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut out = Vec::new();
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..trials {
+            out.clear();
+            bernoulli_subset(&mut rng, m, p, &mut out);
+            let k = out.len() as f64;
+            sum += k;
+            sum2 += k * k;
+        }
+        let mean = sum / trials as f64;
+        let var = sum2 / trials as f64 - mean * mean;
+        (mean, var)
+    }
+
+    #[test]
+    fn output_is_sorted_unique_in_range() {
+        let mut rng = Xoshiro256::seeded(1);
+        let mut out = Vec::new();
+        for _ in 0..1000 {
+            out.clear();
+            bernoulli_subset(&mut rng, 500, 0.07, &mut out);
+            for w in out.windows(2) {
+                assert!(w[0] < w[1], "not strictly increasing: {out:?}");
+            }
+            if let Some(&last) = out.last() {
+                assert!((last as usize) < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn p_zero_selects_nothing_p_one_selects_all() {
+        let mut rng = Xoshiro256::seeded(2);
+        let mut out = Vec::new();
+        bernoulli_subset(&mut rng, 100, 0.0, &mut out);
+        assert!(out.is_empty());
+        bernoulli_subset(&mut rng, 100, 1.0, &mut out);
+        assert_eq!(out, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut rng = Xoshiro256::seeded(2);
+        let mut out = Vec::new();
+        bernoulli_subset(&mut rng, 0, 0.5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// Mean and variance of the selected count must match Binomial(m, p).
+    #[test]
+    fn count_matches_binomial_moments() {
+        for &(p, m) in &[
+            (1.0 / 64.0, 1024usize),
+            (0.25, 64),
+            (0.9, 32),
+            (0.005, 4096),
+        ] {
+            let trials = 20_000;
+            let (mean, var) = mean_count(p, m, trials, 77);
+            let em = m as f64 * p;
+            let ev = m as f64 * p * (1.0 - p);
+            // 5-sigma band on the sample mean.
+            let mean_sd = (ev / trials as f64).sqrt();
+            assert!(
+                (mean - em).abs() < 5.0 * mean_sd + 1e-9,
+                "p={p} m={m}: mean {mean} vs {em}"
+            );
+            assert!(
+                (var - ev).abs() / ev.max(1e-9) < 0.15,
+                "p={p} m={m}: var {var} vs {ev}"
+            );
+        }
+    }
+
+    /// Each individual index must be selected with probability p (no position
+    /// bias from the skip process).
+    #[test]
+    fn per_index_inclusion_probability_is_uniform() {
+        let m = 64;
+        let p = 0.1;
+        let trials = 60_000;
+        let mut rng = Xoshiro256::seeded(123);
+        let mut hits = vec![0usize; m];
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            out.clear();
+            bernoulli_subset(&mut rng, m, p, &mut out);
+            for &i in &out {
+                hits[i as usize] += 1;
+            }
+        }
+        let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+        for (i, h) in hits.iter().enumerate() {
+            let z = (*h as f64 - trials as f64 * p) / sd;
+            assert!(z.abs() < 5.0, "index {i}: z = {z}");
+        }
+    }
+
+    /// Sparse and dense implementations must agree in distribution.
+    #[test]
+    fn bernoulli_subset_matches_dense() {
+        let m = 256;
+        let p = 1.0 / 32.0;
+        let trials = 30_000;
+        let mut rng_a = Xoshiro256::seeded(5);
+        let mut rng_b = Xoshiro256::seeded(6);
+        let (mut sum_a, mut sum_b) = (0usize, 0usize);
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            out.clear();
+            bernoulli_subset(&mut rng_a, m, p, &mut out);
+            sum_a += out.len();
+            out.clear();
+            bernoulli_subset_dense(&mut rng_b, m, p, &mut out);
+            sum_b += out.len();
+        }
+        let ma = sum_a as f64 / trials as f64;
+        let mb = sum_b as f64 / trials as f64;
+        let sd = (m as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        assert!((ma - mb).abs() < 6.0 * sd, "sparse {ma} vs dense {mb}");
+    }
+
+    #[test]
+    fn two_class_marginals() {
+        let m = 512;
+        let (p1, p2) = (1.0 / 64.0, 1.0 / 64.0);
+        let trials = 40_000;
+        let mut rng = Xoshiro256::seeded(9);
+        let (mut c1, mut c2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut n1, mut n2) = (0usize, 0usize);
+        for _ in 0..trials {
+            c1.clear();
+            c2.clear();
+            sample_two_class(&mut rng, m, p1, p2, &mut c1, &mut c2, &mut scratch);
+            n1 += c1.len();
+            n2 += c2.len();
+            // Exclusivity: no index in both classes.
+            for &i in &c1 {
+                assert!(!c2.contains(&i));
+            }
+        }
+        let e = m as f64 * p1;
+        let sd = (m as f64 * p1 * (1.0 - p1)).sqrt() * (trials as f64).sqrt();
+        assert!(((n1 as f64) - e * trials as f64).abs() < 6.0 * sd);
+        assert!(((n2 as f64) - e * trials as f64).abs() < 6.0 * sd);
+    }
+
+    #[test]
+    fn two_class_full_saturation() {
+        // p1 + p2 == 1: every index must be selected into exactly one class.
+        let mut rng = Xoshiro256::seeded(33);
+        let (mut c1, mut c2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sample_two_class(&mut rng, 100, 0.5, 0.5, &mut c1, &mut c2, &mut scratch);
+        assert_eq!(c1.len() + c2.len(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_class_rejects_super_unit_mass() {
+        let mut rng = Xoshiro256::seeded(33);
+        let (mut c1, mut c2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sample_two_class(&mut rng, 10, 0.7, 0.7, &mut c1, &mut c2, &mut scratch);
+    }
+
+    #[test]
+    fn one_sided_classes_take_fast_paths() {
+        let mut rng = Xoshiro256::seeded(40);
+        let (mut c1, mut c2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        sample_two_class(&mut rng, 1000, 0.3, 0.0, &mut c1, &mut c2, &mut scratch);
+        assert!(c2.is_empty());
+        assert!(!c1.is_empty());
+        c1.clear();
+        sample_two_class(&mut rng, 1000, 0.0, 0.3, &mut c1, &mut c2, &mut scratch);
+        assert!(c1.is_empty());
+        assert!(!c2.is_empty());
+    }
+}

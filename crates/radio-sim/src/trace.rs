@@ -1,0 +1,121 @@
+//! Run observation hooks.
+//!
+//! An [`Observer`] receives structured events as the engine executes. The
+//! default is no observer (zero overhead beyond a branch); examples use
+//! observers for narration and experiments use them to extract time series
+//! (e.g. the informed-count growth curve of experiment E1).
+
+use crate::metrics::SlotStats;
+use crate::protocol::{NodeId, SlotProfile};
+
+/// A structured event emitted by the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A node learned the message at the end of `slot`.
+    Informed { node: NodeId, slot: u64 },
+    /// A node halted at the end of `slot`.
+    Halted { node: NodeId, slot: u64 },
+    /// A segment (iteration / phase-step) ended at `slot` (exclusive).
+    Boundary {
+        slot: u64,
+        seg_major: u32,
+        seg_minor: u32,
+        step: u8,
+        active: u32,
+        informed: u32,
+    },
+}
+
+/// Receives engine events. All methods default to no-ops so implementors
+/// override only what they need.
+pub trait Observer {
+    /// A node just became informed.
+    fn on_informed(&mut self, _node: NodeId, _slot: u64) {}
+
+    /// A node just halted.
+    fn on_halted(&mut self, _node: NodeId, _slot: u64) {}
+
+    /// A segment boundary was processed after executing `slot - 1`.
+    fn on_boundary(&mut self, _slot: u64, _profile: &SlotProfile, _active: u32, _informed: u32) {}
+
+    /// Called once per slot with that slot's activity counters.
+    fn on_slot(&mut self, _slot: u64, _stats: &SlotStats) {}
+}
+
+/// An observer that records informational events into vectors, for tests and
+/// experiment post-processing. Per-slot stats are *not* recorded (they would
+/// be enormous); only cumulative totals.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    pub events: Vec<TraceEvent>,
+    /// (slot, informed-so-far) pairs — the epidemic growth curve.
+    pub growth: Vec<(u64, u32)>,
+    informed_so_far: u32,
+}
+
+impl RecordingObserver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Slots at which nodes became informed, in order.
+    pub fn informed_slots(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Informed { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Slots at which nodes halted, in order.
+    pub fn halted_slots(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Halted { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_informed(&mut self, node: NodeId, slot: u64) {
+        self.events.push(TraceEvent::Informed { node, slot });
+        self.informed_so_far += 1;
+        self.growth.push((slot, self.informed_so_far));
+    }
+
+    fn on_halted(&mut self, node: NodeId, slot: u64) {
+        self.events.push(TraceEvent::Halted { node, slot });
+    }
+
+    fn on_boundary(&mut self, slot: u64, profile: &SlotProfile, active: u32, informed: u32) {
+        self.events.push(TraceEvent::Boundary {
+            slot,
+            seg_major: profile.seg_major,
+            seg_minor: profile.seg_minor,
+            step: profile.step,
+            active,
+            informed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut obs = RecordingObserver::new();
+        obs.on_informed(3, 10);
+        obs.on_informed(1, 12);
+        obs.on_halted(3, 20);
+        assert_eq!(obs.informed_slots(), vec![10, 12]);
+        assert_eq!(obs.halted_slots(), vec![20]);
+        assert_eq!(obs.growth, vec![(10, 1), (12, 2)]);
+    }
+}

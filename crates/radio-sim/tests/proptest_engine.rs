@@ -1,0 +1,178 @@
+//! Engine fuzzing: random (valid) protocol shapes against random adversaries
+//! must uphold the engine's invariants for every configuration.
+
+use proptest::prelude::*;
+use rcb_sim::{
+    run, Action, Adversary, BoundaryDecision, Coin, EngineConfig, Feedback, JamSet, Payload,
+    Protocol, ProtocolNode, SlotProfile, Xoshiro256,
+};
+
+/// A randomized-but-valid protocol: fixed profile, status-based toy nodes.
+#[derive(Clone)]
+struct FuzzProtocol {
+    n: u32,
+    profile: SlotProfile,
+}
+
+struct FuzzNode {
+    informed: bool,
+    heard: u64,
+    halt_after_boundaries: u32,
+    boundaries: u32,
+}
+
+impl Protocol for FuzzProtocol {
+    type Node = FuzzNode;
+    fn num_nodes(&self) -> u32 {
+        self.n
+    }
+    fn segment(&mut self, _s: u64) -> SlotProfile {
+        self.profile
+    }
+    fn make_node(&self, id: u32, is_source: bool) -> FuzzNode {
+        FuzzNode {
+            informed: is_source,
+            heard: 0,
+            // Nodes halt after a staggered number of boundaries, to exercise
+            // active-set shrinkage.
+            halt_after_boundaries: 2 + (id % 5),
+            boundaries: 0,
+        }
+    }
+}
+
+impl ProtocolNode for FuzzNode {
+    fn on_selected(&mut self, p: &SlotProfile, coin: Coin, rng: &mut Xoshiro256) -> Action {
+        let ch = rng.gen_range(p.virt_channels);
+        match coin {
+            Coin::One => Action::Listen { ch },
+            Coin::Two if self.informed => Action::Broadcast {
+                ch,
+                payload: Payload::Data,
+            },
+            Coin::Two => Action::Idle,
+        }
+    }
+    fn on_feedback(&mut self, _p: &SlotProfile, fb: Feedback) {
+        self.heard += 1;
+        if fb == Feedback::Message(Payload::Data) {
+            self.informed = true;
+        }
+    }
+    fn on_boundary(&mut self, _p: &SlotProfile) -> BoundaryDecision {
+        self.boundaries += 1;
+        if self.boundaries >= self.halt_after_boundaries {
+            BoundaryDecision::Halt
+        } else {
+            BoundaryDecision::Continue
+        }
+    }
+    fn is_informed(&self) -> bool {
+        self.informed
+    }
+}
+
+/// A fuzz adversary cycling through representations.
+struct FuzzAdversary {
+    t: u64,
+    mode: u8,
+    rng: Xoshiro256,
+}
+
+impl Adversary for FuzzAdversary {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+        match (slot + self.mode as u64) % 5 {
+            0 => JamSet::Empty,
+            1 => JamSet::All,
+            2 => JamSet::Prefix(self.rng.gen_range(channels + 1)),
+            3 => JamSet::Window {
+                start: self.rng.gen_range(channels),
+                len: self.rng.gen_range(channels + 1),
+            },
+            _ => {
+                let k = self.rng.gen_range(channels.min(8) + 1);
+                JamSet::from_channels((0..k).map(|_| self.rng.gen_range(channels)).collect())
+            }
+        }
+    }
+    fn budget(&self) -> u64 {
+        self.t
+    }
+}
+
+fn arb_profile() -> impl Strategy<Value = SlotProfile> {
+    (
+        1u64..6,     // channels (log2-ish small)
+        1u32..4,     // round_len
+        1u64..20,    // rounds per segment
+        0.0f64..0.5, // p1
+        0.0f64..0.5, // p2
+    )
+        .prop_map(|(ch, round_len, rounds, p1, p2)| SlotProfile {
+            p1,
+            p2,
+            channels: ch,
+            virt_channels: if round_len == 1 {
+                ch
+            } else {
+                ch * round_len as u64
+            },
+            round_len,
+            seg_len: rounds * round_len as u64,
+            seg_major: 0,
+            seg_minor: 0,
+            step: 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any valid configuration: energy ledgers balance, Eve's budget is
+    /// respected, node outcomes are internally consistent, and the run is
+    /// deterministic.
+    #[test]
+    fn engine_invariants_hold_under_fuzz(
+        profile in arb_profile(),
+        n in 2u32..20,
+        budget in 0u64..5_000,
+        mode in 0u8..5,
+        seed in 0u64..10_000,
+        cap_rounds in 1u64..50,
+    ) {
+        let cap = cap_rounds * profile.round_len as u64;
+        let run_once = || {
+            let mut proto = FuzzProtocol { n, profile };
+            let mut adv = FuzzAdversary { t: budget, mode, rng: Xoshiro256::seeded(seed) };
+            run(&mut proto, &mut adv, seed, &EngineConfig::capped(cap))
+        };
+        let out = run_once();
+
+        // Budget and ledger invariants.
+        prop_assert!(out.eve_spent <= budget);
+        let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
+        let bcasts: u64 = out.nodes.iter().map(|x| x.broadcast_cost).sum();
+        prop_assert_eq!(listens, out.totals.listens);
+        prop_assert_eq!(bcasts, out.totals.broadcasts);
+        let heard = out.totals.heard_silence + out.totals.heard_message + out.totals.heard_noise;
+        prop_assert_eq!(heard, out.totals.listens);
+
+        // Slot accounting.
+        prop_assert!(out.slots <= cap);
+
+        // Node outcome consistency.
+        prop_assert_eq!(out.nodes[0].informed_at, Some(0));
+        for node in &out.nodes {
+            if let Some(h) = node.halted_at {
+                prop_assert!(h < out.slots);
+            }
+        }
+
+        // Determinism.
+        let out2 = run_once();
+        prop_assert_eq!(out.slots, out2.slots);
+        prop_assert_eq!(out.eve_spent, out2.eve_spent);
+        prop_assert_eq!(out.totals, out2.totals);
+        prop_assert_eq!(out.max_cost(), out2.max_cost());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for jam-set representations and the subset sampler.
+
+use proptest::prelude::*;
+use rcb_sim::{bernoulli_subset, JamSet, Xoshiro256};
+
+/// Materialize a jam set as an explicit membership vector.
+fn members(set: &JamSet, channels: u64) -> Vec<bool> {
+    (0..channels).map(|ch| set.contains(ch, channels)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `count` always equals the number of `contains` members, for every
+    /// representation.
+    #[test]
+    fn count_matches_membership_list(
+        channels in 1u64..200,
+        raw in proptest::collection::vec(0u64..250, 0..64),
+    ) {
+        let set = JamSet::from_channels(raw);
+        let m = members(&set, channels);
+        prop_assert_eq!(set.count(channels), m.iter().filter(|&&b| b).count() as u64);
+    }
+
+    /// List and Mask representations of the same membership agree on every
+    /// query.
+    #[test]
+    fn list_and_mask_agree(
+        channels in 1u64..150,
+        raw in proptest::collection::vec(0u64..150, 0..64),
+    ) {
+        let mut in_range: Vec<u64> = raw.iter().copied().filter(|&c| c < channels).collect();
+        in_range.sort_unstable();
+        in_range.dedup();
+        let list = JamSet::from_channels(in_range.clone());
+        let mask = JamSet::from_predicate(channels, |ch| in_range.binary_search(&ch).is_ok());
+        prop_assert_eq!(list.count(channels), mask.count(channels));
+        for ch in 0..channels {
+            prop_assert_eq!(list.contains(ch, channels), mask.contains(ch, channels));
+        }
+    }
+
+    /// Window membership equals its explicit modular-interval definition.
+    #[test]
+    fn window_matches_modular_interval(
+        channels in 1u64..100,
+        start in 0u64..300,
+        len in 0u64..300,
+    ) {
+        let set = JamSet::Window { start, len };
+        let s = start % channels;
+        for ch in 0..channels {
+            let offset = (ch + channels - s) % channels;
+            prop_assert_eq!(
+                set.contains(ch, channels),
+                offset < len.min(channels),
+                "ch {} start {} len {} channels {}", ch, start, len, channels
+            );
+        }
+    }
+
+    /// Truncation: never exceeds the limit, keeps only original members, and
+    /// keeps exactly the lowest-indexed ones.
+    #[test]
+    fn truncate_keeps_lowest_members(
+        channels in 1u64..120,
+        raw in proptest::collection::vec(0u64..120, 0..48),
+        limit in 0u64..64,
+    ) {
+        let set = JamSet::from_channels(raw);
+        let before = members(&set, channels);
+        let truncated = set.clone().truncate(limit, channels);
+        let after = members(&truncated, channels);
+        let kept = truncated.count(channels);
+        prop_assert!(kept <= limit.min(set.count(channels)));
+        // No new members appear.
+        for ch in 0..channels as usize {
+            prop_assert!(!after[ch] || before[ch], "channel {ch} appeared from nowhere");
+        }
+        // Lowest-first: every kept member is below every dropped member.
+        if let (Some(max_kept), Some(min_dropped)) = (
+            (0..channels).filter(|&c| after[c as usize]).max(),
+            (0..channels).filter(|&c| before[c as usize] && !after[c as usize]).min(),
+        ) {
+            prop_assert!(max_kept < min_dropped);
+        }
+    }
+
+    /// All/Prefix truncation agrees with the generic rule.
+    #[test]
+    fn truncate_all_and_prefix(channels in 1u64..100, limit in 0u64..150) {
+        let t_all = JamSet::All.truncate(limit, channels);
+        prop_assert_eq!(t_all.count(channels), limit.min(channels));
+        let t_prefix = JamSet::Prefix(channels).truncate(limit, channels);
+        prop_assert_eq!(t_prefix.count(channels), limit.min(channels));
+    }
+
+    /// The sampler's output is always sorted, unique, and in range.
+    #[test]
+    fn sampler_output_well_formed(
+        m in 0usize..2000,
+        p in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut out = Vec::new();
+        bernoulli_subset(&mut rng, m, p, &mut out);
+        prop_assert!(out.len() <= m);
+        for w in out.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        if let Some(&last) = out.last() {
+            prop_assert!((last as usize) < m);
+        }
+    }
+}

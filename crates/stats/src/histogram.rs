@@ -1,0 +1,134 @@
+//! Fixed-bin and logarithmic histograms for experiment diagnostics.
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus under/overflow
+/// counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render as a compact ASCII bar chart (one line per bin), for examples
+    /// and debug output.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!(
+                "{:>12.3} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.bin_counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(0.25);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_counts(), &[1, 0]);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn ascii_renders_every_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.push(0.5);
+        h.push(0.6);
+        h.push(2.5);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Terminal plots for experiment reports.
+//!
+//! The paper has no figures, but scaling experiments are naturally figures;
+//! `loglog_plot` renders a sweep (and its power-law fit) as an ASCII
+//! scatter so the `repro` reports are self-contained in a terminal or a
+//! markdown code block.
+
+use crate::regression::fit_linear;
+
+/// Render `points` on log-log axes as an ASCII scatter (`*`), with the
+/// least-squares power-law fit drawn as `·` and annotated with its slope.
+/// Non-positive coordinates are skipped (no logarithm).
+///
+/// # Panics
+/// Panics if fewer than two positive points remain.
+pub fn loglog_plot(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let pos: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    assert!(pos.len() >= 2, "need at least two positive points to plot");
+
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &pos {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Pad degenerate ranges so single-column/row data still renders.
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max += 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max += 1.0;
+    }
+
+    let fit = fit_linear(&pos);
+    let mut grid = vec![vec![' '; width]; height];
+
+    let x_of = |col: usize| x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
+    let col_of = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+    let row_of = |y: f64| {
+        let frac = (y - y_min) / (y_max - y_min);
+        (height - 1) - ((frac * (height - 1) as f64).round() as usize).min(height - 1)
+    };
+
+    // Fit line first so data points overwrite it. (Indexing is row-then-
+    // column, so a per-column iterator over `grid` does not apply here.)
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..width {
+        let y = fit.intercept + fit.slope * x_of(col);
+        if y >= y_min && y <= y_max {
+            let row = row_of(y);
+            grid[row][col] = '·';
+        }
+    }
+    for &(x, y) in &pos {
+        grid[row_of(y)][col_of(x).min(width - 1)] = '*';
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{:>9.2e} ┤", y_max.exp())
+        } else if r == height - 1 {
+            format!("{:>9.2e} ┤", y_min.exp())
+        } else {
+            format!("{:>9} │", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} └{}\n", "", "─".repeat(width)));
+    out.push_str(&format!(
+        "{:>11}{:<.2e}{:>pad$}{:.2e}   (log-log; fit slope {:.2}, r² {:.3})\n",
+        "",
+        x_min.exp(),
+        "",
+        x_max.exp(),
+        fit.slope,
+        1.0 - (1.0 - fit.r2),
+        pad = width.saturating_sub(16)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_points_and_fit() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (10f64.powi(i), 3.0 * 10f64.powi(i).sqrt()))
+            .collect();
+        let art = loglog_plot(&pts, 40, 10);
+        assert!(art.contains('*'), "data markers missing");
+        assert!(art.contains('·'), "fit line missing");
+        assert!(
+            art.contains("slope 0.50"),
+            "slope annotation missing:\n{art}"
+        );
+        assert_eq!(art.lines().count(), 12, "10 rows + axis + caption");
+    }
+
+    #[test]
+    fn plot_skips_nonpositive_points() {
+        let pts = vec![(0.0, 1.0), (1.0, 1.0), (10.0, 10.0)];
+        let art = loglog_plot(&pts, 30, 8);
+        assert!(art.contains("slope 1.00"));
+    }
+
+    #[test]
+    fn degenerate_vertical_spread_still_renders() {
+        let pts = vec![(1.0, 5.0), (10.0, 5.0), (100.0, 5.0)];
+        let art = loglog_plot(&pts, 30, 8);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        loglog_plot(&[(1.0, 1.0)], 30, 8);
+    }
+}

@@ -1,0 +1,146 @@
+//! Least-squares fits, including the log-log power-law fit used to verify
+//! the paper's scaling exponents.
+//!
+//! The experiments confirm claims like "energy grows as `√T`" by sweeping
+//! `T` and fitting `cost = c·T^β` — i.e. a straight line in log-log space.
+//! Theorem 5.4 predicts `β ≈ 0.5` for `MultiCast` energy and `β ≈ 1.0` for
+//! its time; Theorem 6.10 predicts the same pair for `MultiCastAdv` with the
+//! `n`-dependence shifted to `n^{1−2α}`.
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Panics
+/// Panics with fewer than two points or when all `x` coincide.
+pub fn fit_linear(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y) * (p.1 - mean_y)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (intercept + slope * p.0);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Fit `y ≈ c·x^β` by least squares in log-log space; returns `(c, β, r²)`.
+/// Points with non-positive coordinates are skipped (they have no logarithm;
+/// e.g. the `T = 0` anchor of a sweep).
+///
+/// ```
+/// use rcb_stats::fit_power_law;
+/// // The √T energy signature of a resource-competitive protocol:
+/// let sweep = [(1e4, 500.0), (4e4, 1000.0), (1.6e5, 2000.0)];
+/// let (c, beta, r2) = fit_power_law(&sweep);
+/// assert!((beta - 0.5).abs() < 1e-9);
+/// assert!((c - 5.0).abs() < 1e-9);
+/// assert!(r2 > 0.999);
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    let fit = fit_linear(&logs);
+    (fit.intercept.exp(), fit.slope, fit.r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = fit_linear(&pts);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        // Deterministic "noise" that averages out.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 1.0 + 0.75 * x + noise)
+            })
+            .collect();
+        let fit = fit_linear(&pts);
+        assert!((fit.slope - 0.75).abs() < 0.01, "slope {}", fit.slope);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn power_law_sqrt() {
+        // y = 4·x^0.5 — the resource-competitive energy signature.
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|i| (i as f64 * 100.0, 4.0 * (i as f64 * 100.0).sqrt()))
+            .collect();
+        let (c, beta, r2) = fit_power_law(&pts);
+        assert!((beta - 0.5).abs() < 1e-9, "beta {beta}");
+        assert!((c - 4.0).abs() < 1e-6, "c {c}");
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let pts = vec![(0.0, 5.0), (1.0, 2.0), (4.0, 4.0), (16.0, 8.0)];
+        let (c, beta, _) = fit_power_law(&pts);
+        assert!((beta - 0.5).abs() < 1e-9);
+        assert!((c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        fit_linear(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_constant_x() {
+        fit_linear(&[(2.0, 1.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn r2_zero_for_pure_noise_pattern() {
+        // Symmetric cross: slope 0, no explanatory power.
+        let pts = vec![(0.0, 1.0), (0.0, -1.0), (1.0, 1.0), (1.0, -1.0)];
+        let fit = fit_linear(&pts);
+        assert!(fit.slope.abs() < 1e-12);
+        assert!(fit.r2.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Summary statistics over a sample.
+
+/// Five-number-plus summary of a sample of `f64`s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub sd: f64,
+    pub min: f64,
+    pub q25: f64,
+    pub median: f64,
+    pub q75: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute from a sample. Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(Summary {
+            n,
+            mean,
+            sd: var.sqrt(),
+            min: sorted[0],
+            q25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q75: quantile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        self.sd / (self.n as f64).sqrt()
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+}
+
+/// Linear-interpolation quantile of a pre-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Welford's online mean/variance accumulator, for streaming statistics
+/// without storing samples.
+#[derive(Clone, Debug, Default)]
+pub struct Online {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Online {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (Bessel-corrected); 0 for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.sd - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let values: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let big = Summary::of(&values).unwrap();
+        assert!(big.ci95() < small.ci95());
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [3.5, -1.0, 2.25, 8.0, 0.0, 4.75];
+        let mut online = Online::new();
+        for &x in &xs {
+            online.push(x);
+        }
+        let batch = Summary::of(&xs).unwrap();
+        assert!((online.mean() - batch.mean).abs() < 1e-12);
+        assert!((online.sd() - batch.sd).abs() < 1e-12);
+        assert_eq!(online.count(), 6);
+    }
+
+    #[test]
+    fn online_degenerate_cases() {
+        let mut o = Online::new();
+        assert_eq!(o.variance(), 0.0);
+        o.push(5.0);
+        assert_eq!(o.mean(), 5.0);
+        assert_eq!(o.variance(), 0.0);
+    }
+}

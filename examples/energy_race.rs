@@ -1,0 +1,108 @@
+//! Energy race: bankrupting the jammer.
+//!
+//! The defining plot of resource competitiveness (Definition 3.1): sweep
+//! Eve's budget `T` and compare her spend against the *worst-off* node's
+//! spend, for a resource-competitive protocol (`MultiCast`) and an
+//! energy-naive baseline (`Decay`, whose listeners pay every slot).
+//!
+//! Expected shape: `MultiCast`'s node cost grows like `√T` — the gap to Eve
+//! widens without bound — while the baseline's listeners pay `Θ(T)`,
+//! matching her one-for-one. That asymmetry is why jamming a
+//! resource-competitive network is a losing proposition.
+//!
+//! Budgets are chosen so each step of the sweep lets Eve block one more
+//! `MultiCast` iteration (blocking iteration `i` costs her
+//! `Θ(R_i · n/2)`, and `R_i` grows ~4x per iteration — so useful budgets
+//! are spaced ~4x apart).
+//!
+//! ```text
+//! cargo run --release --example energy_race
+//! ```
+
+use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb::stats::{fit_power_law, Table};
+
+fn main() {
+    let n: u64 = 16;
+    let mc_budgets = [400_000u64, 1_600_000, 6_400_000, 35_000_000];
+    let decay_budgets = [400_000u64, 1_600_000];
+    let seeds = 2u64;
+
+    println!("energy race — n = {n}, MultiCast budgets {mc_budgets:?}, {seeds} seeds each\n");
+
+    let mut specs = Vec::new();
+    for &t in &mc_budgets {
+        for s in 0..seeds {
+            specs.push(TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+                90_000 + t + s,
+            ));
+        }
+    }
+    for &t in &decay_budgets {
+        for s in 0..seeds {
+            specs.push(TrialSpec::new(
+                ProtocolKind::Decay { n },
+                AdversaryKind::Burst { t, start: 0 },
+                91_000 + t + s,
+            ));
+        }
+    }
+    let results = run_trials(&specs, 0);
+
+    let mean_max = |proto: &str, t: u64| -> Option<f64> {
+        let batch: Vec<_> = results
+            .iter()
+            .filter(|r| r.protocol == proto && r.budget == t)
+            .collect();
+        if batch.is_empty() {
+            return None;
+        }
+        Some(batch.iter().map(|r| r.max_cost).sum::<u64>() as f64 / batch.len() as f64)
+    };
+
+    let mut table = Table::new(&[
+        "T (budget)",
+        "MultiCast max node",
+        "MC node/Eve ratio",
+        "Decay max node",
+        "Decay node/Eve ratio",
+    ]);
+    let mut mc_points = Vec::new();
+    let mut decay_points = Vec::new();
+    for &t in &mc_budgets {
+        let mc = mean_max("MultiCast", t).expect("swept");
+        mc_points.push((t as f64, mc));
+        let decay_cell = match mean_max("Decay", t) {
+            Some(dc) => {
+                decay_points.push((t as f64, dc));
+                (format!("{dc:.0}"), format!("{:.3}", dc / t as f64))
+            }
+            None => ("-".into(), "-".into()),
+        };
+        table.row(&[
+            t.to_string(),
+            format!("{mc:.0}"),
+            format!("{:.4}", mc / t as f64),
+            decay_cell.0,
+            decay_cell.1,
+        ]);
+    }
+    println!("{}", table.markdown());
+
+    let (_, beta_mc, r2_mc) = fit_power_law(&mc_points);
+    let (_, beta_dc, _) = fit_power_law(&decay_points);
+    println!("MultiCast: max node cost ∝ T^{beta_mc:.2} (r² = {r2_mc:.3}) — Theorem 5.4 says ~0.5");
+    println!("Decay:     max node cost ∝ T^{beta_dc:.2} — naive listening is Θ(T)");
+    let (t_last, mc_last) = *mc_points.last().unwrap();
+    println!(
+        "\nAt T = {t_last:.0}: a MultiCast node has spent ~{mc_last:.0} units while Eve burned\n\
+         {t_last:.0} — she pays ~{:.0}x per unit of damage, and the exponent gap\n\
+         (≈0.5 vs 1.0) means the multiple only grows with T.",
+        t_last / mc_last
+    );
+}

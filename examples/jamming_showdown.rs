@@ -1,0 +1,120 @@
+//! Jamming showdown: every protocol against every adversary.
+//!
+//! Runs the protocol line-up (MultiCastCore / MultiCast / MultiCastAdv /
+//! MultiCast(C) / single-channel baseline) against the adversary line-up
+//! (silent, uniform, burst, pulse, sweep, Gilbert–Elliott environmental
+//! noise) at a fixed budget, and prints the full matrix: completion time,
+//! worst node cost, and Eve's spend.
+//!
+//! What to look for: every cell completes with zero safety violations, and
+//! in every jammed cell the max node cost is a small fraction of Eve's
+//! spend — resource competitiveness is strategy-agnostic, which is the
+//! point of Definition 3.1 quantifying over *arbitrary* executions.
+//!
+//! ```text
+//! cargo run --release --example jamming_showdown
+//! ```
+
+use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb::stats::Table;
+
+fn main() {
+    let n: u64 = 64;
+    let t: u64 = 200_000;
+    let seed_base: u64 = 1000;
+
+    let protocols: Vec<ProtocolKind> = vec![
+        ProtocolKind::Core {
+            n,
+            t,
+            params: Default::default(),
+        },
+        ProtocolKind::MultiCast {
+            n,
+            params: Default::default(),
+        },
+        ProtocolKind::MultiCastC {
+            n,
+            c: 8,
+            params: Default::default(),
+        },
+        ProtocolKind::SingleChannel {
+            n,
+            params: Default::default(),
+        },
+    ];
+    let adversaries: Vec<AdversaryKind> = vec![
+        AdversaryKind::Silent,
+        AdversaryKind::Uniform { t, frac: 0.6 },
+        AdversaryKind::Burst { t, start: 0 },
+        AdversaryKind::Pulse {
+            t,
+            period: 64,
+            duty: 16,
+            frac: 0.9,
+        },
+        AdversaryKind::Sweep {
+            t,
+            width: 20,
+            step: 3,
+        },
+        AdversaryKind::GilbertElliott {
+            t,
+            p_gb: 0.02,
+            p_bg: 0.05,
+            frac: 0.8,
+        },
+    ];
+
+    println!("jamming showdown — n = {n}, Eve's budget T = {t}\n");
+
+    let specs: Vec<TrialSpec> = protocols
+        .iter()
+        .flat_map(|p| {
+            adversaries
+                .iter()
+                .enumerate()
+                .map(move |(k, a)| TrialSpec::new(p.clone(), a.clone(), seed_base + k as u64))
+        })
+        .collect();
+    let results = run_trials(&specs, 0);
+
+    let mut table = Table::new(&[
+        "protocol",
+        "adversary",
+        "completed",
+        "time (slots)",
+        "max node cost",
+        "eve spent",
+        "eve/max-node",
+    ]);
+    let mut violations = 0;
+    for r in &results {
+        violations += r.safety_violations;
+        table.row(&[
+            r.protocol.to_string(),
+            r.adversary.to_string(),
+            if r.completed {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            r.completion_time().to_string(),
+            r.max_cost.to_string(),
+            r.eve_spent.to_string(),
+            if r.max_cost > 0 && r.eve_spent > 0 {
+                format!("{:.1}x", r.eve_spent as f64 / r.max_cost as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", table.markdown());
+    println!("safety violations across the whole matrix: {violations} (must be 0)");
+    println!(
+        "\nreading guide: the single-channel baseline pays the same energy but needs\n\
+         ~n/2x more time under load — the multi-channel speedup of the paper's title.\n\
+         MultiCastCore's time barely moves under the front-loaded burst: Section 4's\n\
+         fast-recovery property (it halts within one iteration of the jam ending)."
+    );
+}

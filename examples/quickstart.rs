@@ -1,0 +1,88 @@
+//! Quickstart: broadcast a message through a jammed multi-channel network.
+//!
+//! Runs `MultiCast` (Chen & Zheng, SPAA 2019, Section 5) on a 64-node
+//! network against a uniform jammer, and prints what happened: who got the
+//! message when, who halted when, and — the point of the paper — how little
+//! energy each node spent compared to the adversary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rcb::adversary::UniformFraction;
+use rcb::core::MultiCast;
+use rcb::sim::{run_with_observer, EngineConfig, RecordingObserver};
+
+fn main() {
+    let n: u64 = 64; // power of two; the protocol uses n/2 = 32 channels
+    let t: u64 = 100_000; // Eve's energy budget
+    let seed: u64 = 42;
+
+    println!(
+        "rcb quickstart — MultiCast on n = {n} nodes, {} channels",
+        n / 2
+    );
+    println!("Eve: uniform jammer, budget T = {t}, jams 60% of the band each slot\n");
+
+    let mut protocol = MultiCast::new(n);
+    let mut eve = UniformFraction::new(t, 0.6, seed);
+    let mut trace = RecordingObserver::new();
+    let outcome = run_with_observer(
+        &mut protocol,
+        &mut eve,
+        seed,
+        &EngineConfig::default(),
+        &mut trace,
+    );
+
+    // --- Message dissemination -------------------------------------------
+    let informed = trace.informed_slots();
+    println!("message dissemination:");
+    println!(
+        "  nodes informed:        {}/{}",
+        outcome.informed_count(),
+        n
+    );
+    if let Some(at) = outcome.all_informed_at {
+        println!("  last node informed at: slot {at}");
+    }
+    if informed.len() >= 4 {
+        println!(
+            "  milestones:            25% @ slot {}, 50% @ {}, 100% @ {}",
+            informed[informed.len() / 4],
+            informed[informed.len() / 2],
+            informed[informed.len() - 1]
+        );
+    }
+
+    // --- Termination -------------------------------------------------------
+    println!("\ntermination:");
+    println!("  all nodes halted:      {}", outcome.all_halted);
+    if let Some(last) = outcome.last_halt() {
+        println!(
+            "  last halt at:          slot {last} (of {} executed)",
+            outcome.slots
+        );
+    }
+    println!(
+        "  halted-while-uninformed (safety violations): {}",
+        outcome.safety_violations()
+    );
+
+    // --- The resource-competitiveness headline ------------------------------
+    let max = outcome.max_cost();
+    let mean = outcome.mean_cost();
+    println!("\nenergy (1 unit = one slot of sending/listening/jamming):");
+    println!("  Eve spent:             {}", outcome.eve_spent);
+    println!("  max node cost:         {max}");
+    println!("  mean node cost:        {mean:.1}");
+    println!(
+        "  advantage:             Eve paid {:.1}x the most expensive node",
+        outcome.eve_spent as f64 / max.max(1) as f64
+    );
+    println!(
+        "\nTheorem 5.4 predicts per-node cost Õ(√(T/n)) ≈ {:.0}·polylog — jamming is a\n\
+         losing business: doubling Eve's budget only buys ~1.4x node cost.",
+        (t as f64 / n as f64).sqrt()
+    );
+}

@@ -1,0 +1,162 @@
+//! Resource competitiveness (Definition 3.1): max node cost must be
+//! sub-linear in Eve's spend, with the `√T`-shaped growth of Theorem 5.4.
+
+use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb::stats::fit_power_law;
+
+/// As Eve's budget quadruples, the node-to-Eve cost ratio must fall — the
+/// "bankrupt the jammer" property.
+#[test]
+fn node_to_eve_cost_ratio_shrinks_with_budget() {
+    let n = 16u64;
+    let budgets = [400_000u64, 1_600_000, 6_400_000];
+    let specs: Vec<TrialSpec> = budgets
+        .iter()
+        .map(|&t| {
+            TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+                4242 + t,
+            )
+        })
+        .collect();
+    let results = run_trials(&specs, 0);
+    let mut prev_ratio = f64::MAX;
+    for r in &results {
+        assert!(r.completed && r.all_informed, "budget {}", r.budget);
+        let ratio = r.max_cost as f64 / r.eve_spent.max(1) as f64;
+        assert!(
+            ratio < 0.05,
+            "budget {}: node cost {} is not << Eve's spend {}",
+            r.budget,
+            r.max_cost,
+            r.eve_spent
+        );
+        assert!(
+            ratio < prev_ratio,
+            "budget {}: competitive ratio must shrink as T grows",
+            r.budget
+        );
+        prev_ratio = ratio;
+    }
+}
+
+/// The scaling exponent of max node cost vs T must sit near 1/2
+/// (Theorem 5.4's `√(T/n)·√lg T·lg n`; the polylog factor pushes the
+/// measured exponent slightly above 0.5).
+#[test]
+fn multicast_cost_scales_like_sqrt_t() {
+    let n = 16u64;
+    let budgets = [400_000u64, 1_600_000, 6_400_000, 35_000_000];
+    let mut specs = Vec::new();
+    for &t in &budgets {
+        for seed in 0..2u64 {
+            specs.push(TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+                7_000 + t + seed,
+            ));
+        }
+    }
+    let results = run_trials(&specs, 0);
+    let points: Vec<(f64, f64)> = budgets
+        .iter()
+        .map(|&t| {
+            let batch: Vec<_> = results.iter().filter(|r| r.budget == t).collect();
+            let mean = batch.iter().map(|r| r.max_cost).sum::<u64>() as f64 / batch.len() as f64;
+            (t as f64, mean)
+        })
+        .collect();
+    let (_, beta, r2) = fit_power_law(&points);
+    assert!(
+        (0.35..=0.75).contains(&beta),
+        "cost exponent {beta:.2} (r²={r2:.2}) is not √T-shaped: {points:?}"
+    );
+}
+
+/// Time, by contrast, is linear in T (Theorem 5.4: `O(T/n + lg²n)`).
+#[test]
+fn multicast_time_scales_linearly_in_t() {
+    let n = 16u64;
+    let budgets = [400_000u64, 1_600_000, 6_400_000, 35_000_000];
+    let specs: Vec<TrialSpec> = budgets
+        .iter()
+        .map(|&t| {
+            TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+                9_000 + t,
+            )
+        })
+        .collect();
+    let results = run_trials(&specs, 0);
+    let points: Vec<(f64, f64)> = results
+        .iter()
+        .map(|r| (r.budget as f64, r.completion_time() as f64))
+        .collect();
+    let (_, beta, r2) = fit_power_law(&points);
+    assert!(
+        (0.75..=1.3).contains(&beta),
+        "time exponent {beta:.2} (r²={r2:.2}) is not linear: {points:?}"
+    );
+}
+
+/// Eve never spends more than her budget, under any strategy.
+#[test]
+fn eve_budget_is_always_enforced() {
+    let n = 32u64;
+    let t = 12_345u64;
+    let adversaries = vec![
+        AdversaryKind::Uniform { t, frac: 1.0 },
+        AdversaryKind::Burst { t, start: 3 },
+        AdversaryKind::Sweep {
+            t,
+            width: 100,
+            step: 7,
+        },
+        AdversaryKind::Pulse {
+            t,
+            period: 10,
+            duty: 10,
+            frac: 1.0,
+        },
+        AdversaryKind::GilbertElliott {
+            t,
+            p_gb: 1.0,
+            p_bg: 0.0,
+            frac: 1.0,
+        },
+    ];
+    let specs: Vec<TrialSpec> = adversaries
+        .into_iter()
+        .map(|adv| {
+            TrialSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: Default::default(),
+                },
+                adv,
+                5,
+            )
+        })
+        .collect();
+    for r in run_trials(&specs, 0) {
+        assert!(
+            r.eve_spent <= t,
+            "{}: Eve spent {} over budget {t}",
+            r.adversary,
+            r.eve_spent
+        );
+        // These maximal strategies should exhaust the budget exactly.
+        assert_eq!(r.eve_spent, t, "{}: expected full spend", r.adversary);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-implementation equivalence checks.
+//!
+//! * `MultiCast(C)` at `C = n/2` must degenerate to plain `MultiCast`
+//!   (round length 1), and at smaller `C` must preserve the *virtual*-slot
+//!   behaviour exactly: same iteration count to termination, same energy
+//!   distribution, only wall-clock slots stretched by `n/(2C)`.
+//! * The engine's sparse (geometric-skip) actor sampling must agree
+//!   statistically with the dense per-node reference sampling.
+
+use rcb::core::{McParams, MultiCast, MultiCastC};
+use rcb::sim::{run, EngineConfig, NoAdversary, Sampling};
+
+#[test]
+fn multicast_c_at_half_n_has_identical_schedule_shape() {
+    let n = 32u64;
+    let mut full = MultiCast::new(n);
+    let mut limited = MultiCastC::new(n, n / 2);
+    let out_full = run(&mut full, &mut NoAdversary, 11, &EngineConfig::default());
+    let out_lim = run(&mut limited, &mut NoAdversary, 11, &EngineConfig::default());
+    assert!(out_full.all_halted && out_lim.all_halted);
+    // Identical seed, identical schedule (round_len == 1) — identical runs.
+    assert_eq!(out_full.slots, out_lim.slots);
+    assert_eq!(out_full.max_cost(), out_lim.max_cost());
+    assert_eq!(out_full.totals, out_lim.totals);
+}
+
+#[test]
+fn round_simulation_stretches_time_but_preserves_rounds_and_energy() {
+    let n = 32u64;
+    let seeds = 0..8u64;
+    let mut virt_slots_full = Vec::new();
+    let mut virt_slots_c4 = Vec::new();
+    let mut cost_full = Vec::new();
+    let mut cost_c4 = Vec::new();
+    for seed in seeds {
+        let mut full = MultiCast::new(n);
+        let of = run(&mut full, &mut NoAdversary, seed, &EngineConfig::default());
+        assert!(of.all_halted);
+        virt_slots_full.push(of.slots as f64);
+        cost_full.push(of.mean_cost());
+
+        let mut limited = MultiCastC::new(n, 4);
+        let ol = run(
+            &mut limited,
+            &mut NoAdversary,
+            seed,
+            &EngineConfig::default(),
+        );
+        assert!(ol.all_halted);
+        // 4 physical slots per round (n/2 = 16 virtual channels / 4).
+        assert_eq!(ol.slots % 4, 0);
+        virt_slots_c4.push(ol.slots as f64 / 4.0);
+        cost_c4.push(ol.mean_cost());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Virtual-time and energy distributions agree across the simulation
+    // (different RNG interleavings, so compare means, not per-seed values).
+    let vt_ratio = mean(&virt_slots_full) / mean(&virt_slots_c4);
+    assert!(
+        (0.9..1.1).contains(&vt_ratio),
+        "virtual slot counts diverge: {vt_ratio}"
+    );
+    let cost_ratio = mean(&cost_full) / mean(&cost_c4);
+    assert!(
+        (0.9..1.1).contains(&cost_ratio),
+        "energy diverges: {cost_ratio}"
+    );
+}
+
+#[test]
+fn sparse_and_dense_sampling_agree_on_protocol_outcomes() {
+    let n = 32u64;
+    let trials = 6u64;
+    let run_mode = |sampling: Sampling| -> (f64, f64) {
+        let mut slots = 0.0;
+        let mut cost = 0.0;
+        for seed in 0..trials {
+            let params = McParams::default();
+            let mut proto = MultiCast::with_params(n, params);
+            let cfg = EngineConfig {
+                sampling,
+                ..EngineConfig::default()
+            };
+            let out = run(&mut proto, &mut NoAdversary, 300 + seed, &cfg);
+            assert!(out.all_halted && out.all_informed);
+            slots += out.slots as f64;
+            cost += out.mean_cost();
+        }
+        (slots / trials as f64, cost / trials as f64)
+    };
+    let (slots_sparse, cost_sparse) = run_mode(Sampling::Sparse);
+    let (slots_dense, cost_dense) = run_mode(Sampling::DensePerNode);
+    // Without jamming both modes halt at the first boundary: identical time.
+    assert_eq!(slots_sparse, slots_dense);
+    let ratio = cost_sparse / cost_dense;
+    assert!(
+        (0.93..1.07).contains(&ratio),
+        "energy distributions diverge: sparse {cost_sparse} vs dense {cost_dense}"
+    );
+}

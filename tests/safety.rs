@@ -1,0 +1,144 @@
+//! Safety: no node ever halts without knowing the message.
+//!
+//! This is the property behind Lemmas 4.2, 5.2 and 6.4/6.5 of the paper:
+//! across every protocol and every adversary strategy, a node that decides
+//! to terminate must already be informed, w.h.p. We sweep the full protocol
+//! × adversary matrix over a batch of seeds and require zero violations.
+
+use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+
+fn protocols(n: u64, t: u64) -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::Core {
+            n,
+            t,
+            params: Default::default(),
+        },
+        ProtocolKind::MultiCast {
+            n,
+            params: Default::default(),
+        },
+        ProtocolKind::MultiCastC {
+            n,
+            c: 4,
+            params: Default::default(),
+        },
+        ProtocolKind::SingleChannel {
+            n,
+            params: Default::default(),
+        },
+    ]
+}
+
+fn adversaries(t: u64) -> Vec<AdversaryKind> {
+    vec![
+        AdversaryKind::Silent,
+        AdversaryKind::Uniform { t, frac: 0.5 },
+        AdversaryKind::Uniform { t, frac: 0.95 },
+        AdversaryKind::Burst { t, start: 0 },
+        AdversaryKind::Pulse {
+            t,
+            period: 128,
+            duty: 64,
+            frac: 0.9,
+        },
+        AdversaryKind::Sweep {
+            t,
+            width: 10,
+            step: 1,
+        },
+        AdversaryKind::RandomSubset { t, k: 10 },
+        AdversaryKind::GilbertElliott {
+            t,
+            p_gb: 0.05,
+            p_bg: 0.05,
+            frac: 0.9,
+        },
+    ]
+}
+
+#[test]
+fn no_protocol_halts_uninformed_under_any_adversary() {
+    let n = 32;
+    let t = 100_000;
+    let mut specs = Vec::new();
+    for proto in protocols(n, t) {
+        for adv in adversaries(t) {
+            for seed in 0..3u64 {
+                specs.push(TrialSpec::new(proto.clone(), adv.clone(), 100 + seed));
+            }
+        }
+    }
+    let results = run_trials(&specs, 0);
+    for r in &results {
+        assert_eq!(
+            r.safety_violations, 0,
+            "{} vs {} (seed {}): node halted uninformed",
+            r.protocol, r.adversary, r.seed
+        );
+        assert!(
+            r.completed,
+            "{} vs {} (seed {}): did not complete within the slot cap",
+            r.protocol, r.adversary, r.seed
+        );
+        assert!(
+            r.all_informed,
+            "{} vs {} (seed {}): finished with uninformed nodes",
+            r.protocol, r.adversary, r.seed
+        );
+    }
+}
+
+#[test]
+fn multicast_adv_is_safe_and_identifies_n() {
+    // MultiCastAdv is expensive, so it gets its own smaller matrix.
+    // Beyond safety, check the E9 property: every helper promotion happened
+    // in phase j = lg n − 1 (the protocol's implicit estimate of n).
+    let n = 16u64;
+    let t = 50_000;
+    let params = rcb::core::AdvParams {
+        alpha: 0.24,
+        ..Default::default()
+    };
+    let mut specs = Vec::new();
+    for adv in [
+        AdversaryKind::Silent,
+        AdversaryKind::Uniform { t, frac: 0.5 },
+        AdversaryKind::Burst { t, start: 0 },
+    ] {
+        for seed in 0..2u64 {
+            specs.push(TrialSpec::new(
+                ProtocolKind::Adv { n, params },
+                adv.clone(),
+                400 + seed,
+            ));
+        }
+    }
+    let results = run_trials(&specs, 0);
+    let want_phase = 3; // lg 16 − 1
+    for r in &results {
+        assert_eq!(
+            r.safety_violations, 0,
+            "adv vs {} seed {}",
+            r.adversary, r.seed
+        );
+        assert!(
+            r.completed,
+            "adv vs {} seed {} incomplete",
+            r.adversary, r.seed
+        );
+        assert!(r.all_informed);
+        assert_eq!(
+            r.helper_phases.len(),
+            n as usize,
+            "every node became a helper"
+        );
+        for &(i, j) in &r.helper_phases {
+            assert_eq!(
+                j, want_phase,
+                "helper at phase {j}, epoch {i} (want {want_phase})"
+            );
+            assert!(i > 4, "helpers cannot appear before epoch lg n");
+        }
+    }
+}
