@@ -18,7 +18,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--list] [--exp <id>[,<id>…]|all] [--full] [--out <file>]\n\
+        "usage: repro [--list] [--exp <id>[,<id>…]|all] [--full] [--threads <k>] [--out <file>]\n\
          ids: {}",
         all_experiments()
             .iter()
@@ -48,6 +48,12 @@ fn main() {
             "--out" => match it.next() {
                 Some(v) => out_path = Some(v.clone()),
                 None => usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                // Experiments resolve their worker counts through
+                // `rcb_harness::resolve_threads`, which honours RCB_THREADS.
+                Some(k) if k > 0 => std::env::set_var("RCB_THREADS", k.to_string()),
+                _ => usage(),
             },
             _ => usage(),
         }
@@ -81,7 +87,15 @@ fn main() {
     );
     print!("{full_report}");
     let total = Instant::now();
-    for e in selected {
+    let n_selected = selected.len();
+    for (i, e) in selected.into_iter().enumerate() {
+        eprintln!(
+            "[repro {}/{}] running {} — {} …",
+            i + 1,
+            n_selected,
+            e.id,
+            e.title
+        );
         let start = Instant::now();
         let report = (e.run)(scale);
         let stamp = format!("_[{} regenerated in {:.1?}]_\n", e.id, start.elapsed());

@@ -1,9 +1,43 @@
 //! Experiments E1–E3: the epidemic primitive and `MultiCastCore`.
+//!
+//! This family runs on the **campaign engine** (`rcb-campaign`): each
+//! experiment declares a grid of [`CellSpec`]s, executes it with
+//! [`run_campaign`] (parallel, streaming aggregation, positional seed
+//! derivation), and renders its table from the per-cell reports. E4+ still
+//! drive `run_trials` directly; porting them is tracked in ROADMAP.md.
 
 use super::header;
 use crate::scale::Scale;
-use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb_stats::{fit_power_law, Summary, Table};
+use rcb_campaign::{run_campaign, CampaignConfig, CampaignSpec, CellReport, CellSpec};
+use rcb_harness::{AdversaryKind, ProtocolKind};
+use rcb_stats::{fit_power_law, Table};
+
+/// Run a grid of cells under the campaign engine and return the per-cell
+/// reports in cell order.
+fn campaign(name: &str, cells: Vec<CellSpec>, seeds: u64, master_seed: u64) -> Vec<CellReport> {
+    let spec = CampaignSpec {
+        name: name.to_string(),
+        description: String::new(),
+        cells,
+    };
+    run_campaign(
+        &spec,
+        &CampaignConfig {
+            seed: master_seed,
+            trials_per_cell: seeds,
+            threads: 0,
+            max_slots: None,
+            progress: false,
+        },
+    )
+    .cells
+}
+
+/// 95% half-width on the mean from a cell's streaming moments.
+fn ci95(c: &CellReport) -> f64 {
+    let m = &c.completion_slots;
+    1.96 * m.std_dev / (m.count as f64).sqrt()
+}
 
 /// E1 — epidemic growth beats 90% jamming (Claim 4.1.1 / Lemma 4.1).
 pub fn e1_epidemic_growth(scale: Scale) -> String {
@@ -19,10 +53,33 @@ pub fn e1_epidemic_growth(scale: Scale) -> String {
          so the naive epidemic completes in O(lg n) slots.",
         &format!(
             "NaiveEpidemic (everyone acts every slot) on n/2 channels; uniform \
-             jammer with unbounded budget jamming a fixed fraction; {seeds} seeds; \
-             time = slots until all n nodes are informed."
+             jammer with effectively unbounded budget jamming a fixed fraction; \
+             {seeds} seeds per cell via the campaign engine; time = slots until \
+             all n nodes are informed."
         ),
     );
+
+    // One cell per (n, frac), in nested loop order.
+    let mut cells = Vec::new();
+    for &n in ns {
+        for &frac in &fracs {
+            cells.push(
+                CellSpec::new(
+                    ProtocolKind::Naive { n, act_prob: 1.0 },
+                    if frac == 0.0 {
+                        AdversaryKind::Silent
+                    } else {
+                        AdversaryKind::Uniform {
+                            t: u64::MAX / 8,
+                            frac,
+                        }
+                    },
+                )
+                .with_max_slots(10_000_000),
+            );
+        }
+    }
+    let reports = campaign("e1-epidemic-growth", cells, seeds, 11_000);
 
     let mut table = Table::new(&[
         "n",
@@ -32,40 +89,24 @@ pub fn e1_epidemic_growth(scale: Scale) -> String {
         "90% slots / lg n",
     ]);
     let mut per_lgn = Vec::new();
-    for &n in ns {
-        let mut cells = vec![n.to_string()];
+    for (i, &n) in ns.iter().enumerate() {
+        let mut row = vec![n.to_string()];
         let mut jam90 = 0.0;
-        for &frac in &fracs {
-            let specs: Vec<TrialSpec> = (0..seeds)
-                .map(|s| {
-                    TrialSpec::new(
-                        ProtocolKind::Naive { n, act_prob: 1.0 },
-                        if frac == 0.0 {
-                            AdversaryKind::Silent
-                        } else {
-                            AdversaryKind::Uniform {
-                                t: u64::MAX / 2,
-                                frac,
-                            }
-                        },
-                        11_000 + n + s,
-                    )
-                    .with_max_slots(10_000_000)
-                })
-                .collect();
-            let rs = run_trials(&specs, 0);
-            assert!(rs.iter().all(|r| r.completed), "E1: epidemic must complete");
-            let times: Vec<f64> = rs.iter().map(|r| r.completion_time() as f64).collect();
-            let s = Summary::of(&times).expect("nonempty");
-            cells.push(format!("{:.0} ± {:.0}", s.mean, s.ci95()));
+        for (j, &frac) in fracs.iter().enumerate() {
+            let c = &reports[i * fracs.len() + j];
+            assert_eq!(
+                c.completed, c.trials,
+                "E1: epidemic must complete (n={n}, frac={frac})"
+            );
+            row.push(format!("{:.0} ± {:.0}", c.completion_slots.mean, ci95(c)));
             if frac == 0.9 {
-                jam90 = s.mean;
+                jam90 = c.completion_slots.mean;
             }
         }
         let lgn = (n as f64).log2();
         per_lgn.push(jam90 / lgn);
-        cells.push(format!("{:.1}", jam90 / lgn));
-        table.row(&cells);
+        row.push(format!("{:.1}", jam90 / lgn));
+        table.row(&row);
     }
     out.push_str(&table.markdown());
     let spread = per_lgn.iter().cloned().fold(f64::MIN, f64::max)
@@ -99,40 +140,38 @@ pub fn e2_core_scaling(scale: Scale) -> String {
          dominates the logarithmic floor.",
         &format!(
             "n = {n} (32 channels), uniform jammer at 90% of the band; Core is \
-             given the true T; {seeds} seeds per budget."
+             given the true T; {seeds} seeds per budget via the campaign engine."
         ),
     );
+
+    let cells = budgets
+        .iter()
+        .map(|&t| {
+            CellSpec::new(
+                ProtocolKind::Core {
+                    n,
+                    t,
+                    params: Default::default(),
+                },
+                if t == 0 {
+                    AdversaryKind::Silent
+                } else {
+                    AdversaryKind::Uniform { t, frac: 0.9 }
+                },
+            )
+            .with_max_slots(2_000_000_000)
+        })
+        .collect();
+    let reports = campaign("e2-core-scaling", cells, seeds, 22_000);
 
     let mut table = Table::new(&["T", "time (slots)", "time·n/T", "max node cost", "cost·n/T"]);
     let mut time_points = Vec::new();
     let mut cost_points = Vec::new();
-    for &t in budgets {
-        let specs: Vec<TrialSpec> = (0..seeds)
-            .map(|s| {
-                TrialSpec::new(
-                    ProtocolKind::Core {
-                        n,
-                        t,
-                        params: Default::default(),
-                    },
-                    if t == 0 {
-                        AdversaryKind::Silent
-                    } else {
-                        AdversaryKind::Uniform { t, frac: 0.9 }
-                    },
-                    22_000 + t + s,
-                )
-            })
-            .collect();
-        let rs = run_trials(&specs, 0);
-        for r in &rs {
-            assert!(
-                r.completed && r.safety_violations == 0,
-                "E2 trial failed: {r:?}"
-            );
-        }
-        let time = rs.iter().map(|r| r.completion_time() as f64).sum::<f64>() / rs.len() as f64;
-        let cost = rs.iter().map(|r| r.max_cost as f64).sum::<f64>() / rs.len() as f64;
+    for (c, &t) in reports.iter().zip(budgets) {
+        assert_eq!(c.completed, c.trials, "E2 trial failed at T={t}");
+        assert_eq!(c.safety_violations, 0, "E2 safety violation at T={t}");
+        let time = c.completion_slots.mean;
+        let cost = c.max_node_cost.mean;
         if t > 0 {
             time_points.push((t as f64, time));
             cost_points.push((t as f64, cost));
@@ -187,37 +226,38 @@ pub fn e3_core_fast_termination(scale: Scale) -> String {
         &format!(
             "n = {n}; front-loaded full-band burst spends the whole budget in the \
              first T/(n/2) slots; gap = (last halt + 1) − (jam end), reported in \
-             units of the iteration length R; {seeds} seeds."
+             units of the iteration length R; {seeds} seeds per budget via the \
+             campaign engine."
         ),
     );
 
+    let cells = budgets
+        .iter()
+        .map(|&t| {
+            CellSpec::new(
+                ProtocolKind::Core {
+                    n,
+                    t,
+                    params: Default::default(),
+                },
+                AdversaryKind::Burst { t, start: 0 },
+            )
+            .with_max_slots(2_000_000_000)
+        })
+        .collect();
+    let reports = campaign("e3-core-fast-termination", cells, seeds, 33_000);
+
     let mut table = Table::new(&["T", "jam end (slot)", "R", "gap (slots)", "gap / R"]);
     let mut worst_ratio: f64 = 0.0;
-    for &t in budgets {
+    for (c, &t) in reports.iter().zip(budgets) {
         let jam_end = t / (n / 2);
-        let specs: Vec<TrialSpec> = (0..seeds)
-            .map(|s| {
-                TrialSpec::new(
-                    ProtocolKind::Core {
-                        n,
-                        t,
-                        params: Default::default(),
-                    },
-                    AdversaryKind::Burst { t, start: 0 },
-                    33_000 + t + s,
-                )
-            })
-            .collect();
-        let rs = run_trials(&specs, 0);
+        assert_eq!(c.completed, c.trials, "E3 trial failed at T={t}");
+        assert_eq!(c.all_informed, c.trials, "E3 trial uninformed at T={t}");
         // Recover R from the protocol parameters.
         let r_len = rcb_core::MultiCastCore::new(n, t).iteration_len();
-        let mut gaps = Vec::new();
-        for r in &rs {
-            assert!(r.completed && r.all_informed, "E3 trial failed");
-            let end = r.last_halt.expect("halted") + 1;
-            gaps.push(end.saturating_sub(jam_end) as f64);
-        }
-        let gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        // completion_slots = last halt + 1, so the mean gap is the mean
+        // completion minus the (deterministic) jam end.
+        let gap = (c.completion_slots.mean - jam_end as f64).max(0.0);
         let ratio = gap / r_len as f64;
         worst_ratio = worst_ratio.max(ratio);
         table.row(&[

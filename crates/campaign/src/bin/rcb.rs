@@ -1,0 +1,164 @@
+//! `rcb` — run named campaigns from the scenario catalog.
+//!
+//! ```text
+//! rcb list                                  # the scenario catalog
+//! rcb describe <scenario>                   # cells of one scenario
+//! rcb run <scenario> [--trials N] [--seed S] [--threads K]
+//!                    [--max-slots M] [--out FILE] [--quiet]
+//! ```
+//!
+//! `run` prints a human summary table to stdout and, with `--out`, writes
+//! the schema-versioned JSON artifact. The artifact depends only on
+//! (scenario, seed, trials, max-slots): rerunning with the same seed gives
+//! byte-identical files at any `--threads` value.
+
+use rcb_campaign::{find, registry, run_campaign, CampaignConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
+         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] [--quiet]\n\
+         \nscenarios:\n{}",
+        registry()
+            .iter()
+            .map(|s| format!("  {:<18} {}", s.name, s.summary))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("missing value for {flag}");
+        usage()
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {v}");
+        usage()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("describe") => match args.get(1) {
+            Some(name) => cmd_describe(name),
+            None => usage(),
+        },
+        Some("run") => match args.get(1) {
+            Some(name) => cmd_run(name, &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!("scenario catalog ({} entries):\n", registry().len());
+    for s in registry() {
+        let cells = (s.build)().cells.len();
+        println!("  {:<18} {:>3} cells  {}", s.name, cells, s.summary);
+    }
+    println!("\nrun with: rcb run <scenario> --trials 1000 --out BENCH_<scenario>.json");
+}
+
+fn cmd_describe(name: &str) {
+    let Some(s) = find(name) else {
+        eprintln!("unknown scenario: {name}");
+        usage()
+    };
+    let spec = (s.build)();
+    println!("# {} — {}\n\n{}\n", spec.name, s.summary, spec.description);
+    println!("{} cells:", spec.cells.len());
+    for (i, c) in spec.cells.iter().enumerate() {
+        println!(
+            "  [{i:>2}] {:<16} vs {:<20} n = {:<6} T = {:<10} cap = {}",
+            c.protocol.name(),
+            c.adversary.name(),
+            c.protocol.n(),
+            c.adversary.budget(),
+            c.max_slots,
+        );
+    }
+}
+
+fn cmd_run(name: &str, rest: &[String]) {
+    let Some(s) = find(name) else {
+        eprintln!("unknown scenario: {name}");
+        usage()
+    };
+
+    let mut cfg = CampaignConfig {
+        progress: true,
+        ..CampaignConfig::default()
+    };
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => cfg.trials_per_cell = parse(arg, it.next()),
+            "--seed" => cfg.seed = parse(arg, it.next()),
+            "--threads" => cfg.threads = parse(arg, it.next()),
+            "--max-slots" => cfg.max_slots = Some(parse(arg, it.next())),
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--quiet" => cfg.progress = false,
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+    if cfg.trials_per_cell == 0 {
+        eprintln!("--trials must be at least 1");
+        usage()
+    }
+
+    // Open the artifact file before the (potentially long) run so a bad
+    // path fails in milliseconds, not after the campaign.
+    let mut out_file = out_path.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2)
+        })
+    });
+
+    let spec = (s.build)();
+    let threads_used = rcb_harness::resolve_threads(cfg.threads);
+    if cfg.progress {
+        eprintln!(
+            "[rcb] campaign {}: {} cells x {} trials = {} total, seed {}, {} threads",
+            spec.name,
+            spec.cells.len(),
+            cfg.trials_per_cell,
+            spec.cells.len() as u64 * cfg.trials_per_cell,
+            cfg.seed,
+            threads_used,
+        );
+    }
+
+    let start = Instant::now();
+    let report = run_campaign(&spec, &cfg);
+    let elapsed = start.elapsed();
+
+    println!("{}", report.to_table());
+    eprintln!("[rcb] completed in {elapsed:.1?}");
+
+    let violations: u64 = report.cells.iter().map(|c| c.safety_violations).sum();
+    if violations > 0 {
+        eprintln!("[rcb] WARNING: {violations} safety violation(s) — protocol bug");
+    }
+
+    if let (Some(f), Some(path)) = (out_file.as_mut(), out_path.as_ref()) {
+        f.write_all(report.to_json().as_bytes())
+            .expect("write artifact");
+        println!("artifact written to {path}");
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

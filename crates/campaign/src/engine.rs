@@ -1,0 +1,407 @@
+//! The parallel campaign engine.
+//!
+//! Executes every cell of a [`CampaignSpec`] for `trials_per_cell` seeds,
+//! sharding trials across worker threads, and aggregates **streamingly**:
+//! no `TrialResult` vector is ever materialized. Workers distill each trial
+//! into a ~100-byte [`TrialMetrics`] and send it to the aggregator thread,
+//! which feeds per-cell accumulators ([`CellAccumulator`]) built from
+//! `rcb-stats` streaming moments and quantile sketches. Memory is
+//! `O(cells · sketch)` + a small reorder buffer, independent of the trial
+//! count.
+//!
+//! ## Determinism
+//!
+//! Two mechanisms make a campaign bit-identical for a given seed at *any*
+//! thread count:
+//!
+//! 1. **Seed derivation is positional.** Trial `g` (global index: cell
+//!    `g / trials_per_cell`, replicate `g % trials_per_cell`) always runs
+//!    with master seed `derive_seed(campaign_seed, g)`, no matter which
+//!    worker claims it.
+//! 2. **Aggregation order is positional.** Workers return metrics tagged
+//!    with `g`; the aggregator holds them in a reorder buffer and ingests
+//!    strictly in increasing `g`. Floating-point accumulation order is
+//!    therefore fixed, so even the non-associative Welford updates produce
+//!    identical bits.
+
+use crate::report::{CampaignReport, CellReport, MetricReport};
+use crate::scenario::{CampaignSpec, CellSpec};
+use rcb_harness::{run_trial, TrialResult, TrialSpec};
+use rcb_sim::derive_seed;
+use rcb_stats::{QuantileSketch, StreamingMoments};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// How a campaign is executed. Everything that affects the *artifact* is
+/// here except `threads` and `progress`, which by design cannot affect it.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Campaign master seed; every trial seed derives from it.
+    pub seed: u64,
+    /// Trials per cell.
+    pub trials_per_cell: u64,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+    /// Override every cell's engine slot cap (None = use the cell's own).
+    pub max_slots: Option<u64>,
+    /// Print progress lines to stderr while running.
+    pub progress: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            trials_per_cell: 100,
+            threads: 0,
+            max_slots: None,
+            progress: false,
+        }
+    }
+}
+
+/// The distilled per-trial record that crosses the worker/aggregator
+/// channel. Fixed-size — campaigns never hold per-trial data beyond the
+/// reorder buffer.
+#[derive(Clone, Copy, Debug)]
+struct TrialMetrics {
+    completion_slots: u64,
+    max_cost: u64,
+    mean_cost: f64,
+    source_cost: u64,
+    eve_spent: u64,
+    completed: bool,
+    all_informed: bool,
+    safety_violations: u64,
+}
+
+impl TrialMetrics {
+    fn from_result(r: &TrialResult) -> Self {
+        Self {
+            completion_slots: r.completion_time(),
+            max_cost: r.max_cost,
+            mean_cost: r.mean_cost,
+            source_cost: r.source_cost,
+            eve_spent: r.eve_spent,
+            completed: r.completed,
+            all_informed: r.all_informed,
+            safety_violations: r.safety_violations as u64,
+        }
+    }
+}
+
+/// Streaming aggregate over one cell's trials.
+#[derive(Clone, Debug)]
+pub(crate) struct CellAccumulator {
+    trials: u64,
+    completed: u64,
+    all_informed: u64,
+    safety_violations: u64,
+    completion_slots: MetricAcc,
+    max_cost: MetricAcc,
+    mean_cost: MetricAcc,
+    source_cost: MetricAcc,
+    eve_spent: MetricAcc,
+}
+
+/// Moments + quantile sketch for one metric.
+#[derive(Clone, Debug)]
+struct MetricAcc {
+    moments: StreamingMoments,
+    sketch: QuantileSketch,
+}
+
+impl MetricAcc {
+    fn new() -> Self {
+        Self {
+            moments: StreamingMoments::new(),
+            sketch: QuantileSketch::new(),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        self.sketch.push(x);
+    }
+
+    fn report(&self) -> MetricReport {
+        MetricReport {
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            std_dev: self.moments.std_dev(),
+            min: self.moments.min().unwrap_or(0.0),
+            max: self.moments.max().unwrap_or(0.0),
+            p50: self.sketch.quantile(0.5).unwrap_or(0.0),
+            p90: self.sketch.quantile(0.9).unwrap_or(0.0),
+            p99: self.sketch.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+impl CellAccumulator {
+    fn new() -> Self {
+        Self {
+            trials: 0,
+            completed: 0,
+            all_informed: 0,
+            safety_violations: 0,
+            completion_slots: MetricAcc::new(),
+            max_cost: MetricAcc::new(),
+            mean_cost: MetricAcc::new(),
+            source_cost: MetricAcc::new(),
+            eve_spent: MetricAcc::new(),
+        }
+    }
+
+    fn push(&mut self, m: &TrialMetrics) {
+        self.trials += 1;
+        self.completed += m.completed as u64;
+        self.all_informed += m.all_informed as u64;
+        self.safety_violations += m.safety_violations;
+        self.completion_slots.push(m.completion_slots as f64);
+        self.max_cost.push(m.max_cost as f64);
+        self.mean_cost.push(m.mean_cost);
+        self.source_cost.push(m.source_cost as f64);
+        self.eve_spent.push(m.eve_spent as f64);
+    }
+
+    fn report(&self, cell: &CellSpec, max_slots: u64) -> CellReport {
+        CellReport {
+            protocol: cell.protocol.name().to_string(),
+            adversary: cell.adversary.name().to_string(),
+            n: cell.protocol.n(),
+            budget: cell.adversary.budget(),
+            max_slots,
+            trials: self.trials,
+            completed: self.completed,
+            all_informed: self.all_informed,
+            completion_rate: if self.trials == 0 {
+                0.0
+            } else {
+                self.completed as f64 / self.trials as f64
+            },
+            safety_violations: self.safety_violations,
+            completion_slots: self.completion_slots.report(),
+            max_node_cost: self.max_cost.report(),
+            mean_node_cost: self.mean_cost.report(),
+            source_cost: self.source_cost.report(),
+            eve_spent: self.eve_spent.report(),
+        }
+    }
+}
+
+/// Build the `TrialSpec` for global trial index `g`.
+fn trial_spec(spec: &CampaignSpec, cfg: &CampaignConfig, g: u64) -> TrialSpec {
+    let cell = &spec.cells[(g / cfg.trials_per_cell) as usize];
+    TrialSpec::new(
+        cell.protocol.clone(),
+        cell.adversary.clone(),
+        derive_seed(cfg.seed, g),
+    )
+    .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
+}
+
+/// A `(global index, metrics)` pair ordered for a min-heap on the index.
+struct Pending(u64, TrialMetrics);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0) // reversed: BinaryHeap is a max-heap
+    }
+}
+
+/// Run a campaign: every cell × `trials_per_cell` seeds, aggregated
+/// streamingly. See the module docs for the determinism argument.
+///
+/// # Panics
+/// Panics if the spec has no cells or `trials_per_cell` is 0.
+pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
+    assert!(!spec.cells.is_empty(), "campaign has no cells");
+    assert!(cfg.trials_per_cell > 0, "campaign needs at least one trial");
+    let total = spec.cells.len() as u64 * cfg.trials_per_cell;
+    let threads = rcb_harness::resolve_threads(cfg.threads)
+        .min(total as usize)
+        .max(1);
+
+    let mut accs: Vec<CellAccumulator> =
+        spec.cells.iter().map(|_| CellAccumulator::new()).collect();
+
+    let next = AtomicU64::new(0);
+    // Bounded channel: workers stall rather than flood the aggregator, so
+    // the reorder buffer stays small even with a straggler trial.
+    let (tx, rx) = mpsc::sync_channel::<Pending>(1024);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= total {
+                    break;
+                }
+                let ts = trial_spec(spec, cfg, g);
+                let metrics = TrialMetrics::from_result(&run_trial(&ts));
+                if tx.send(Pending(g, metrics)).is_err() {
+                    break; // aggregator gone; shutting down
+                }
+            });
+        }
+        drop(tx);
+
+        // Aggregate strictly in global-index order.
+        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut expected: u64 = 0;
+        let progress_step = (total / 20).max(1);
+        for pending in rx.iter() {
+            heap.push(pending);
+            while heap.peek().is_some_and(|p| p.0 == expected) {
+                let Pending(g, m) = heap.pop().expect("peeked");
+                accs[(g / cfg.trials_per_cell) as usize].push(&m);
+                expected += 1;
+                if cfg.progress && (expected.is_multiple_of(progress_step) || expected == total) {
+                    eprintln!(
+                        "[rcb] {}: {expected}/{total} trials ({:.0}%)",
+                        spec.name,
+                        100.0 * expected as f64 / total as f64
+                    );
+                }
+            }
+        }
+        assert_eq!(expected, total, "aggregator lost trials");
+    });
+
+    CampaignReport {
+        campaign: spec.name.clone(),
+        description: spec.description.clone(),
+        seed: cfg.seed,
+        trials_per_cell: cfg.trials_per_cell,
+        total_trials: total,
+        cells: spec
+            .cells
+            .iter()
+            .zip(&accs)
+            .map(|(cell, acc)| acc.report(cell, cfg.max_slots.unwrap_or(cell.max_slots)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_harness::{AdversaryKind, ProtocolKind};
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            description: "test".into(),
+            cells: vec![
+                CellSpec::new(
+                    ProtocolKind::Naive {
+                        n: 16,
+                        act_prob: 1.0,
+                    },
+                    AdversaryKind::Silent,
+                )
+                .with_max_slots(100_000),
+                CellSpec::new(
+                    ProtocolKind::Naive {
+                        n: 16,
+                        act_prob: 1.0,
+                    },
+                    AdversaryKind::Uniform { t: 500, frac: 0.5 },
+                )
+                .with_max_slots(100_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_aggregates_every_trial() {
+        let report = run_campaign(
+            &tiny_spec(),
+            &CampaignConfig {
+                seed: 7,
+                trials_per_cell: 10,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.total_trials, 20);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 10);
+            assert_eq!(cell.completed, 10, "naive epidemic always completes");
+            assert_eq!(cell.safety_violations, 0);
+            assert_eq!(cell.completion_slots.count, 10);
+            assert!(cell.completion_slots.mean > 0.0);
+            assert!(cell.completion_slots.min <= cell.completion_slots.p50);
+            assert!(cell.completion_slots.p50 <= cell.completion_slots.max * 1.02);
+        }
+        // The jammed cell can only be slower on average.
+        assert!(
+            report.cells[1].completion_slots.mean >= report.cells[0].completion_slots.mean * 0.5
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let spec = tiny_spec();
+        let run = |threads| {
+            run_campaign(
+                &spec,
+                &CampaignConfig {
+                    seed: 42,
+                    trials_per_cell: 16,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .to_json()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "1 vs 4 threads");
+        assert_eq!(one, run(8), "1 vs 8 threads");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = tiny_spec();
+        let run = |seed| {
+            run_campaign(
+                &spec,
+                &CampaignConfig {
+                    seed,
+                    trials_per_cell: 8,
+                    threads: 2,
+                    ..Default::default()
+                },
+            )
+            .to_json()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cells")]
+    fn empty_campaign_panics() {
+        let spec = CampaignSpec {
+            name: "x".into(),
+            description: String::new(),
+            cells: vec![],
+        };
+        run_campaign(&spec, &CampaignConfig::default());
+    }
+}

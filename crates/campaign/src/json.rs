@@ -1,0 +1,217 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The offline dependency set has no `serde`, so campaign artifacts are
+//! emitted through this hand-rolled value tree. Object keys keep insertion
+//! order (a `Vec`, not a map), floats print via Rust's shortest-round-trip
+//! `Display`, and there is no whitespace dependence on the environment —
+//! the same report value always serializes to the same bytes, which is what
+//! the campaign determinism guarantee ("same seed ⇒ byte-identical
+//! artifact, any thread count") rests on.
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`]/[`Json::arr`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers get their own variant so counts/seeds never pick up a
+    /// decimal point or exponent.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize pretty-printed with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    // JSON has no NaN/Inf; campaigns never produce them, but
+                    // degrade to null rather than emit an invalid document.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i as i128)
+    }
+}
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i128)
+    }
+}
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i as i128)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i as i128)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escaping() {
+        assert_eq!(Json::Null.to_compact(), "null");
+        assert_eq!(Json::from(true).to_compact(), "true");
+        assert_eq!(Json::from(42u64).to_compact(), "42");
+        assert_eq!(Json::from(1.5).to_compact(), "1.5");
+        assert_eq!(Json::from(3.0).to_compact(), "3");
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").to_compact(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structure_compact_and_pretty() {
+        let v = Json::obj(vec![
+            ("name", "x".into()),
+            ("xs", Json::arr(vec![1u64.into(), 2u64.into()])),
+            ("empty", Json::arr(vec![])),
+            ("sub", Json::obj(vec![("k", Json::Null)])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"name":"x","xs":[1,2],"empty":[],"sub":{"k":null}}"#
+        );
+        let pretty = v.to_pretty();
+        assert!(pretty.contains("\n  \"name\": \"x\","));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj(vec![("zzz", 1u64.into()), ("aaa", 2u64.into())]);
+        assert_eq!(v.to_compact(), r#"{"zzz":1,"aaa":2}"#);
+    }
+}

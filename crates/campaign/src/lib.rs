@@ -1,0 +1,35 @@
+//! # rcb-campaign — scenario catalog + parallel campaign engine
+//!
+//! Turns the per-trial harness (`rcb-harness`) into a production workload
+//! driver:
+//!
+//! * [`scenario`] — a **registry of named scenarios**: declarative campaign
+//!   specs (protocol grid × adversary grid × n/T sweep) covering the core
+//!   reproduction, unknown-`n`, limited channels, adaptive-jammer proxies,
+//!   Gilbert–Elliott bursty noise, sweeping interference, baseline races,
+//!   and scaling ladders. Adding a workload is one ~30-line registry entry.
+//! * [`engine`] — a **parallel campaign runner** that shards trials across
+//!   cores with positional seed derivation
+//!   (`derive_seed(campaign_seed, trial_idx)`) and strict-order streaming
+//!   aggregation, so a campaign's result is **bit-identical at any thread
+//!   count** and memory stays flat no matter how many trials run.
+//! * [`report`] — the **schema-versioned JSON artifact**
+//!   (`BENCH_<scenario>.json`-ready) plus a human summary table.
+//!
+//! The `rcb` binary (`src/bin/rcb.rs`) is the command-line face:
+//!
+//! ```text
+//! rcb list
+//! rcb describe core-repro
+//! rcb run core-repro --trials 1000 --seed 1 --out BENCH_core.json
+//! ```
+
+pub mod engine;
+pub mod json;
+pub mod report;
+pub mod scenario;
+
+pub use engine::{run_campaign, CampaignConfig};
+pub use json::Json;
+pub use report::{CampaignReport, CellReport, MetricReport, SCHEMA_VERSION};
+pub use scenario::{find, registry, CampaignSpec, CellSpec, Scenario};

@@ -1,0 +1,237 @@
+//! Campaign artifacts: the schema-versioned JSON report and the human
+//! table.
+//!
+//! The JSON artifact is the machine-readable product of a campaign — the
+//! file that seeds the repo's `BENCH_<scenario>.json` performance
+//! trajectory. Its byte content is a pure function of (scenario, seed,
+//! trials, max-slots override); thread count, wall-clock time, and host
+//! never leak into it. Bump [`SCHEMA_VERSION`] on any field change.
+
+use crate::json::Json;
+use rcb_stats::Table;
+
+/// Version of the JSON artifact schema. History:
+///
+/// * **1** — initial schema: campaign header + per-cell
+///   counts/rates/metric distributions (mean/std/min/max/p50/p90/p99).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Distribution summary of one metric over a cell's trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricReport {
+    pub count: u64,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Quantiles from the streaming sketch (1% relative error).
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl MetricReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.into()),
+            ("mean", self.mean.into()),
+            ("std_dev", self.std_dev.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+            ("p50", self.p50.into()),
+            ("p90", self.p90.into()),
+            ("p99", self.p99.into()),
+        ])
+    }
+}
+
+/// Aggregated results for one campaign cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellReport {
+    pub protocol: String,
+    pub adversary: String,
+    pub n: u64,
+    /// Eve's budget `T` for this cell.
+    pub budget: u64,
+    /// Engine slot cap the cell ran under.
+    pub max_slots: u64,
+    pub trials: u64,
+    pub completed: u64,
+    pub all_informed: u64,
+    pub completion_rate: f64,
+    /// Summed over trials; any nonzero value is a protocol bug.
+    pub safety_violations: u64,
+    pub completion_slots: MetricReport,
+    pub max_node_cost: MetricReport,
+    pub mean_node_cost: MetricReport,
+    pub source_cost: MetricReport,
+    pub eve_spent: MetricReport,
+}
+
+impl CellReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("protocol", self.protocol.as_str().into()),
+            ("adversary", self.adversary.as_str().into()),
+            ("n", self.n.into()),
+            ("budget", self.budget.into()),
+            ("max_slots", self.max_slots.into()),
+            ("trials", self.trials.into()),
+            ("completed", self.completed.into()),
+            ("all_informed", self.all_informed.into()),
+            ("completion_rate", self.completion_rate.into()),
+            ("safety_violations", self.safety_violations.into()),
+            (
+                "metrics",
+                Json::obj(vec![
+                    ("completion_slots", self.completion_slots.to_json()),
+                    ("max_node_cost", self.max_node_cost.to_json()),
+                    ("mean_node_cost", self.mean_node_cost.to_json()),
+                    ("source_cost", self.source_cost.to_json()),
+                    ("eve_spent", self.eve_spent.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The full campaign artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    pub campaign: String,
+    pub description: String,
+    pub seed: u64,
+    pub trials_per_cell: u64,
+    pub total_trials: u64,
+    /// One entry per cell, in spec order.
+    pub cells: Vec<CellReport>,
+}
+
+impl CampaignReport {
+    /// Serialize as the schema-versioned, pretty-printed JSON artifact.
+    /// Deterministic: same report ⇒ same bytes.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema_version", SCHEMA_VERSION.into()),
+            ("kind", "rcb-campaign-report".into()),
+            ("campaign", self.campaign.as_str().into()),
+            ("description", self.description.as_str().into()),
+            ("seed", self.seed.into()),
+            ("trials_per_cell", self.trials_per_cell.into()),
+            ("total_trials", self.total_trials.into()),
+            (
+                "cells",
+                Json::arr(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Render the human-facing summary table (via `rcb-stats`).
+    pub fn to_table(&self) -> String {
+        let mut table = Table::new(&[
+            "protocol",
+            "adversary",
+            "n",
+            "T",
+            "trials",
+            "ok",
+            "time p50",
+            "time p99",
+            "maxcost p50",
+            "eve mean",
+            "viol",
+        ]);
+        for c in &self.cells {
+            table.row(&[
+                c.protocol.clone(),
+                c.adversary.clone(),
+                c.n.to_string(),
+                c.budget.to_string(),
+                c.trials.to_string(),
+                format!("{:.0}%", 100.0 * c.completion_rate),
+                format!("{:.0}", c.completion_slots.p50),
+                format!("{:.0}", c.completion_slots.p99),
+                format!("{:.0}", c.max_node_cost.p50),
+                format!("{:.0}", c.eve_spent.mean),
+                c.safety_violations.to_string(),
+            ]);
+        }
+        format!(
+            "# campaign `{}` — seed {}, {} trials/cell, {} total\n\n{}",
+            self.campaign,
+            self.seed,
+            self.trials_per_cell,
+            self.total_trials,
+            table.markdown()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(v: f64) -> MetricReport {
+        MetricReport {
+            count: 3,
+            mean: v,
+            std_dev: 0.5,
+            min: v - 1.0,
+            max: v + 1.0,
+            p50: v,
+            p90: v + 0.5,
+            p99: v + 0.9,
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            campaign: "demo".into(),
+            description: "a \"quoted\" description".into(),
+            seed: 9,
+            trials_per_cell: 3,
+            total_trials: 3,
+            cells: vec![CellReport {
+                protocol: "MultiCast".into(),
+                adversary: "uniform".into(),
+                n: 64,
+                budget: 1000,
+                max_slots: 5000,
+                trials: 3,
+                completed: 3,
+                all_informed: 3,
+                completion_rate: 1.0,
+                safety_violations: 0,
+                completion_slots: metric(120.0),
+                max_node_cost: metric(14.0),
+                mean_node_cost: metric(9.0),
+                source_cost: metric(11.0),
+                eve_spent: metric(800.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_version_and_escapes() {
+        let j = report().to_json();
+        assert!(j.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(j.contains("\"kind\": \"rcb-campaign-report\""));
+        assert!(j.contains(r#"a \"quoted\" description"#));
+        assert!(j.contains("\"completion_slots\""));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_is_reproducible() {
+        assert_eq!(report().to_json(), report().to_json());
+    }
+
+    #[test]
+    fn table_renders_every_cell() {
+        let t = report().to_table();
+        assert!(t.contains("MultiCast"));
+        assert!(t.contains("| 100%"));
+        assert!(t.contains("campaign `demo`"));
+    }
+}

@@ -1,0 +1,417 @@
+//! The scenario catalog: named, declarative campaign specs.
+//!
+//! A **scenario** is a named recipe that expands into a [`CampaignSpec`] —
+//! a flat list of [`CellSpec`]s (protocol × adversary × engine cap). The
+//! campaign engine runs every cell for the requested number of trials and
+//! aggregates each cell independently, so adding a workload to the catalog
+//! is ~30 lines of grid-building here rather than a bespoke experiment
+//! file.
+//!
+//! The registry covers the reproduction's core claims plus the scenario-
+//! diversity axis motivated by the adaptive-adversary follow-up
+//! (arXiv:2001.03936) and the dynamic-network line of work: adaptive
+//! jammers, bursty environmental noise, sweeping interference, baseline
+//! races, and scaling ladders.
+
+use rcb_core::{AdvParams, McParams};
+use rcb_harness::{AdversaryKind, ProtocolKind};
+
+/// One aggregation cell of a campaign: a protocol/adversary pairing run for
+/// many seeds. Everything the engine needs to build a `TrialSpec`, minus
+/// the per-trial seed (the engine derives those).
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    pub protocol: ProtocolKind,
+    pub adversary: AdversaryKind,
+    /// Engine slot cap for this cell's trials.
+    pub max_slots: u64,
+}
+
+impl CellSpec {
+    pub fn new(protocol: ProtocolKind, adversary: AdversaryKind) -> Self {
+        Self {
+            protocol,
+            adversary,
+            // Generous but finite: a stuck cell fails loudly instead of
+            // spinning the campaign forever.
+            max_slots: 50_000_000,
+        }
+    }
+
+    pub fn with_max_slots(mut self, cap: u64) -> Self {
+        self.max_slots = cap;
+        self
+    }
+}
+
+/// A fully-expanded campaign: what `rcb run <scenario>` executes.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    pub name: String,
+    pub description: String,
+    pub cells: Vec<CellSpec>,
+}
+
+/// A catalog entry: a named scenario and the recipe that expands it.
+#[derive(Clone, Copy)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub build: fn() -> CampaignSpec,
+}
+
+/// Every registered scenario, in catalog order.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "core-repro",
+            summary: "MultiCastCore time/cost grid over n and T (Theorem 4.4 shape)",
+            build: core_repro,
+        },
+        Scenario {
+            name: "budget-sweep",
+            summary: "MultiCast vs a T ladder at fixed n (the O(T/n) slope, Theorem 5.4)",
+            build: budget_sweep,
+        },
+        Scenario {
+            name: "unknown-n",
+            summary: "MultiCastAdv (knows nothing) vs uniform and burst jamming",
+            build: unknown_n,
+        },
+        Scenario {
+            name: "limited-channels",
+            summary: "MultiCast(C) channel-count sweep at fixed n (Corollary 7.1)",
+            build: limited_channels,
+        },
+        Scenario {
+            name: "adaptive-proxy",
+            summary: "Reactive and hotspot (execution-observing) jammers vs MultiCast (Section 8)",
+            build: adaptive_proxy,
+        },
+        Scenario {
+            name: "gilbert-elliott",
+            summary: "Bursty environmental noise (Gilbert-Elliott) vs MultiCast and the epidemic",
+            build: gilbert_elliott,
+        },
+        Scenario {
+            name: "sweep-jammer",
+            summary: "Sweeping-window interference at several widths vs MultiCast",
+            build: sweep_jammer,
+        },
+        Scenario {
+            name: "epidemic-race",
+            summary: "Baseline race: naive epidemic vs Decay vs MultiCast vs single-channel",
+            build: epidemic_race,
+        },
+        Scenario {
+            name: "scaling-ladder",
+            summary: "MultiCast across an n ladder with T proportional to n",
+            build: scaling_ladder,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+fn core_repro() -> CampaignSpec {
+    let mut cells = Vec::new();
+    for &n in &[32u64, 64, 128] {
+        for &t in &[8_000u64, 32_000, 128_000] {
+            cells.push(CellSpec::new(
+                ProtocolKind::Core {
+                    n,
+                    t,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+            ));
+        }
+    }
+    CampaignSpec {
+        name: "core-repro".into(),
+        description: "MultiCastCore (knows n and T) against a 90%-band uniform \
+                      jammer, over a 3x3 grid of n and T. Reproduces the \
+                      Theorem 4.4 time/cost shape O(T/n + lg T)."
+            .into(),
+        cells,
+    }
+}
+
+fn budget_sweep() -> CampaignSpec {
+    let n = 64u64;
+    let cells = [4_000u64, 16_000, 64_000, 256_000]
+        .iter()
+        .map(|&t| {
+            CellSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: McParams::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+            )
+        })
+        .collect();
+    CampaignSpec {
+        name: "budget-sweep".into(),
+        description: "MultiCast at n = 64 against a 90%-band uniform jammer \
+                      with budgets 4k..256k. The completion-time column should \
+                      scale ~linearly in T (Theorem 5.4a) while max node cost \
+                      grows only ~sqrt(T) (Theorem 5.4b)."
+            .into(),
+        cells,
+    }
+}
+
+fn unknown_n() -> CampaignSpec {
+    let mut cells = Vec::new();
+    for &n in &[16u64, 32] {
+        for &t in &[5_000u64, 20_000] {
+            cells.push(CellSpec::new(
+                ProtocolKind::Adv {
+                    n,
+                    params: AdvParams::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.5 },
+            ));
+            cells.push(CellSpec::new(
+                ProtocolKind::Adv {
+                    n,
+                    params: AdvParams::default(),
+                },
+                AdversaryKind::Burst { t, start: 0 },
+            ));
+        }
+    }
+    CampaignSpec {
+        name: "unknown-n".into(),
+        description: "MultiCastAdv — no knowledge of n or T — against uniform \
+                      half-band jamming and a front-loaded full-band burst. \
+                      Checks the Theorem 6.10 overhead of learning the network \
+                      size implicitly."
+            .into(),
+        cells,
+    }
+}
+
+fn limited_channels() -> CampaignSpec {
+    let n = 64u64;
+    let t = 20_000u64;
+    let cells = [1u64, 2, 4, 8, 16]
+        .iter()
+        .map(|&c| {
+            CellSpec::new(
+                ProtocolKind::MultiCastC {
+                    n,
+                    c,
+                    params: McParams::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.5 },
+            )
+        })
+        .collect();
+    CampaignSpec {
+        name: "limited-channels".into(),
+        description: "MultiCast(C) at n = 64 with C in {1,2,4,8,16} against a \
+                      half-band uniform jammer (T = 20k). Completion time should \
+                      fall ~inversely in C at C-independent energy \
+                      (Corollary 7.1); C = 1 doubles as the single-channel \
+                      comparator."
+            .into(),
+        cells,
+    }
+}
+
+fn adaptive_proxy() -> CampaignSpec {
+    let mut cells = Vec::new();
+    for &n in &[32u64, 64] {
+        cells.push(CellSpec::new(
+            ProtocolKind::MultiCast {
+                n,
+                params: McParams::default(),
+            },
+            AdversaryKind::Reactive {
+                t: 20_000,
+                max_channels: 8,
+            },
+        ));
+        cells.push(CellSpec::new(
+            ProtocolKind::MultiCast {
+                n,
+                params: McParams::default(),
+            },
+            AdversaryKind::Hotspot {
+                t: 20_000,
+                k: 8,
+                decay: 0.9,
+            },
+        ));
+    }
+    CampaignSpec {
+        name: "adaptive-proxy".into(),
+        description: "MultiCast against the Section 8 adaptive extension: a \
+                      reactive jammer (re-jams last slot's busy channels) and a \
+                      decay-scored hotspot tracker, both execution-observing. \
+                      Proxy for the adaptive-adversary follow-up work."
+            .into(),
+        cells,
+    }
+}
+
+fn gilbert_elliott() -> CampaignSpec {
+    let mut cells = Vec::new();
+    let ge = AdversaryKind::GilbertElliott {
+        t: 50_000,
+        p_gb: 0.05,
+        p_bg: 0.2,
+        frac: 0.6,
+    };
+    for &n in &[32u64, 64] {
+        cells.push(CellSpec::new(
+            ProtocolKind::MultiCast {
+                n,
+                params: McParams::default(),
+            },
+            ge.clone(),
+        ));
+        cells.push(CellSpec::new(
+            ProtocolKind::Naive { n, act_prob: 1.0 },
+            ge.clone(),
+        ));
+    }
+    CampaignSpec {
+        name: "gilbert-elliott".into(),
+        description: "Bursty (two-state Markov) environmental noise jamming 60% \
+                      of the band while in the bad state: realistic, \
+                      non-malicious interference against both MultiCast and the \
+                      naive epidemic."
+            .into(),
+        cells,
+    }
+}
+
+fn sweep_jammer() -> CampaignSpec {
+    let n = 64u64;
+    let t = 40_000u64;
+    let cells = [4u64, 16, 32]
+        .iter()
+        .map(|&width| {
+            CellSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: McParams::default(),
+                },
+                AdversaryKind::Sweep { t, width, step: 1 },
+            )
+        })
+        .collect();
+    CampaignSpec {
+        name: "sweep-jammer".into(),
+        description: "A contiguous window of 4/16/32 channels sweeping across \
+                      the 32-channel band one channel per slot, T = 40k, \
+                      against MultiCast at n = 64."
+            .into(),
+        cells,
+    }
+}
+
+fn epidemic_race() -> CampaignSpec {
+    let mut cells = Vec::new();
+    for &n in &[32u64, 128] {
+        cells.push(CellSpec::new(
+            ProtocolKind::Naive { n, act_prob: 1.0 },
+            AdversaryKind::Silent,
+        ));
+        cells.push(CellSpec::new(
+            ProtocolKind::Decay { n },
+            AdversaryKind::Silent,
+        ));
+        cells.push(CellSpec::new(
+            ProtocolKind::MultiCast {
+                n,
+                params: McParams::default(),
+            },
+            AdversaryKind::Silent,
+        ));
+        cells.push(CellSpec::new(
+            ProtocolKind::SingleChannel {
+                n,
+                params: McParams::default(),
+            },
+            AdversaryKind::Silent,
+        ));
+    }
+    CampaignSpec {
+        name: "epidemic-race".into(),
+        description: "Jam-free baseline race at n = 32 and 128: the naive \
+                      multi-channel epidemic and classical Decay (informed-time \
+                      only; they never halt) against MultiCast and the \
+                      single-channel resource-competitive comparator."
+            .into(),
+        cells,
+    }
+}
+
+fn scaling_ladder() -> CampaignSpec {
+    let cells = [16u64, 32, 64, 128, 256]
+        .iter()
+        .map(|&n| {
+            CellSpec::new(
+                ProtocolKind::MultiCast {
+                    n,
+                    params: McParams::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 100 * n,
+                    frac: 0.5,
+                },
+            )
+        })
+        .collect();
+    CampaignSpec {
+        name: "scaling-ladder".into(),
+        description: "MultiCast up an n ladder (16..256) with the jamming \
+                      budget scaled as T = 100n, half the band jammed. Fixing \
+                      T/n isolates the protocol's n-dependence."
+            .into(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_eight_unique_scenarios() {
+        let reg = registry();
+        assert!(reg.len() >= 8, "only {} scenarios", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_scenario_expands_to_nonempty_cells() {
+        for s in registry() {
+            let spec = (s.build)();
+            assert_eq!(spec.name, s.name, "spec name must match catalog name");
+            assert!(!spec.cells.is_empty(), "{} has no cells", s.name);
+            assert!(!spec.description.is_empty());
+            for cell in &spec.cells {
+                assert!(cell.max_slots > 0);
+                // Budgets must be finite so no campaign can run unbounded.
+                assert!(cell.adversary.budget() < u64::MAX / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("core-repro").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+}

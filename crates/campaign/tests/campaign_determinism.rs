@@ -1,0 +1,162 @@
+//! Cross-cutting guarantees of the campaign subsystem, exercised through
+//! the public API exactly as the `rcb` binary uses it:
+//!
+//! 1. the JSON artifact is byte-identical across thread counts,
+//! 2. streaming aggregation agrees with exact batch statistics,
+//! 3. every registered scenario can actually run end to end.
+
+use rcb_campaign::{find, registry, run_campaign, CampaignConfig, CampaignSpec, CellSpec};
+use rcb_harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_sim::derive_seed;
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "itest".into(),
+        description: "integration test campaign".into(),
+        cells: vec![
+            CellSpec::new(
+                ProtocolKind::Naive {
+                    n: 32,
+                    act_prob: 1.0,
+                },
+                AdversaryKind::Silent,
+            )
+            .with_max_slots(100_000),
+            CellSpec::new(
+                ProtocolKind::MultiCast {
+                    n: 16,
+                    params: Default::default(),
+                },
+                AdversaryKind::Uniform {
+                    t: 2_000,
+                    frac: 0.5,
+                },
+            )
+            .with_max_slots(1_000_000),
+        ],
+    }
+}
+
+/// Same seed ⇒ byte-identical artifact at 1, 2, and 5 threads (the
+/// headline determinism guarantee of the engine).
+#[test]
+fn artifact_is_byte_identical_across_thread_counts() {
+    let spec = small_spec();
+    let json_at = |threads: usize| {
+        run_campaign(
+            &spec,
+            &CampaignConfig {
+                seed: 1234,
+                trials_per_cell: 12,
+                threads,
+                ..Default::default()
+            },
+        )
+        .to_json()
+    };
+    let reference = json_at(1);
+    assert!(reference.contains("\"schema_version\": 1"));
+    assert_eq!(reference, json_at(2));
+    assert_eq!(reference, json_at(5));
+}
+
+/// The streaming aggregates in the report equal exact batch statistics
+/// computed from the same trials run individually through the harness.
+#[test]
+fn streaming_aggregation_matches_exact_batch() {
+    let spec = small_spec();
+    let seed = 777u64;
+    let trials = 9u64;
+    let report = run_campaign(
+        &spec,
+        &CampaignConfig {
+            seed,
+            trials_per_cell: trials,
+            threads: 3,
+            ..Default::default()
+        },
+    );
+
+    for (ci, cell_spec) in spec.cells.iter().enumerate() {
+        // Re-run the exact trials the engine derives for this cell.
+        let results: Vec<_> = (0..trials)
+            .map(|t| {
+                let g = ci as u64 * trials + t;
+                run_trial(
+                    &TrialSpec::new(
+                        cell_spec.protocol.clone(),
+                        cell_spec.adversary.clone(),
+                        derive_seed(seed, g),
+                    )
+                    .with_max_slots(cell_spec.max_slots),
+                )
+            })
+            .collect();
+        let times: Vec<f64> = results.iter().map(|r| r.completion_time() as f64).collect();
+        let exact_mean = times.iter().sum::<f64>() / times.len() as f64;
+        let exact_min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let cell = &report.cells[ci];
+        assert_eq!(cell.trials, trials);
+        assert_eq!(cell.completion_slots.count, trials);
+        assert!(
+            (cell.completion_slots.mean - exact_mean).abs() < 1e-9,
+            "cell {ci}: streaming mean {} vs exact {exact_mean}",
+            cell.completion_slots.mean
+        );
+        assert_eq!(cell.completion_slots.min, exact_min, "cell {ci} min");
+        assert_eq!(cell.completion_slots.max, exact_max, "cell {ci} max");
+        // Sketch quantiles carry a 1% relative-error guarantee.
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact_p50 = sorted[(0.5 * (sorted.len() - 1) as f64).round() as usize];
+        let rel = (cell.completion_slots.p50 - exact_p50).abs() / exact_p50;
+        assert!(rel <= 0.0101, "cell {ci}: p50 rel error {rel}");
+        // Exact counters must match too.
+        let exact_completed = results.iter().filter(|r| r.completed).count() as u64;
+        assert_eq!(cell.completed, exact_completed);
+        assert_eq!(cell.safety_violations, 0);
+    }
+}
+
+/// Every catalog entry expands and survives a 2-trial micro-campaign
+/// end-to-end (the same path `rcb run <scenario> --trials 2` takes), with
+/// a slot cap so a regression cannot hang CI.
+#[test]
+fn every_registered_scenario_runs() {
+    assert!(registry().len() >= 8);
+    for s in registry() {
+        let spec = (s.build)();
+        let report = run_campaign(
+            &spec,
+            &CampaignConfig {
+                seed: 5,
+                trials_per_cell: 2,
+                threads: 0,
+                max_slots: Some(2_000_000),
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.cells.len(), spec.cells.len(), "{}", s.name);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 2, "{}: cell ran wrong trial count", s.name);
+            assert_eq!(
+                cell.safety_violations, 0,
+                "{}: safety violation in {} vs {}",
+                s.name, cell.protocol, cell.adversary
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"campaign\": \"{}\"", s.name)));
+    }
+}
+
+/// `find` resolves exactly the registered names.
+#[test]
+fn catalog_lookup() {
+    for s in registry() {
+        assert!(find(s.name).is_some());
+    }
+    assert!(find("bogus").is_none());
+}

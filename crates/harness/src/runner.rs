@@ -238,8 +238,28 @@ pub fn run_trial_with_observer(spec: &TrialSpec, observer: &mut dyn Observer) ->
     TrialResult::from_outcome(spec, &out)
 }
 
-/// Run many trials in parallel across `threads` workers (0 = one per
-/// available core). Results come back in spec order.
+/// Resolve a requested worker count: 0 means "use the `RCB_THREADS`
+/// environment variable if set, else one per available core". Lets CLI
+/// tools (e.g. `repro --threads`) control parallelism without plumbing a
+/// parameter through every experiment function.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("RCB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Run many trials in parallel across `threads` workers (0 = `RCB_THREADS`
+/// if set, else one per available core). Results come back in spec order.
 ///
 /// ```
 /// use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
@@ -260,42 +280,36 @@ pub fn run_trials(specs: &[TrialSpec], threads: usize) -> Vec<TrialResult> {
     if specs.is_empty() {
         return Vec::new();
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(specs.len());
+    let threads = resolve_threads(threads).min(specs.len());
     if threads <= 1 {
         return specs.iter().map(run_trial).collect();
     }
 
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<TrialResult>>> = specs
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
+    let results: Vec<Mutex<Option<TrialResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= specs.len() {
                     break;
                 }
                 let result = run_trial(&specs[idx]);
-                *results[idx].lock() = Some(result);
+                *results[idx].lock().expect("result slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
         .collect()
 }
 

@@ -1,7 +1,11 @@
 //! Engine fuzzing: random (valid) protocol shapes against random adversaries
 //! must uphold the engine's invariants for every configuration.
+//!
+//! Originally written against the `proptest` crate; this build environment
+//! has no crates.io access, so the same fuzz space is explored as a
+//! deterministic seeded randomized test using [`Xoshiro256`] for the
+//! configuration draws. Case count matches the original config (64).
 
-use proptest::prelude::*;
 use rcb_sim::{
     run, Action, Adversary, BoundaryDecision, Coin, EngineConfig, Feedback, JamSet, Payload,
     Protocol, ProtocolNode, SlotProfile, Xoshiro256,
@@ -100,79 +104,82 @@ impl Adversary for FuzzAdversary {
     }
 }
 
-fn arb_profile() -> impl Strategy<Value = SlotProfile> {
-    (
-        1u64..6,     // channels (log2-ish small)
-        1u32..4,     // round_len
-        1u64..20,    // rounds per segment
-        0.0f64..0.5, // p1
-        0.0f64..0.5, // p2
-    )
-        .prop_map(|(ch, round_len, rounds, p1, p2)| SlotProfile {
-            p1,
-            p2,
-            channels: ch,
-            virt_channels: if round_len == 1 {
-                ch
-            } else {
-                ch * round_len as u64
-            },
-            round_len,
-            seg_len: rounds * round_len as u64,
-            seg_major: 0,
-            seg_minor: 0,
-            step: 0,
-        })
+/// Draw a random-but-valid slot profile (same space as the original
+/// proptest `arb_profile` strategy).
+fn arb_profile(rng: &mut Xoshiro256) -> SlotProfile {
+    let ch = 1 + rng.gen_range(5); // channels (log2-ish small)
+    let round_len = 1 + rng.gen_range(3) as u32; // round_len
+    let rounds = 1 + rng.gen_range(19); // rounds per segment
+    let p1 = rng.next_f64() * 0.5;
+    let p2 = rng.next_f64() * 0.5;
+    SlotProfile {
+        p1,
+        p2,
+        channels: ch,
+        virt_channels: if round_len == 1 {
+            ch
+        } else {
+            ch * round_len as u64
+        },
+        round_len,
+        seg_len: rounds * round_len as u64,
+        seg_major: 0,
+        seg_minor: 0,
+        step: 0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// For any valid configuration: energy ledgers balance, Eve's budget is
+/// respected, node outcomes are internally consistent, and the run is
+/// deterministic.
+#[test]
+fn engine_invariants_hold_under_fuzz() {
+    let mut draw = Xoshiro256::seeded(0xF0221);
+    for case in 0..64 {
+        let profile = arb_profile(&mut draw);
+        let n = 2 + draw.gen_range(18) as u32;
+        let budget = draw.gen_range(5_000);
+        let mode = draw.gen_range(5) as u8;
+        let seed = draw.gen_range(10_000);
+        let cap_rounds = 1 + draw.gen_range(49);
 
-    /// For any valid configuration: energy ledgers balance, Eve's budget is
-    /// respected, node outcomes are internally consistent, and the run is
-    /// deterministic.
-    #[test]
-    fn engine_invariants_hold_under_fuzz(
-        profile in arb_profile(),
-        n in 2u32..20,
-        budget in 0u64..5_000,
-        mode in 0u8..5,
-        seed in 0u64..10_000,
-        cap_rounds in 1u64..50,
-    ) {
         let cap = cap_rounds * profile.round_len as u64;
         let run_once = || {
             let mut proto = FuzzProtocol { n, profile };
-            let mut adv = FuzzAdversary { t: budget, mode, rng: Xoshiro256::seeded(seed) };
+            let mut adv = FuzzAdversary {
+                t: budget,
+                mode,
+                rng: Xoshiro256::seeded(seed),
+            };
             run(&mut proto, &mut adv, seed, &EngineConfig::capped(cap))
         };
         let out = run_once();
 
         // Budget and ledger invariants.
-        prop_assert!(out.eve_spent <= budget);
+        assert!(out.eve_spent <= budget, "case {case}: Eve overspent");
         let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
         let bcasts: u64 = out.nodes.iter().map(|x| x.broadcast_cost).sum();
-        prop_assert_eq!(listens, out.totals.listens);
-        prop_assert_eq!(bcasts, out.totals.broadcasts);
+        assert_eq!(listens, out.totals.listens, "case {case}");
+        assert_eq!(bcasts, out.totals.broadcasts, "case {case}");
         let heard = out.totals.heard_silence + out.totals.heard_message + out.totals.heard_noise;
-        prop_assert_eq!(heard, out.totals.listens);
+        assert_eq!(heard, out.totals.listens, "case {case}");
 
         // Slot accounting.
-        prop_assert!(out.slots <= cap);
+        assert!(out.slots <= cap, "case {case}");
 
         // Node outcome consistency.
-        prop_assert_eq!(out.nodes[0].informed_at, Some(0));
+        assert_eq!(out.nodes[0].informed_at, Some(0), "case {case}");
         for node in &out.nodes {
             if let Some(h) = node.halted_at {
-                prop_assert!(h < out.slots);
+                assert!(h < out.slots, "case {case}");
             }
         }
 
         // Determinism.
         let out2 = run_once();
-        prop_assert_eq!(out.slots, out2.slots);
-        prop_assert_eq!(out.eve_spent, out2.eve_spent);
-        prop_assert_eq!(out.totals, out2.totals);
-        prop_assert_eq!(out.max_cost(), out2.max_cost());
+        assert_eq!(out.slots, out2.slots, "case {case}");
+        assert_eq!(out.eve_spent, out2.eve_spent, "case {case}");
+        assert_eq!(out.totals, out2.totals, "case {case}");
+        assert_eq!(out.max_cost(), out2.max_cost(), "case {case}");
     }
 }

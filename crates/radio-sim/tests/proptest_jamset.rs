@@ -1,117 +1,148 @@
 //! Property tests for jam-set representations and the subset sampler.
+//!
+//! Originally written against the `proptest` crate; this build environment
+//! has no crates.io access, so the same properties are exercised as
+//! deterministic seeded randomized tests driven by the simulator's own
+//! [`Xoshiro256`] generator. Case counts match the original configs.
 
-use proptest::prelude::*;
 use rcb_sim::{bernoulli_subset, JamSet, Xoshiro256};
+
+const CASES: u64 = 128;
 
 /// Materialize a jam set as an explicit membership vector.
 fn members(set: &JamSet, channels: u64) -> Vec<bool> {
     (0..channels).map(|ch| set.contains(ch, channels)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Draw a random raw channel list: `0..max_len` entries in `0..bound`.
+fn raw_channels(rng: &mut Xoshiro256, bound: u64, max_len: u64) -> Vec<u64> {
+    let len = rng.gen_range(max_len);
+    (0..len).map(|_| rng.gen_range(bound)).collect()
+}
 
-    /// `count` always equals the number of `contains` members, for every
-    /// representation.
-    #[test]
-    fn count_matches_membership_list(
-        channels in 1u64..200,
-        raw in proptest::collection::vec(0u64..250, 0..64),
-    ) {
+/// `count` always equals the number of `contains` members, for every
+/// representation.
+#[test]
+fn count_matches_membership_list() {
+    let mut rng = Xoshiro256::seeded(0xAE51);
+    for _ in 0..CASES {
+        let channels = 1 + rng.gen_range(199);
+        let raw = raw_channels(&mut rng, 250, 64);
         let set = JamSet::from_channels(raw);
         let m = members(&set, channels);
-        prop_assert_eq!(set.count(channels), m.iter().filter(|&&b| b).count() as u64);
+        assert_eq!(
+            set.count(channels),
+            m.iter().filter(|&&b| b).count() as u64,
+            "{set:?} over {channels} channels"
+        );
     }
+}
 
-    /// List and Mask representations of the same membership agree on every
-    /// query.
-    #[test]
-    fn list_and_mask_agree(
-        channels in 1u64..150,
-        raw in proptest::collection::vec(0u64..150, 0..64),
-    ) {
+/// List and Mask representations of the same membership agree on every query.
+#[test]
+fn list_and_mask_agree() {
+    let mut rng = Xoshiro256::seeded(0xAE52);
+    for _ in 0..CASES {
+        let channels = 1 + rng.gen_range(149);
+        let raw = raw_channels(&mut rng, 150, 64);
         let mut in_range: Vec<u64> = raw.iter().copied().filter(|&c| c < channels).collect();
         in_range.sort_unstable();
         in_range.dedup();
         let list = JamSet::from_channels(in_range.clone());
         let mask = JamSet::from_predicate(channels, |ch| in_range.binary_search(&ch).is_ok());
-        prop_assert_eq!(list.count(channels), mask.count(channels));
+        assert_eq!(list.count(channels), mask.count(channels));
         for ch in 0..channels {
-            prop_assert_eq!(list.contains(ch, channels), mask.contains(ch, channels));
+            assert_eq!(list.contains(ch, channels), mask.contains(ch, channels));
         }
     }
+}
 
-    /// Window membership equals its explicit modular-interval definition.
-    #[test]
-    fn window_matches_modular_interval(
-        channels in 1u64..100,
-        start in 0u64..300,
-        len in 0u64..300,
-    ) {
+/// Window membership equals its explicit modular-interval definition.
+#[test]
+fn window_matches_modular_interval() {
+    let mut rng = Xoshiro256::seeded(0xAE53);
+    for _ in 0..CASES {
+        let channels = 1 + rng.gen_range(99);
+        let start = rng.gen_range(300);
+        let len = rng.gen_range(300);
         let set = JamSet::Window { start, len };
         let s = start % channels;
         for ch in 0..channels {
             let offset = (ch + channels - s) % channels;
-            prop_assert_eq!(
+            assert_eq!(
                 set.contains(ch, channels),
                 offset < len.min(channels),
-                "ch {} start {} len {} channels {}", ch, start, len, channels
+                "ch {ch} start {start} len {len} channels {channels}"
             );
         }
     }
+}
 
-    /// Truncation: never exceeds the limit, keeps only original members, and
-    /// keeps exactly the lowest-indexed ones.
-    #[test]
-    fn truncate_keeps_lowest_members(
-        channels in 1u64..120,
-        raw in proptest::collection::vec(0u64..120, 0..48),
-        limit in 0u64..64,
-    ) {
+/// Truncation: never exceeds the limit, keeps only original members, and
+/// keeps exactly the lowest-indexed ones.
+#[test]
+fn truncate_keeps_lowest_members() {
+    let mut rng = Xoshiro256::seeded(0xAE54);
+    for _ in 0..CASES {
+        let channels = 1 + rng.gen_range(119);
+        let raw = raw_channels(&mut rng, 120, 48);
+        let limit = rng.gen_range(64);
         let set = JamSet::from_channels(raw);
         let before = members(&set, channels);
         let truncated = set.clone().truncate(limit, channels);
         let after = members(&truncated, channels);
         let kept = truncated.count(channels);
-        prop_assert!(kept <= limit.min(set.count(channels)));
+        assert!(kept <= limit.min(set.count(channels)));
         // No new members appear.
         for ch in 0..channels as usize {
-            prop_assert!(!after[ch] || before[ch], "channel {ch} appeared from nowhere");
+            assert!(
+                !after[ch] || before[ch],
+                "channel {ch} appeared from nowhere"
+            );
         }
         // Lowest-first: every kept member is below every dropped member.
         if let (Some(max_kept), Some(min_dropped)) = (
             (0..channels).filter(|&c| after[c as usize]).max(),
-            (0..channels).filter(|&c| before[c as usize] && !after[c as usize]).min(),
+            (0..channels)
+                .filter(|&c| before[c as usize] && !after[c as usize])
+                .min(),
         ) {
-            prop_assert!(max_kept < min_dropped);
+            assert!(max_kept < min_dropped);
         }
     }
+}
 
-    /// All/Prefix truncation agrees with the generic rule.
-    #[test]
-    fn truncate_all_and_prefix(channels in 1u64..100, limit in 0u64..150) {
+/// All/Prefix truncation agrees with the generic rule.
+#[test]
+fn truncate_all_and_prefix() {
+    let mut rng = Xoshiro256::seeded(0xAE55);
+    for _ in 0..CASES {
+        let channels = 1 + rng.gen_range(99);
+        let limit = rng.gen_range(150);
         let t_all = JamSet::All.truncate(limit, channels);
-        prop_assert_eq!(t_all.count(channels), limit.min(channels));
+        assert_eq!(t_all.count(channels), limit.min(channels));
         let t_prefix = JamSet::Prefix(channels).truncate(limit, channels);
-        prop_assert_eq!(t_prefix.count(channels), limit.min(channels));
+        assert_eq!(t_prefix.count(channels), limit.min(channels));
     }
+}
 
-    /// The sampler's output is always sorted, unique, and in range.
-    #[test]
-    fn sampler_output_well_formed(
-        m in 0usize..2000,
-        p in 0.0f64..1.0,
-        seed in 0u64..10_000,
-    ) {
-        let mut rng = Xoshiro256::seeded(seed);
+/// The sampler's output is always sorted, unique, and in range.
+#[test]
+fn sampler_output_well_formed() {
+    let mut rng = Xoshiro256::seeded(0xAE56);
+    for _ in 0..CASES {
+        let m = rng.gen_range(2000) as usize;
+        let p = rng.next_f64();
+        let seed = rng.gen_range(10_000);
+        let mut sample_rng = Xoshiro256::seeded(seed);
         let mut out = Vec::new();
-        bernoulli_subset(&mut rng, m, p, &mut out);
-        prop_assert!(out.len() <= m);
+        bernoulli_subset(&mut sample_rng, m, p, &mut out);
+        assert!(out.len() <= m);
         for w in out.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
         if let Some(&last) = out.last() {
-            prop_assert!((last as usize) < m);
+            assert!((last as usize) < m);
         }
     }
 }

@@ -11,11 +11,13 @@
 pub mod histogram;
 pub mod plot;
 pub mod regression;
+pub mod streaming;
 pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
 pub use plot::loglog_plot;
 pub use regression::{fit_linear, fit_power_law, LinearFit};
+pub use streaming::{QuantileSketch, StreamingMoments};
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,380 @@
+//! Streaming (single-pass, constant-memory) aggregation primitives.
+//!
+//! The campaign engine (`rcb-campaign`) aggregates hundreds of thousands of
+//! trials without materializing them: each metric feeds a
+//! [`StreamingMoments`] (Welford mean/variance plus min/max) and a
+//! [`QuantileSketch`] (log-bucketed histogram in the DDSketch family, with a
+//! bounded bucket count and a relative-error guarantee).
+//!
+//! Both types are deterministic — integer bucket arithmetic and a fixed
+//! ingestion order produce bit-identical results on every run — and
+//! mergeable, so shards aggregated independently can be combined. Note that
+//! `StreamingMoments::merge` is floating-point and therefore only
+//! bit-reproducible when shards are merged in a fixed order.
+
+/// Online mean/variance/min/max over a stream of `f64`s.
+///
+/// Uses Welford's algorithm; numerically stable and O(1) memory.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Ingest one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Combine with another accumulator (Chan et al. parallel update).
+    ///
+    /// Only bit-deterministic if merges happen in a fixed order.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (Bessel-corrected); 0 for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` before the first push).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` before the first push).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A fixed-size quantile sketch for non-negative values, in the DDSketch
+/// family: values map to logarithmic buckets `⌈ln(x)/ln(γ)⌉`, so every
+/// reported quantile is within a multiplicative `α` of the true value,
+/// where `γ = (1+α)/(1−α)`.
+///
+/// Memory is bounded by `max_buckets`; when the bound is hit, the two
+/// lowest buckets collapse (biasing only the extreme low tail, which the
+/// campaign reports do not read). All bucket arithmetic is on integers, so
+/// pushes and fixed-order merges are bit-deterministic.
+#[derive(Clone, Debug)]
+pub struct QuantileSketch {
+    /// ln(γ).
+    ln_gamma: f64,
+    /// Bucket-count bound.
+    max_buckets: usize,
+    /// Count of exact zeros (log buckets cannot hold them).
+    zeros: u64,
+    /// Sorted (bucket index → count); bounded by `max_buckets`.
+    buckets: std::collections::BTreeMap<i32, u64>,
+    count: u64,
+}
+
+impl QuantileSketch {
+    /// Sketch with relative accuracy `alpha` (e.g. `0.01` = 1%) and a
+    /// bucket-count bound.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1` and `max_buckets >= 8`.
+    pub fn with_accuracy(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha {alpha} out of (0,1)");
+        assert!(max_buckets >= 8, "need at least 8 buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            ln_gamma: gamma.ln(),
+            max_buckets,
+            zeros: 0,
+            buckets: std::collections::BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// The default campaign sketch: 1% relative accuracy, ≤ 1024 buckets
+    /// (covers values up to ~10^9 at full accuracy before any collapse).
+    pub fn new() -> Self {
+        Self::with_accuracy(0.01, 1024)
+    }
+
+    fn bucket_of(&self, x: f64) -> i32 {
+        (x.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// Ingest one observation. Negative or non-finite values are clamped
+    /// to zero (campaign metrics are all non-negative counts).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x.is_nan() || x <= 0.0 || !x.is_finite() {
+            self.zeros += 1;
+            return;
+        }
+        let idx = self.bucket_of(x);
+        *self.buckets.entry(idx).or_insert(0) += 1;
+        self.shrink();
+    }
+
+    /// Merge another sketch of the same accuracy into this one.
+    ///
+    /// # Panics
+    /// Panics if the sketches were built with different accuracies.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.ln_gamma - other.ln_gamma).abs() < 1e-15,
+            "cannot merge sketches of different accuracy"
+        );
+        self.count += other.count;
+        self.zeros += other.zeros;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        self.shrink();
+    }
+
+    /// Collapse lowest buckets until the bound holds.
+    fn shrink(&mut self) {
+        while self.buckets.len() > self.max_buckets {
+            let (&lo, &lo_count) = self.buckets.iter().next().expect("nonempty");
+            self.buckets.remove(&lo);
+            let (&next, _) = self.buckets.iter().next().expect("len > max >= 8");
+            *self.buckets.get_mut(&next).expect("just read") += lo_count;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (within relative error `α`), or
+    /// `None` for an empty sketch.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the order statistic we want (0-based, nearest-rank).
+        let target = (q * (self.count - 1) as f64).round() as u64;
+        if target < self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen > target {
+                // Midpoint of the bucket (γ^{i-1}, γ^i]:
+                // 2γ^i / (γ + 1) = γ^i · 2/(γ+1).
+                let gamma_i = (idx as f64 * self.ln_gamma).exp();
+                let gamma = self.ln_gamma.exp();
+                return Some(gamma_i * 2.0 / (gamma + 1.0));
+            }
+        }
+        // Numerical edge: fall through to the top bucket.
+        let idx = *self.buckets.keys().next_back()?;
+        let gamma_i = (idx as f64 * self.ln_gamma).exp();
+        let gamma = self.ln_gamma.exp();
+        Some(gamma_i * 2.0 / (gamma + 1.0))
+    }
+
+    /// Number of live log buckets (diagnostic; bounded by `max_buckets`).
+    pub fn live_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_batch() {
+        let xs = [3.5, -1.0, 2.25, 8.0, 0.0, 4.75];
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert_eq!(m.min(), Some(-1.0));
+        assert_eq!(m.max(), Some(8.0));
+        assert_eq!(m.count(), 6);
+    }
+
+    #[test]
+    fn moments_merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = StreamingMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn moments_merge_empty_cases() {
+        let mut a = StreamingMoments::new();
+        let empty = StreamingMoments::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 0);
+        a.push(2.0);
+        let mut b = StreamingMoments::new();
+        b.merge(&a);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.mean(), 2.0);
+    }
+
+    #[test]
+    fn sketch_quantiles_within_relative_error() {
+        let mut s = QuantileSketch::with_accuracy(0.01, 1024);
+        let xs: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        for &x in &xs {
+            s.push(x);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            let exact = xs[((q * (xs.len() - 1) as f64).round() as usize).min(xs.len() - 1)];
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= 0.0101,
+                "q={q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_handles_zeros_and_empty() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        for _ in 0..10 {
+            s.push(0.0);
+        }
+        s.push(100.0);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        let p99 = s.quantile(1.0).unwrap();
+        assert!((p99 - 100.0).abs() / 100.0 <= 0.0101);
+        assert_eq!(s.count(), 11);
+    }
+
+    #[test]
+    fn sketch_merge_equals_single_stream() {
+        let xs: Vec<f64> = (1..=5000).map(|i| (i * i) as f64 % 997.0 + 1.0).collect();
+        let mut whole = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            // Same buckets, same counts: merged sketch answers identically.
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sketch_bucket_bound_holds() {
+        let mut s = QuantileSketch::with_accuracy(0.01, 8);
+        // A huge dynamic range forces collapses.
+        for e in 0..300 {
+            s.push((1.1f64).powi(e));
+        }
+        assert!(s.live_buckets() <= 8);
+        assert_eq!(s.count(), 300);
+        // The top of the distribution is still accurate.
+        let top = (1.1f64).powi(299);
+        let est = s.quantile(1.0).unwrap();
+        assert!((est - top).abs() / top <= 0.0101);
+    }
+
+    #[test]
+    fn sketch_determinism_bitwise() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 7.77) % 353.0).collect();
+        let run = || {
+            let mut s = QuantileSketch::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            [0.25, 0.5, 0.75, 0.95].map(|q| s.quantile(q).unwrap().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -67,13 +67,11 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Welford's online mean/variance accumulator, for streaming statistics
-/// without storing samples.
+/// without storing samples. Thin wrapper over
+/// [`StreamingMoments`](crate::streaming::StreamingMoments), which adds
+/// min/max and merging; this alias keeps the original compact interface.
 #[derive(Clone, Debug, Default)]
-pub struct Online {
-    n: u64,
-    mean: f64,
-    m2: f64,
-}
+pub struct Online(crate::streaming::StreamingMoments);
 
 impl Online {
     pub fn new() -> Self {
@@ -81,31 +79,24 @@ impl Online {
     }
 
     pub fn push(&mut self, x: f64) {
-        self.n += 1;
-        let d = x - self.mean;
-        self.mean += d / self.n as f64;
-        self.m2 += d * (x - self.mean);
+        self.0.push(x);
     }
 
     pub fn count(&self) -> u64 {
-        self.n
+        self.0.count()
     }
 
     pub fn mean(&self) -> f64 {
-        self.mean
+        self.0.mean()
     }
 
     /// Sample variance (Bessel-corrected); 0 for n < 2.
     pub fn variance(&self) -> f64 {
-        if self.n < 2 {
-            0.0
-        } else {
-            self.m2 / (self.n - 1) as f64
-        }
+        self.0.variance()
     }
 
     pub fn sd(&self) -> f64 {
-        self.variance().sqrt()
+        self.0.std_dev()
     }
 }
 

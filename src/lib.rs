@@ -9,9 +9,12 @@
 //! * [`adversary`] — oblivious jamming strategies for Eve, budget-enforced;
 //! * [`core`](mod@core) — the protocols: `MultiCastCore`, `MultiCast`,
 //!   `MultiCastAdv`, `MultiCast(C)`, `MultiCastAdv(C)`, plus baselines;
-//! * [`stats`] — summary statistics and the log-log fits the experiments
-//!   use to verify scaling exponents;
-//! * [`harness`] — a declarative, parallel Monte-Carlo trial runner.
+//! * [`stats`] — summary statistics, streaming aggregation, and the
+//!   log-log fits the experiments use to verify scaling exponents;
+//! * [`harness`] — a declarative, parallel Monte-Carlo trial runner;
+//! * [`campaign`] — a named scenario catalog plus a parallel campaign
+//!   engine with streaming aggregation and schema-versioned JSON
+//!   artifacts (the `rcb` binary).
 //!
 //! This facade crate re-exports everything and hosts the runnable examples
 //! (`examples/`) and the cross-crate integration tests (`tests/`).
@@ -48,6 +51,7 @@
 //! ```
 
 pub use rcb_adversary as adversary;
+pub use rcb_campaign as campaign;
 pub use rcb_core as core;
 pub use rcb_harness as harness;
 pub use rcb_sim as sim;

@@ -3,11 +3,17 @@
 //! These check *structural* engine/protocol invariants that must hold for
 //! every parameter combination and seed — not statistical performance
 //! claims (those live in `competitive.rs` and the experiment harness).
+//!
+//! Originally written against the `proptest` crate; this build environment
+//! has no crates.io access, so the same properties run as deterministic
+//! seeded randomized tests driven by the simulator's own RNG. Case counts
+//! match the original configs (48 per property).
 
-use proptest::prelude::*;
 use rcb::core::{CoreParams, McParams, MultiCast, MultiCastC, MultiCastCore};
 use rcb::harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb::sim::{run, EngineConfig, NoAdversary};
+use rcb::sim::{run, EngineConfig, NoAdversary, Xoshiro256};
+
+const CASES: u64 = 48;
 
 /// Small, fast parameter spaces: tiny iteration constants are fine because
 /// the invariants under test do not depend on epidemic completion.
@@ -29,119 +35,148 @@ fn small_mc_params() -> McParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The engine's energy ledger balances: summed per-node listen/broadcast
-    /// costs equal the aggregate totals, and every listen produced exactly
-    /// one feedback.
-    #[test]
-    fn energy_ledger_balances(
-        n_exp in 2u32..6, // n = 4..32
-        seed in 0u64..5000,
-        cap in 500u64..5_000,
-    ) {
-        let n = 1u64 << n_exp;
+/// The engine's energy ledger balances: summed per-node listen/broadcast
+/// costs equal the aggregate totals, and every listen produced exactly
+/// one feedback.
+#[test]
+fn energy_ledger_balances() {
+    let mut draw = Xoshiro256::seeded(0x1E41);
+    for _ in 0..CASES {
+        let n = 1u64 << (2 + draw.gen_range(4)); // n = 4..32
+        let seed = draw.gen_range(5000);
+        let cap = 500 + draw.gen_range(4_500);
         let mut proto = small_core(n, 1000);
-        let out = run(&mut proto, &mut NoAdversary, seed, &EngineConfig::capped(cap));
+        let out = run(
+            &mut proto,
+            &mut NoAdversary,
+            seed,
+            &EngineConfig::capped(cap),
+        );
         let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
         let bcasts: u64 = out.nodes.iter().map(|x| x.broadcast_cost).sum();
-        prop_assert_eq!(listens, out.totals.listens);
-        prop_assert_eq!(bcasts, out.totals.broadcasts);
+        assert_eq!(listens, out.totals.listens);
+        assert_eq!(bcasts, out.totals.broadcasts);
         let heard = out.totals.heard_silence + out.totals.heard_message + out.totals.heard_noise;
-        prop_assert_eq!(heard, out.totals.listens);
+        assert_eq!(heard, out.totals.listens);
     }
+}
 
-    /// Same spec + same seed ⇒ bit-identical outcome; different seed ⇒
-    /// (almost surely) different trace.
-    #[test]
-    fn runs_are_deterministic(
-        n_exp in 2u32..6,
-        seed in 0u64..5000,
-    ) {
-        let n = 1u64 << n_exp;
+/// Same spec + same seed ⇒ bit-identical outcome.
+#[test]
+fn runs_are_deterministic() {
+    let mut draw = Xoshiro256::seeded(0x1E42);
+    for _ in 0..CASES {
+        let n = 1u64 << (2 + draw.gen_range(4));
+        let seed = draw.gen_range(5000);
         let run_once = |s: u64| {
             let mut proto = MultiCast::with_params(n, small_mc_params());
-            let out = run(&mut proto, &mut NoAdversary, s, &EngineConfig::capped(20_000));
+            let out = run(
+                &mut proto,
+                &mut NoAdversary,
+                s,
+                &EngineConfig::capped(20_000),
+            );
             (out.slots, out.max_cost(), out.totals)
         };
-        prop_assert_eq!(run_once(seed), run_once(seed));
+        assert_eq!(run_once(seed), run_once(seed));
     }
+}
 
-    /// Eve can never spend more than her budget, for any uniform-strategy
-    /// budget/fraction combination.
-    #[test]
-    fn adversary_budget_invariant(
-        n_exp in 2u32..6,
-        t in 0u64..50_000,
-        frac in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
-        let n = 1u64 << n_exp;
+/// Eve can never spend more than her budget, for any uniform-strategy
+/// budget/fraction combination.
+#[test]
+fn adversary_budget_invariant() {
+    let mut draw = Xoshiro256::seeded(0x1E43);
+    for _ in 0..CASES {
+        let n = 1u64 << (2 + draw.gen_range(4));
+        let t = draw.gen_range(50_000);
+        let frac = draw.next_f64();
+        let seed = draw.gen_range(1000);
         let spec = TrialSpec::new(
-            ProtocolKind::Core { n, t, params: CoreParams { a: 64.0, ..CoreParams::default() } },
+            ProtocolKind::Core {
+                n,
+                t,
+                params: CoreParams {
+                    a: 64.0,
+                    ..CoreParams::default()
+                },
+            },
             AdversaryKind::Uniform { t, frac },
             seed,
-        ).with_max_slots(20_000);
+        )
+        .with_max_slots(20_000);
         let r = run_trial(&spec);
-        prop_assert!(r.eve_spent <= t, "spent {} of budget {}", r.eve_spent, t);
+        assert!(r.eve_spent <= t, "spent {} of budget {}", r.eve_spent, t);
     }
+}
 
-    /// The source never becomes uninformed, and `informed_at` is always 0
-    /// for it; every node's halt slot (if any) is within the executed range.
-    #[test]
-    fn outcome_fields_are_consistent(
-        n_exp in 2u32..6,
-        seed in 0u64..5000,
-    ) {
-        let n = 1u64 << n_exp;
+/// The source never becomes uninformed, and `informed_at` is always 0
+/// for it; every node's halt slot (if any) is within the executed range.
+#[test]
+fn outcome_fields_are_consistent() {
+    let mut draw = Xoshiro256::seeded(0x1E44);
+    for _ in 0..CASES {
+        let n = 1u64 << (2 + draw.gen_range(4));
+        let seed = draw.gen_range(5000);
         let mut proto = small_core(n, 500);
-        let out = run(&mut proto, &mut NoAdversary, seed, &EngineConfig::capped(30_000));
-        prop_assert_eq!(out.nodes[0].informed_at, Some(0));
+        let out = run(
+            &mut proto,
+            &mut NoAdversary,
+            seed,
+            &EngineConfig::capped(30_000),
+        );
+        assert_eq!(out.nodes[0].informed_at, Some(0));
         for node in &out.nodes {
             if let Some(h) = node.halted_at {
-                prop_assert!(h < out.slots);
+                assert!(h < out.slots);
                 // A halted node's informed status was captured at halt time.
-                prop_assert_eq!(node.halted_informed, node.informed_at.is_some());
+                assert_eq!(node.halted_informed, node.informed_at.is_some());
             }
             if let Some(i) = node.informed_at {
-                prop_assert!(i < out.slots.max(1));
+                assert!(i < out.slots.max(1));
             }
-            prop_assert_eq!(node.cost(), node.listen_cost + node.broadcast_cost);
+            assert_eq!(node.cost(), node.listen_cost + node.broadcast_cost);
         }
         // informed_count never exceeds n and includes the source.
-        prop_assert!(out.informed_count() >= 1);
-        prop_assert!(out.informed_count() <= n as usize);
+        assert!(out.informed_count() >= 1);
+        assert!(out.informed_count() <= n as usize);
     }
+}
 
-    /// MultiCast(C) round geometry: executed slots are always a whole number
-    /// of rounds, and per-node cost can never exceed the number of rounds
-    /// (one action per round max).
-    #[test]
-    fn round_geometry_invariants(
-        n_exp in 3u32..6, // n = 8..32
-        c_exp in 0u32..3,
-        seed in 0u64..2000,
-    ) {
-        let n = 1u64 << n_exp;
-        let c = (1u64 << c_exp).min(n / 2);
+/// MultiCast(C) round geometry: executed slots are always a whole number
+/// of rounds, and per-node cost can never exceed the number of rounds
+/// (one action per round max).
+#[test]
+fn round_geometry_invariants() {
+    let mut draw = Xoshiro256::seeded(0x1E45);
+    for _ in 0..CASES {
+        let n = 1u64 << (3 + draw.gen_range(3)); // n = 8..32
+        let c = (1u64 << draw.gen_range(3)).min(n / 2);
+        let seed = draw.gen_range(2000);
         let mut proto = MultiCastC::with_params(n, c, small_mc_params());
         let round_len = proto.round_len();
         let cap = 50_000 - (50_000 % round_len.max(1));
-        let out = run(&mut proto, &mut NoAdversary, seed, &EngineConfig::capped(cap));
+        let out = run(
+            &mut proto,
+            &mut NoAdversary,
+            seed,
+            &EngineConfig::capped(cap),
+        );
         let rounds = out.slots / round_len;
-        prop_assert_eq!(out.slots % round_len, 0, "partial rounds executed");
+        assert_eq!(out.slots % round_len, 0, "partial rounds executed");
         for node in &out.nodes {
-            prop_assert!(
+            assert!(
                 node.cost() <= rounds,
-                "node cost {} exceeds {} rounds", node.cost(), rounds
+                "node cost {} exceeds {} rounds",
+                node.cost(),
+                rounds
             );
         }
     }
 }
 
-/// Non-proptest sanity anchor for the proptest file: invariants also hold on
-/// the default (production-size) parameters.
+/// Non-proptest sanity anchor for the randomized file: invariants also hold
+/// on the default (production-size) parameters.
 #[test]
 fn ledger_balances_on_default_params() {
     let mut proto = MultiCastCore::new(32, 1_000);
