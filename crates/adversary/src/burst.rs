@@ -1,6 +1,6 @@
 //! Full-band burst jamming.
 
-use rcb_sim::{Adversary, JamSet};
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// Jams **every** channel in every slot from `start_slot` onward, until the
 /// budget runs out.
@@ -41,6 +41,19 @@ impl Adversary for FullBandBurst {
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        // Exact: `channels` per slot from `start_slot` on, nothing before.
+        let end = start.saturating_add(len);
+        let first = self.start_slot.max(start);
+        if first >= end {
+            return SpanCharge::default();
+        }
+        let want = (end - first) as u128 * channels as u128;
+        SpanCharge {
+            spent: want.min(budget as u128) as u64,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! Bursty environmental interference via a Gilbert–Elliott channel model.
 
-use crate::frac_to_count;
-use rcb_sim::{Adversary, JamSet, Xoshiro256};
+use crate::{frac_to_count, slot_offset};
+use rcb_sim::{derive_seed, geometric_gap, Adversary, JamSet, SpanCharge, Xoshiro256};
 
 /// A two-state Markov interference source: in the **good** state nothing is
 /// jammed; in the **bad** state a fraction of the band is. Transitions
@@ -14,6 +14,18 @@ use rcb_sim::{Adversary, JamSet, Xoshiro256};
 /// malicious interference"); this strategy instantiates the environmental
 /// end of that spectrum. The chain's evolution uses only private randomness
 /// and the slot index, so it remains oblivious.
+///
+/// # Span batching is statistical, not per-seed
+///
+/// The chain is the one genuinely sequential strategy in this crate, so its
+/// [`jam_span`](Adversary::jam_span) override cannot replay the per-slot
+/// draw sequence. Instead it advances the chain by **geometric sojourn
+/// jumps** (`O(#state flips)` per span instead of `O(len)`): by the
+/// memorylessness of per-slot flips, the sampled (occupancy, end-state) pair
+/// has *exactly* the per-slot distribution, but realizations differ per
+/// seed. Fast-forwarded runs against this strategy are therefore equivalent
+/// to the reference path in distribution only — the cross-validation mirrors
+/// the Sparse/DensePerNode sampling contract.
 #[derive(Clone, Debug)]
 pub struct GilbertElliott {
     t: u64,
@@ -22,6 +34,7 @@ pub struct GilbertElliott {
     frac_bad: f64,
     bad: bool,
     rng: Xoshiro256,
+    offset_seed: u64,
     last_slot: Option<u64>,
 }
 
@@ -38,7 +51,8 @@ impl GilbertElliott {
             p_bg,
             frac_bad,
             bad: false,
-            rng: Xoshiro256::seeded(seed),
+            rng: Xoshiro256::seeded(derive_seed(seed, 1)),
+            offset_seed: derive_seed(seed, 2),
             last_slot: None,
         }
     }
@@ -57,6 +71,50 @@ impl GilbertElliott {
         if self.rng.gen_bool(flip) {
             self.bad = !self.bad;
         }
+    }
+
+    /// Steps until (and including) the next flip out of the current state:
+    /// `1 + Geometric(flip probability)`, saturating to "never".
+    fn sojourn(&mut self, flip: f64) -> u64 {
+        if flip >= 1.0 {
+            return 1;
+        }
+        geometric_gap(&mut self.rng, (1.0 - flip).ln()).saturating_add(1)
+    }
+
+    /// Advance the chain `k` steps via sojourn jumps, counting how many of
+    /// the `k` post-step states are bad.
+    fn advance_steps(&mut self, mut k: u64) -> u64 {
+        let mut bad_states: u64 = 0;
+        while k > 0 {
+            let flip = if self.bad { self.p_bg } else { self.p_gb };
+            if flip <= 0.0 {
+                // The current state is absorbing.
+                if self.bad {
+                    bad_states += k;
+                }
+                return bad_states;
+            }
+            let s = self.sojourn(flip);
+            if s > k {
+                // No flip within the remaining steps; the discarded sojourn
+                // residual is free by memorylessness.
+                if self.bad {
+                    bad_states += k;
+                }
+                return bad_states;
+            }
+            // s − 1 steps in the current state, then the flip lands step s.
+            if self.bad {
+                bad_states += s - 1;
+            }
+            self.bad = !self.bad;
+            if self.bad {
+                bad_states += 1;
+            }
+            k -= s;
+        }
+        bad_states
     }
 }
 
@@ -81,13 +139,32 @@ impl Adversary for GilbertElliott {
         } else if k >= channels {
             JamSet::All
         } else {
-            let start = self.rng.gen_range(channels);
+            let start = slot_offset(self.offset_seed, slot, channels);
             JamSet::Window { start, len: k }
         }
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        if len == 0 {
+            return SpanCharge::default();
+        }
+        // Unqueried catch-up steps (per-slot `jam` advances slot − last
+        // steps on its first call of a gap), then one queried step per slot.
+        let catch_up = match self.last_slot {
+            None => 0,
+            Some(last) => start.saturating_sub(last).saturating_sub(1),
+        };
+        self.advance_steps(catch_up);
+        let bad_slots = self.advance_steps(len);
+        self.last_slot = Some(start.saturating_add(len) - 1);
+        let want = bad_slots as u128 * frac_to_count(self.frac_bad, channels) as u128;
+        SpanCharge {
+            spent: want.min(budget as u128) as u64,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -145,6 +222,55 @@ mod tests {
             assert_eq!(adv.jam(slot, 8), JamSet::Empty);
         }
         assert_eq!(adv.stationary_bad(), 0.0);
+    }
+
+    /// The sojourn-jump span must match per-slot stepping in distribution:
+    /// same mean occupancy (hence mean charge) over many seeds.
+    #[test]
+    fn jam_span_matches_per_slot_distribution() {
+        let (p_gb, p_bg, channels, span) = (0.03, 0.07, 8u64, 4_000u64);
+        let seeds = 400u64;
+        let mut per_slot_total = 0u64;
+        let mut span_total = 0u64;
+        for seed in 0..seeds {
+            let mut a = GilbertElliott::new(u64::MAX / 2, p_gb, p_bg, 1.0, seed);
+            for slot in 0..span {
+                per_slot_total += a.jam(slot, channels).count(channels);
+            }
+            let mut b = GilbertElliott::new(u64::MAX / 2, p_gb, p_bg, 1.0, seed + 10_000);
+            span_total += b.jam_span(0, span, channels, u64::MAX / 2).spent;
+        }
+        let a_mean = per_slot_total as f64 / seeds as f64;
+        let b_mean = span_total as f64 / seeds as f64;
+        let rel = (a_mean - b_mean).abs() / a_mean;
+        assert!(
+            rel < 0.05,
+            "per-slot {a_mean:.0} vs sojourn {b_mean:.0} diverge by {rel:.3}"
+        );
+        // And both sit near the stationary expectation.
+        let expect = span as f64 * p_gb / (p_gb + p_bg) * channels as f64;
+        assert!(
+            (a_mean - expect).abs() / expect < 0.1,
+            "{a_mean} vs {expect}"
+        );
+    }
+
+    /// After a span, subsequent per-slot queries must pick up from a valid
+    /// chain state (no double-advancing through the catch-up logic).
+    #[test]
+    fn jam_span_then_per_slot_remains_consistent() {
+        let mut adv = GilbertElliott::new(u64::MAX / 2, 1.0, 0.0, 1.0, 3);
+        // p_gb = 1, p_bg = 0: enters bad at the first step and stays.
+        // The first step already flips to bad (p_gb = 1), exactly like the
+        // per-slot path where `jam(0)` steps once before querying.
+        let c = adv.jam_span(0, 100, 8, u64::MAX / 2);
+        assert_eq!(c.spent, 8 * 100);
+        for slot in 100..110 {
+            assert_eq!(adv.jam(slot, 8), JamSet::All, "slot {slot}");
+        }
+        // Budget cap applies.
+        let mut capped = GilbertElliott::new(10, 1.0, 0.0, 1.0, 4);
+        assert_eq!(capped.jam_span(0, 100, 8, 10).spent, 10);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use spans::{JamSpan, SpanJammer};
 pub use sweep::Sweep;
 pub use uniform::UniformFraction;
 
-use rcb_sim::{Adversary, JamSet};
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// The absent adversary: never jams, budget zero.
 ///
@@ -65,6 +65,10 @@ impl Adversary for Silent {
         0
     }
 
+    fn jam_span(&mut self, _start: u64, _len: u64, _channels: u64, _budget: u64) -> SpanCharge {
+        SpanCharge::default()
+    }
+
     fn name(&self) -> &'static str {
         "silent"
     }
@@ -81,6 +85,31 @@ pub(crate) fn frac_to_count(frac: f64, channels: u64) -> u64 {
     }
 }
 
+/// Deterministic per-slot channel offset in `[0, channels)`, derived from a
+/// strategy seed and the slot index alone — no sequential RNG state.
+///
+/// Making window/subset placement a pure function of `(seed, slot)` is what
+/// lets the structured jammers implement **exact** closed-form
+/// [`Adversary::jam_span`] charges: skipping a span of slots leaves no state
+/// to advance, so the engine's idle fast-forward is byte-identical to the
+/// slot-by-slot path. The mapping uses `derive_seed` mixing plus Lemire's
+/// high-multiply range reduction (bias ≤ `channels / 2⁶⁴`, immaterial).
+pub(crate) fn slot_offset(seed: u64, slot: u64, channels: u64) -> u64 {
+    debug_assert!(channels > 0);
+    let x = rcb_sim::derive_seed(seed, slot);
+    ((x as u128 * channels as u128) >> 64) as u64
+}
+
+/// Exact aggregate charge for a constant per-slot demand: the engine charges
+/// `min(want, remaining)` per slot, which over any span sums to
+/// `min(total want, budget)` regardless of how the demand is distributed.
+pub(crate) fn constant_demand_charge(want_per_slot: u64, slots: u64, budget: u64) -> SpanCharge {
+    let want = want_per_slot as u128 * slots as u128;
+    SpanCharge {
+        spent: want.min(budget as u128) as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +120,37 @@ mod tests {
         assert_eq!(s.jam(0, 100), JamSet::Empty);
         assert_eq!(s.budget(), 0);
         assert_eq!(s.name(), "silent");
+        assert_eq!(s.jam_span(0, 1 << 40, 100, u64::MAX / 2).spent, 0);
+    }
+
+    #[test]
+    fn slot_offset_is_deterministic_in_range_and_spread() {
+        let channels = 32u64;
+        let mut hits = vec![0u64; channels as usize];
+        for slot in 0..3200 {
+            let a = slot_offset(7, slot, channels);
+            assert_eq!(a, slot_offset(7, slot, channels));
+            assert!(a < channels);
+            hits[a as usize] += 1;
+        }
+        // Roughly uniform: every offset occurs, none dominates.
+        assert!(hits.iter().all(|&h| h > 0));
+        assert!(*hits.iter().max().unwrap() < 300);
+        // Different seeds decorrelate.
+        let same = (0..64).filter(|&s| slot_offset(1, s, channels) == slot_offset(2, s, channels));
+        assert!(same.count() < 10);
+    }
+
+    #[test]
+    fn constant_demand_charge_caps_at_budget() {
+        assert_eq!(constant_demand_charge(3, 10, 1000).spent, 30);
+        assert_eq!(constant_demand_charge(3, 10, 7).spent, 7);
+        assert_eq!(constant_demand_charge(0, 10, 7).spent, 0);
+        // No overflow at extreme spans.
+        assert_eq!(
+            constant_demand_charge(u64::MAX, u64::MAX, u64::MAX).spent,
+            u64::MAX
+        );
     }
 
     #[test]

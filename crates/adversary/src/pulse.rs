@@ -1,7 +1,7 @@
 //! Duty-cycled periodic jamming.
 
-use crate::frac_to_count;
-use rcb_sim::{Adversary, JamSet, Xoshiro256};
+use crate::{frac_to_count, slot_offset};
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// Jams `frac` of the band during the first `duty` slots of every `period`
 /// slots — periodic pulsed interference (think microwave ovens at the
@@ -18,7 +18,7 @@ pub struct PeriodicPulse {
     period: u64,
     duty: u64,
     frac: f64,
-    rng: Xoshiro256,
+    seed: u64,
 }
 
 impl PeriodicPulse {
@@ -34,8 +34,13 @@ impl PeriodicPulse {
             period,
             duty,
             frac,
-            rng: Xoshiro256::seeded(seed),
+            seed,
         }
+    }
+
+    /// Number of duty slots in `[0, x)` — closed form.
+    fn duty_slots_before(&self, x: u64) -> u128 {
+        (x / self.period) as u128 * self.duty as u128 + (x % self.period).min(self.duty) as u128
     }
 }
 
@@ -50,13 +55,23 @@ impl Adversary for PeriodicPulse {
         } else if k >= channels {
             JamSet::All
         } else {
-            let start = self.rng.gen_range(channels);
+            let start = slot_offset(self.seed, slot, channels);
             JamSet::Window { start, len: k }
         }
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        // Exact: `k` channels on each duty slot of the span, none elsewhere.
+        let end = start.saturating_add(len);
+        let duty_slots = self.duty_slots_before(end) - self.duty_slots_before(start);
+        let want = duty_slots * frac_to_count(self.frac, channels) as u128;
+        SpanCharge {
+            spent: want.min(budget as u128) as u64,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,22 +1,26 @@
 //! Exact-k random-subset jamming.
 
-use rcb_sim::{Adversary, JamSet, Xoshiro256};
+use crate::constant_demand_charge;
+use rcb_sim::{derive_seed, Adversary, JamSet, SpanCharge, Xoshiro256};
 
 /// Jams exactly `k` distinct channels per slot, drawn uniformly at random
-/// (Floyd's sampling algorithm), until the budget runs out.
+/// (Floyd's sampling algorithm) from a per-slot derived stream, until the
+/// budget runs out.
 ///
 /// Statistically this is the same per-slot damage as [`UniformFraction`]
 /// (`frac = k/C`) against channel-hopping protocols, but the jammed set is
 /// an arbitrary subset rather than a contiguous window — it exercises the
 /// `List`/`Mask` jam-set paths and models frequency-agile jammers that can
-/// retune each antenna independently.
+/// retune each antenna independently. Each slot's subset comes from its own
+/// `derive_seed(seed, slot)` stream, so the strategy carries no sequential
+/// state and its constant-demand [`jam_span`](Adversary::jam_span) is exact.
 ///
 /// [`UniformFraction`]: crate::UniformFraction
 #[derive(Clone, Debug)]
 pub struct RandomSubset {
     t: u64,
     k: u64,
-    rng: Xoshiro256,
+    seed: u64,
     scratch: Vec<u64>,
 }
 
@@ -26,17 +30,19 @@ impl RandomSubset {
         Self {
             t,
             k,
-            rng: Xoshiro256::seeded(seed),
+            seed,
             scratch: Vec::with_capacity(k as usize),
         }
     }
 
-    /// Floyd's algorithm: a uniform `k`-subset of `[0, c)` in `O(k)` draws.
-    fn sample(&mut self, c: u64) -> Vec<u64> {
+    /// Floyd's algorithm: a uniform `k`-subset of `[0, c)` in `O(k)` draws
+    /// from the slot's private stream.
+    fn sample(&mut self, slot: u64, c: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256::seeded(derive_seed(self.seed, slot));
         let k = self.k.min(c);
         self.scratch.clear();
         for j in (c - k)..c {
-            let t = self.rng.gen_range(j + 1);
+            let t = rng.gen_range(j + 1);
             if self.scratch.contains(&t) {
                 self.scratch.push(j);
             } else {
@@ -48,15 +54,20 @@ impl RandomSubset {
 }
 
 impl Adversary for RandomSubset {
-    fn jam(&mut self, _slot: u64, channels: u64) -> JamSet {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
         if self.k >= channels {
             return JamSet::All;
         }
-        JamSet::from_channels(self.sample(channels))
+        JamSet::from_channels(self.sample(slot, channels))
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, _start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        // Exact: always exactly `min(k, channels)` distinct channels.
+        constant_demand_charge(self.k.min(channels), len, budget)
     }
 
     fn name(&self) -> &'static str {

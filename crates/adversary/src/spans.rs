@@ -10,8 +10,8 @@
 //! `rcb-harness` from a protocol's public schedule) and jams a fraction of
 //! the band inside each span.
 
-use crate::frac_to_count;
-use rcb_sim::{Adversary, JamSet, Xoshiro256};
+use crate::{frac_to_count, slot_offset};
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// A half-open slot interval `[start, end)` to jam, with the fraction of
 /// channels to jam inside it.
@@ -31,15 +31,17 @@ impl JamSpan {
 }
 
 /// Jams only within the given spans (which must be sorted by `start` and
-/// non-overlapping), a window of `frac · channels` at a random offset per
-/// slot. The span source is an iterator so that infinite schedules (every
-/// iteration of `MultiCast`, every epoch of `MultiCastAdv`) can be targeted
-/// lazily.
+/// non-overlapping), a window of `frac · channels` at a per-slot offset
+/// derived from `(seed, slot)`. The span source is an iterator so that
+/// infinite schedules (every iteration of `MultiCast`, every epoch of
+/// `MultiCastAdv`) can be targeted lazily. The only sequential state is the
+/// span cursor, which [`jam_span`](Adversary::jam_span) advances exactly as
+/// per-slot queries would — the batched charge is exact.
 pub struct SpanJammer<I: Iterator<Item = JamSpan>> {
     t: u64,
     spans: I,
     current: Option<JamSpan>,
-    rng: Xoshiro256,
+    seed: u64,
     last_slot: Option<u64>,
 }
 
@@ -49,8 +51,24 @@ impl<I: Iterator<Item = JamSpan>> SpanJammer<I> {
             t,
             spans,
             current: None,
-            rng: Xoshiro256::seeded(seed),
+            seed,
             last_slot: None,
+        }
+    }
+
+    /// Advance the cursor to the first span ending after `slot`, if any.
+    fn seek(&mut self, slot: u64) -> Option<JamSpan> {
+        loop {
+            match self.current {
+                Some(span) if span.end > slot => return Some(span),
+                _ => match self.spans.next() {
+                    Some(next) => self.current = Some(next),
+                    None => {
+                        self.current = None;
+                        return None;
+                    }
+                },
+            }
         }
     }
 }
@@ -72,20 +90,9 @@ impl<I: Iterator<Item = JamSpan>> Adversary for SpanJammer<I> {
             debug_assert!(slot > last, "SpanJammer expects strictly increasing slots");
         }
         self.last_slot = Some(slot);
-        // Advance past expired spans.
-        loop {
-            match self.current {
-                Some(span) if span.end > slot => break,
-                _ => match self.spans.next() {
-                    Some(next) => self.current = Some(next),
-                    None => {
-                        self.current = None;
-                        return JamSet::Empty;
-                    }
-                },
-            }
-        }
-        let span = self.current.expect("loop guarantees a live span");
+        let Some(span) = self.seek(slot) else {
+            return JamSet::Empty;
+        };
         if slot < span.start {
             return JamSet::Empty;
         }
@@ -95,13 +102,45 @@ impl<I: Iterator<Item = JamSpan>> Adversary for SpanJammer<I> {
         } else if k >= channels {
             JamSet::All
         } else {
-            let start = self.rng.gen_range(channels);
+            let start = slot_offset(self.seed, slot, channels);
             JamSet::Window { start, len: k }
         }
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        // Exact: walk the O(#overlapped spans) jam spans intersecting
+        // [start, start + len), charging `frac · channels` per covered slot.
+        // The cursor ends on the first span reaching past the range, exactly
+        // where per-slot queries would leave it.
+        let end = start.saturating_add(len);
+        if let Some(last) = self.last_slot {
+            debug_assert!(start > last, "SpanJammer expects strictly increasing slots");
+        }
+        if len == 0 {
+            return SpanCharge::default();
+        }
+        self.last_slot = Some(end - 1);
+        let mut want: u128 = 0;
+        let mut cursor = start;
+        while let Some(span) = self.seek(cursor) {
+            if span.start >= end {
+                break; // keep it current for future slots
+            }
+            let lo = span.start.max(cursor);
+            let hi = span.end.min(end);
+            want += (hi - lo) as u128 * frac_to_count(span.frac, channels) as u128;
+            if span.end >= end {
+                break;
+            }
+            cursor = span.end;
+        }
+        SpanCharge {
+            spent: want.min(budget as u128) as u64,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,7 @@
 //! Sweeping-window jamming.
 
-use rcb_sim::{Adversary, JamSet};
+use crate::constant_demand_charge;
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// Jams a contiguous window of `width` channels that advances by `step`
 /// channels every slot, wrapping around the band — a model of swept-frequency
@@ -40,6 +41,12 @@ impl Adversary for Sweep {
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, _start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        // Exact: the window position is a pure function of the slot index
+        // and only its (constant) width is ever charged.
+        constant_demand_charge(self.width.min(channels), len, budget)
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! Jam a fixed fraction of the band every slot.
 
-use crate::frac_to_count;
-use rcb_sim::{Adversary, JamSet, Xoshiro256};
+use crate::{constant_demand_charge, frac_to_count, slot_offset};
+use rcb_sim::{Adversary, JamSet, SpanCharge};
 
 /// Jams `⌈frac · channels⌉` channels in every slot, as a contiguous window at
 /// a per-slot random offset, until the budget is exhausted.
@@ -15,7 +15,10 @@ use rcb_sim::{Adversary, JamSet, Xoshiro256};
 ///
 /// The random offset (rather than a fixed prefix) removes any reliance on
 /// protocols choosing channels uniformly — every channel is equally likely to
-/// be jammed in every slot.
+/// be jammed in every slot. The offset is a pure function of `(seed, slot)`
+/// (no sequential stream), so the strategy is state-free: its closed-form
+/// [`jam_span`](Adversary::jam_span) is **exact**, making it fully compatible
+/// with the engine's byte-identical idle fast-forward.
 ///
 /// ```
 /// use rcb_adversary::UniformFraction;
@@ -25,12 +28,14 @@ use rcb_sim::{Adversary, JamSet, Xoshiro256};
 /// let set = eve.jam(0, 32);
 /// assert_eq!(set.count(32), 29); // 0.9 · 32 rounds to 29 channels
 /// assert_eq!(eve.budget(), 50_000);
+/// // Batched charging is closed-form: 29 channels × 100 slots.
+/// assert_eq!(eve.jam_span(0, 100, 32, 50_000).spent, 2_900);
 /// ```
 #[derive(Clone, Debug)]
 pub struct UniformFraction {
     t: u64,
     frac: f64,
-    rng: Xoshiro256,
+    seed: u64,
 }
 
 impl UniformFraction {
@@ -41,29 +46,29 @@ impl UniformFraction {
             (0.0..=1.0).contains(&frac),
             "frac must be in [0, 1], got {frac}"
         );
-        Self {
-            t,
-            frac,
-            rng: Xoshiro256::seeded(seed),
-        }
+        Self { t, frac, seed }
     }
 }
 
 impl Adversary for UniformFraction {
-    fn jam(&mut self, _slot: u64, channels: u64) -> JamSet {
+    fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
         let k = frac_to_count(self.frac, channels);
         if k == 0 {
             JamSet::Empty
         } else if k >= channels {
             JamSet::All
         } else {
-            let start = self.rng.gen_range(channels);
+            let start = slot_offset(self.seed, slot, channels);
             JamSet::Window { start, len: k }
         }
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    fn jam_span(&mut self, _start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        constant_demand_charge(frac_to_count(self.frac, channels), len, budget)
     }
 
     fn name(&self) -> &'static str {

@@ -2,41 +2,20 @@
 //!
 //! This family runs on the **campaign engine** (`rcb-campaign`): each
 //! experiment declares a grid of [`CellSpec`]s, executes it with
-//! [`run_campaign`] (parallel, streaming aggregation, positional seed
-//! derivation), and renders its table from the per-cell reports. E4+ still
-//! drive `run_trials` directly; porting them is tracked in ROADMAP.md.
+//! `run_campaign` (parallel, streaming aggregation, positional seed
+//! derivation), and renders its table from the per-cell reports. E4–E6
+//! (`exp_multicast.rs`) follow the same pattern; E7+ still drive
+//! `run_trials` directly (remaining port tracked in ROADMAP.md).
 
-use super::header;
+use super::{campaign, ci95_of, header};
 use crate::scale::Scale;
-use rcb_campaign::{run_campaign, CampaignConfig, CampaignSpec, CellReport, CellSpec};
+use rcb_campaign::{CellReport, CellSpec};
 use rcb_harness::{AdversaryKind, ProtocolKind};
 use rcb_stats::{fit_power_law, Table};
 
-/// Run a grid of cells under the campaign engine and return the per-cell
-/// reports in cell order.
-fn campaign(name: &str, cells: Vec<CellSpec>, seeds: u64, master_seed: u64) -> Vec<CellReport> {
-    let spec = CampaignSpec {
-        name: name.to_string(),
-        description: String::new(),
-        cells,
-    };
-    run_campaign(
-        &spec,
-        &CampaignConfig {
-            seed: master_seed,
-            trials_per_cell: seeds,
-            threads: 0,
-            max_slots: None,
-            progress: false,
-        },
-    )
-    .cells
-}
-
 /// 95% half-width on the mean from a cell's streaming moments.
 fn ci95(c: &CellReport) -> f64 {
-    let m = &c.completion_slots;
-    1.96 * m.std_dev / (m.count as f64).sqrt()
+    ci95_of(&c.completion_slots)
 }
 
 /// E1 — epidemic growth beats 90% jamming (Claim 4.1.1 / Lemma 4.1).

@@ -1,8 +1,13 @@
 //! Experiments E4–E7 and E10: `MultiCast` and its channel-limited variant.
+//!
+//! E4–E6 run on the **campaign engine** (like E1–E3): cells in, streaming
+//! per-cell reports out — no per-trial result vectors. E7/E10 still drive
+//! `run_trials` directly (remaining port tracked in ROADMAP.md).
 
-use super::header;
+use super::{campaign, ci95_of, header};
 use crate::scale::Scale;
-use rcb_harness::{run_trials, sweep_by, AdversaryKind, ProtocolKind, TrialResult, TrialSpec};
+use rcb_campaign::{CellReport, CellSpec};
+use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
 use rcb_stats::{fit_power_law, Table};
 
 /// Budgets spaced so each step lets Eve block roughly one more `MultiCast`
@@ -15,42 +20,49 @@ fn mc_budgets(scale: Scale) -> &'static [u64] {
     )
 }
 
+/// A 90%-band uniform jammer, degrading to Silent at `T = 0`.
+fn uniform_or_silent(t: u64) -> AdversaryKind {
+    if t == 0 {
+        AdversaryKind::Silent
+    } else {
+        AdversaryKind::Uniform { t, frac: 0.9 }
+    }
+}
+
+fn assert_clean(cells: &[CellReport], exp: &str) {
+    for c in cells {
+        assert_eq!(c.completed, c.trials, "{exp} trial failed: {c:?}");
+        assert_eq!(c.safety_violations, 0, "{exp} safety violation: {c:?}");
+    }
+}
+
 /// Shared T-sweep for E4/E5: `MultiCast` at n = 16 under a 90% uniform
-/// jammer.
-fn multicast_t_sweep(scale: Scale, seed_base: u64) -> Vec<TrialResult> {
+/// jammer, one campaign cell per budget.
+fn multicast_t_sweep(scale: Scale, name: &str, master_seed: u64) -> Vec<CellReport> {
     let n = 16u64;
-    let mut specs = Vec::new();
-    for &t in mc_budgets(scale) {
-        for s in 0..scale.seeds() {
-            specs.push(TrialSpec::new(
+    let cells = mc_budgets(scale)
+        .iter()
+        .map(|&t| {
+            CellSpec::new(
                 ProtocolKind::MultiCast {
                     n,
                     params: Default::default(),
                 },
-                if t == 0 {
-                    AdversaryKind::Silent
-                } else {
-                    AdversaryKind::Uniform { t, frac: 0.9 }
-                },
-                seed_base + t + s,
-            ));
-        }
-    }
-    let results = run_trials(&specs, 0);
-    for r in &results {
-        assert!(
-            r.completed && r.safety_violations == 0,
-            "MultiCast sweep failed: {r:?}"
-        );
-    }
-    results
+                uniform_or_silent(t),
+            )
+            .with_max_slots(2_000_000_000)
+        })
+        .collect();
+    let reports = campaign(name, cells, scale.seeds(), master_seed);
+    assert_clean(&reports, name);
+    reports
 }
 
 /// E4 — `MultiCast` time is `O(T/n + lg²n)` (Theorem 5.4a).
 pub fn e4_multicast_time(scale: Scale) -> String {
     let n = 16u64;
-    let results = multicast_t_sweep(scale, 44_000);
-    let sweep = sweep_by(&results, |r| r.budget as f64);
+    let reports = multicast_t_sweep(scale, "e4-multicast-time", 44_000);
+    let budgets = mc_budgets(scale);
 
     let mut out = header(
         "E4",
@@ -59,22 +71,23 @@ pub fn e4_multicast_time(scale: Scale) -> String {
          slots — time linear in the adversary's budget, with a polylog floor.",
         &format!(
             "n = {n} (8 channels), uniform jammer at 90% of the band, {} seeds per \
-             budget; time = slot of the last halt + 1.",
+             budget via the campaign engine; time = slot of the last halt + 1.",
             scale.seeds()
         ),
     );
     let mut table = Table::new(&["T", "time (slots)", "± ci95", "time·n/T"]);
     let mut pts = Vec::new();
-    for p in &sweep {
-        if p.x > 0.0 {
-            pts.push((p.x, p.time.mean));
+    for (c, &t) in reports.iter().zip(budgets) {
+        let time = c.completion_slots.mean;
+        if t > 0 {
+            pts.push((t as f64, time));
         }
         table.row(&[
-            format!("{:.0}", p.x),
-            format!("{:.0}", p.time.mean),
-            format!("{:.0}", p.time.ci95()),
-            if p.x > 0.0 {
-                format!("{:.3}", p.time.mean * n as f64 / p.x)
+            t.to_string(),
+            format!("{time:.0}"),
+            format!("{:.0}", ci95_of(&c.completion_slots)),
+            if t > 0 {
+                format!("{:.3}", time * n as f64 / t as f64)
             } else {
                 "-".into()
             },
@@ -82,7 +95,7 @@ pub fn e4_multicast_time(scale: Scale) -> String {
     }
     out.push_str(&table.markdown());
     let (_, beta, r2) = fit_power_law(&pts);
-    let floor = sweep[0].time.mean;
+    let floor = reports[0].completion_slots.mean;
     let lg2n = (n as f64).log2().powi(2);
     out.push_str(&format!(
         "\n**Result.** time ∝ T^{beta:.2} (r² = {r2:.3}; theorem: 1.0). The T = 0 \
@@ -95,8 +108,8 @@ pub fn e4_multicast_time(scale: Scale) -> String {
 /// E5 — `MultiCast` energy is `O(√(T/n)·polylog)` (Theorem 5.4b).
 pub fn e5_multicast_cost(scale: Scale) -> String {
     let n = 16u64;
-    let results = multicast_t_sweep(scale, 55_000);
-    let sweep = sweep_by(&results, |r| r.budget as f64);
+    let reports = multicast_t_sweep(scale, "e5-multicast-cost", 55_000);
+    let budgets = mc_budgets(scale);
 
     let mut out = header(
         "E5",
@@ -118,21 +131,22 @@ pub fn e5_multicast_cost(scale: Scale) -> String {
         "cost/Eve spend",
     ]);
     let mut pts = Vec::new();
-    for p in &sweep {
-        if p.x > 0.0 {
-            pts.push((p.x, p.max_cost.mean));
+    for (c, &t) in reports.iter().zip(budgets) {
+        let cost = c.max_node_cost.mean;
+        if t > 0 {
+            pts.push((t as f64, cost));
         }
         table.row(&[
-            format!("{:.0}", p.x),
-            format!("{:.0}", p.max_cost.mean),
-            format!("{:.0}", p.max_cost.ci95()),
-            if p.x > 0.0 {
-                format!("{:.1}", p.max_cost.mean / (p.x / n as f64).sqrt())
+            t.to_string(),
+            format!("{cost:.0}"),
+            format!("{:.0}", ci95_of(&c.max_node_cost)),
+            if t > 0 {
+                format!("{:.1}", cost / (t as f64 / n as f64).sqrt())
             } else {
                 "-".into()
             },
-            if p.eve_spent.mean > 0.0 {
-                format!("{:.4}", p.max_cost.mean / p.eve_spent.mean)
+            if c.eve_spent.mean > 0.0 {
+                format!("{:.4}", cost / c.eve_spent.mean)
             } else {
                 "-".into()
             },
@@ -171,55 +185,37 @@ pub fn e6_vs_single_channel(scale: Scale) -> String {
          Õ(T + n) — same Õ(√(T/n)) energy on both sides.",
         &format!(
             "n = {n}; both protocols against a 90% uniform jammer with the same \
-             budget; {seeds} seeds. The jammer's 90% rounds to the full band for \
-             C = 1."
+             budget; {seeds} seeds via the campaign engine. The jammer's 90% \
+             rounds to the full band for C = 1."
         ),
     );
 
-    let mut specs = Vec::new();
+    // Cell layout: per budget, a MultiCast cell then a SingleChannel cell.
+    let mut cells = Vec::new();
     for &t in budgets {
-        for s in 0..seeds {
-            let adv = |t: u64| {
-                if t == 0 {
-                    AdversaryKind::Silent
-                } else {
-                    AdversaryKind::Uniform { t, frac: 0.9 }
-                }
-            };
-            specs.push(TrialSpec::new(
+        cells.push(
+            CellSpec::new(
                 ProtocolKind::MultiCast {
                     n,
                     params: Default::default(),
                 },
-                adv(t),
-                66_000 + t + s,
-            ));
-            specs.push(TrialSpec::new(
+                uniform_or_silent(t),
+            )
+            .with_max_slots(2_000_000_000),
+        );
+        cells.push(
+            CellSpec::new(
                 ProtocolKind::SingleChannel {
                     n,
                     params: Default::default(),
                 },
-                adv(t),
-                66_500 + t + s,
-            ));
-        }
-    }
-    let results = run_trials(&specs, 0);
-    for r in &results {
-        assert!(
-            r.completed && r.safety_violations == 0,
-            "E6 trial failed: {r:?}"
+                uniform_or_silent(t),
+            )
+            .with_max_slots(2_000_000_000),
         );
     }
-
-    let mean_of = |proto: &str, t: u64, f: &dyn Fn(&TrialResult) -> f64| -> f64 {
-        let batch: Vec<f64> = results
-            .iter()
-            .filter(|r| r.protocol == proto && r.budget == t)
-            .map(f)
-            .collect();
-        batch.iter().sum::<f64>() / batch.len() as f64
-    };
+    let reports = campaign("e6-vs-single-channel", cells, seeds, 66_000);
+    assert_clean(&reports, "E6");
 
     let mut table = Table::new(&[
         "T",
@@ -229,18 +225,16 @@ pub fn e6_vs_single_channel(scale: Scale) -> String {
         "MultiCast max cost",
         "1-channel max cost",
     ]);
-    for &t in budgets {
-        let tm = mean_of("MultiCast", t, &|r| r.completion_time() as f64);
-        let ts = mean_of("SingleChannelRcb", t, &|r| r.completion_time() as f64);
-        let cm = mean_of("MultiCast", t, &|r| r.max_cost as f64);
-        let cs = mean_of("SingleChannelRcb", t, &|r| r.max_cost as f64);
+    for (k, &t) in budgets.iter().enumerate() {
+        let (mc, sc) = (&reports[2 * k], &reports[2 * k + 1]);
+        let (tm, ts) = (mc.completion_slots.mean, sc.completion_slots.mean);
         table.row(&[
             t.to_string(),
             format!("{tm:.0}"),
             format!("{ts:.0}"),
             format!("{:.1}x", ts / tm),
-            format!("{cm:.0}"),
-            format!("{cs:.0}"),
+            format!("{:.0}", mc.max_node_cost.mean),
+            format!("{:.0}", sc.max_node_cost.mean),
         ]);
     }
     out.push_str(&table.markdown());

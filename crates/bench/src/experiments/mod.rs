@@ -143,6 +143,40 @@ pub(crate) fn header(exp: &str, title: &str, claim: &str, setup: &str) -> String
     format!("## {exp} — {title}\n\n**Claim.** {claim}\n\n**Setup.** {setup}\n\n")
 }
 
+/// Run a grid of cells under the campaign engine and return the per-cell
+/// reports in cell order. The campaign-engine path (rather than raw
+/// `run_trials`) gives experiments streaming aggregation — no per-trial
+/// result vectors — plus positional seed derivation for free.
+pub(crate) fn campaign(
+    name: &str,
+    cells: Vec<rcb_campaign::CellSpec>,
+    seeds: u64,
+    master_seed: u64,
+) -> Vec<rcb_campaign::CellReport> {
+    let spec = rcb_campaign::CampaignSpec {
+        name: name.to_string(),
+        description: String::new(),
+        cells,
+    };
+    rcb_campaign::run_campaign(
+        &spec,
+        &rcb_campaign::CampaignConfig {
+            seed: master_seed,
+            trials_per_cell: seeds,
+            threads: 0,
+            max_slots: None,
+            progress: false,
+        },
+    )
+    .cells
+}
+
+/// 95% half-width on the completion-time mean from a cell's streaming
+/// moments.
+pub(crate) fn ci95_of(m: &rcb_campaign::MetricReport) -> f64 {
+    1.96 * m.std_dev / (m.count as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

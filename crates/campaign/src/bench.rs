@@ -1,0 +1,410 @@
+//! `rcb bench` — engine throughput measurement over the scenario catalog.
+//!
+//! Criterion is unavailable offline, so this module is the repo's
+//! performance trajectory: for every cell of the selected scenarios it runs
+//! a few single-threaded trials through the production engine and records
+//! **slots/sec** and wall time, optionally alongside the slot-by-slot
+//! reference engine (`fast_forward: false`) so each artifact carries its own
+//! fast-forward speedup column.
+//!
+//! The artifact (`rcb bench --out BENCH_engine.json`) is schema-versioned
+//! like campaign reports. Two kinds of fields coexist deliberately:
+//!
+//! * **Deterministic** fields (`trials`, `slots_total`) are pure functions
+//!   of `(scenario, seed, trials, max-slots)` — identical on any host; the
+//!   CI `rcb diff` gate compares them tightly.
+//! * **Timing** fields (`wall_s`, `slots_per_sec`, `speedup`) depend on the
+//!   host; gates should pass them through `--ignore` or use a generous
+//!   threshold.
+//!
+//! Measurements are single-threaded on purpose: the engine's per-core
+//! throughput is the quantity the fast-forward work optimizes, and thread
+//! scaling is the campaign engine's (already measured) job.
+
+use crate::json::Json;
+use crate::scenario::Scenario;
+use rcb_harness::{run_trial_with_engine, TrialSpec};
+use rcb_sim::{derive_seed, EngineConfig};
+use rcb_stats::Table;
+use std::time::Instant;
+
+/// Version of the bench artifact schema. History:
+///
+/// * **1** — initial schema: header + per-scenario cell list with
+///   deterministic slot totals and host-dependent throughput fields.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// How a bench run executes.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Master seed; trial seeds derive positionally from it.
+    pub seed: u64,
+    /// Trials per cell (sequential, single-threaded).
+    pub trials_per_cell: u64,
+    /// Override every cell's engine slot cap (None = the cell's own).
+    pub max_slots: Option<u64>,
+    /// Also time the slot-by-slot reference engine for a speedup column.
+    pub reference: bool,
+    /// Print progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            trials_per_cell: 3,
+            max_slots: None,
+            reference: true,
+            progress: false,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The CI smoke preset: one trial per cell, capped workloads.
+    pub fn quick() -> Self {
+        Self {
+            trials_per_cell: 1,
+            max_slots: Some(2_000_000),
+            ..Self::default()
+        }
+    }
+}
+
+/// Throughput measurement for one campaign cell.
+#[derive(Clone, Debug)]
+pub struct CellBench {
+    pub protocol: String,
+    pub adversary: String,
+    pub n: u64,
+    pub budget: u64,
+    pub trials: u64,
+    /// Total physical slots simulated across the cell's trials
+    /// (deterministic for a given seed).
+    pub slots_total: u64,
+    pub wall_s: f64,
+    pub slots_per_sec: f64,
+    /// Reference (fast-forward off) timings, when measured. The reference
+    /// slot total can differ for distribution-equivalent adversaries
+    /// (Gilbert–Elliott), so it is timed against its own slot count.
+    pub ref_wall_s: Option<f64>,
+    pub ref_slots_per_sec: Option<f64>,
+    /// `slots_per_sec / ref_slots_per_sec`.
+    pub speedup: Option<f64>,
+}
+
+impl CellBench {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("adversary", self.adversary.as_str().into()),
+            ("n", self.n.into()),
+            ("budget", self.budget.into()),
+            ("trials", self.trials.into()),
+            ("slots_total", self.slots_total.into()),
+            ("wall_s", self.wall_s.into()),
+            ("slots_per_sec", self.slots_per_sec.into()),
+        ];
+        if let (Some(w), Some(r), Some(s)) = (self.ref_wall_s, self.ref_slots_per_sec, self.speedup)
+        {
+            fields.push(("ref_wall_s", w.into()));
+            fields.push(("ref_slots_per_sec", r.into()));
+            fields.push(("speedup", s.into()));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// All cell measurements of one scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioBench {
+    pub scenario: String,
+    pub cells: Vec<CellBench>,
+}
+
+/// The full bench artifact.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    pub seed: u64,
+    pub trials_per_cell: u64,
+    pub max_slots: Option<u64>,
+    pub scenarios: Vec<ScenarioBench>,
+}
+
+impl BenchReport {
+    /// Serialize as the schema-versioned JSON artifact.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema_version", BENCH_SCHEMA_VERSION.into()),
+            ("kind", "rcb-bench-report".into()),
+            ("seed", self.seed.into()),
+            ("trials_per_cell", self.trials_per_cell.into()),
+            (
+                "max_slots",
+                self.max_slots.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "scenarios",
+                Json::arr(
+                    self.scenarios
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("scenario", s.scenario.as_str().into()),
+                                (
+                                    "cells",
+                                    Json::arr(s.cells.iter().map(CellBench::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Render the human-facing throughput table.
+    pub fn to_table(&self) -> String {
+        let mut table = Table::new(&[
+            "scenario",
+            "protocol",
+            "adversary",
+            "n",
+            "T",
+            "slots",
+            "wall",
+            "Mslots/s",
+            "ref Mslots/s",
+            "speedup",
+        ]);
+        for s in &self.scenarios {
+            for c in &s.cells {
+                table.row(&[
+                    s.scenario.clone(),
+                    c.protocol.clone(),
+                    c.adversary.clone(),
+                    c.n.to_string(),
+                    c.budget.to_string(),
+                    c.slots_total.to_string(),
+                    format!("{:.2}s", c.wall_s),
+                    format!("{:.1}", c.slots_per_sec / 1e6),
+                    c.ref_slots_per_sec
+                        .map(|r| format!("{:.1}", r / 1e6))
+                        .unwrap_or_else(|| "-".into()),
+                    c.speedup
+                        .map(|s| format!("{s:.1}x"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+        }
+        format!(
+            "# bench — seed {}, {} trials/cell (single-threaded)\n\n{}",
+            self.seed,
+            self.trials_per_cell,
+            table.markdown()
+        )
+    }
+}
+
+/// Stable 64-bit FNV-1a of a scenario name, so per-cell trial seeds are a
+/// pure function of `(bench seed, scenario, cell index, trial)` — benching
+/// a subset of scenarios reproduces exactly the cells the full catalog run
+/// produced.
+fn name_stream(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Time one engine configuration over a cell's trials; returns
+/// `(slots_total, wall_seconds)`.
+fn time_cell(specs: &[TrialSpec], engine: &EngineConfig) -> (u64, f64) {
+    let start = Instant::now();
+    let mut slots_total = 0u64;
+    for spec in specs {
+        slots_total += run_trial_with_engine(spec, engine).slots;
+    }
+    (slots_total, start.elapsed().as_secs_f64())
+}
+
+/// Run the bench over the given catalog entries.
+///
+/// # Panics
+/// Panics if `scenarios` is empty or `trials_per_cell` is 0.
+pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
+    assert!(!scenarios.is_empty(), "bench needs at least one scenario");
+    assert!(cfg.trials_per_cell > 0, "bench needs at least one trial");
+    let fast = EngineConfig::default();
+    let reference = EngineConfig {
+        fast_forward: false,
+        ..EngineConfig::default()
+    };
+    let mut out = Vec::new();
+    for scenario in scenarios {
+        let spec = (scenario.build)();
+        let scenario_seed = derive_seed(cfg.seed, name_stream(&spec.name));
+        let mut cells = Vec::new();
+        for (ci, cell) in spec.cells.iter().enumerate() {
+            let specs: Vec<TrialSpec> = (0..cfg.trials_per_cell)
+                .map(|trial| {
+                    let seed = derive_seed(scenario_seed, ((ci as u64) << 32) | trial);
+                    TrialSpec::new(cell.protocol.clone(), cell.adversary.clone(), seed)
+                        .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
+                })
+                .collect();
+            let (slots_total, wall_s) = time_cell(&specs, &fast);
+            let (ref_slots, ref_wall) = if cfg.reference {
+                let (s, w) = time_cell(&specs, &reference);
+                (Some(s), Some(w))
+            } else {
+                (None, None)
+            };
+            let slots_per_sec = slots_total as f64 / wall_s.max(1e-9);
+            let ref_slots_per_sec = ref_slots.zip(ref_wall).map(|(s, w)| s as f64 / w.max(1e-9));
+            if cfg.progress {
+                eprintln!(
+                    "[rcb bench] {} cell {}/{}: {:.1}M slots/s{}",
+                    spec.name,
+                    ci + 1,
+                    spec.cells.len(),
+                    slots_per_sec / 1e6,
+                    ref_slots_per_sec
+                        .map(|r| format!(" ({:.1}x vs reference)", slots_per_sec / r))
+                        .unwrap_or_default(),
+                );
+            }
+            cells.push(CellBench {
+                protocol: cell.protocol.name().to_string(),
+                adversary: cell.adversary.name().to_string(),
+                n: cell.protocol.n(),
+                budget: cell.adversary.budget(),
+                trials: cfg.trials_per_cell,
+                slots_total,
+                wall_s,
+                slots_per_sec,
+                ref_wall_s: ref_wall,
+                ref_slots_per_sec,
+                speedup: ref_slots_per_sec.map(|r| slots_per_sec / r.max(1e-9)),
+            });
+        }
+        out.push(ScenarioBench {
+            scenario: spec.name,
+            cells,
+        });
+    }
+    BenchReport {
+        seed: cfg.seed,
+        trials_per_cell: cfg.trials_per_cell,
+        max_slots: cfg.max_slots,
+        scenarios: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::find;
+    use crate::Json;
+
+    fn tiny_bench() -> BenchReport {
+        let cfg = BenchConfig {
+            trials_per_cell: 1,
+            max_slots: Some(30_000),
+            reference: true,
+            ..BenchConfig::default()
+        };
+        run_bench(&[find("epidemic-race").expect("catalog entry")], &cfg)
+    }
+
+    #[test]
+    fn bench_measures_every_cell_with_reference() {
+        let report = tiny_bench();
+        assert_eq!(report.scenarios.len(), 1);
+        let cells = &report.scenarios[0].cells;
+        assert_eq!(cells.len(), 8, "epidemic-race has 8 cells");
+        for c in cells {
+            assert!(c.slots_total > 0, "{c:?}");
+            assert!(c.slots_per_sec > 0.0);
+            assert!(c.ref_slots_per_sec.unwrap() > 0.0);
+            assert!(c.speedup.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bench_slot_totals_are_seed_deterministic() {
+        let totals = |seed: u64| -> Vec<u64> {
+            let cfg = BenchConfig {
+                seed,
+                trials_per_cell: 1,
+                max_slots: Some(30_000),
+                reference: false,
+                ..BenchConfig::default()
+            };
+            run_bench(&[find("epidemic-race").expect("entry")], &cfg).scenarios[0]
+                .cells
+                .iter()
+                .map(|c| c.slots_total)
+                .collect()
+        };
+        assert_eq!(totals(7), totals(7));
+        assert_ne!(totals(7), totals(8));
+    }
+
+    /// A cell's deterministic measurements must not depend on which other
+    /// scenarios were benched alongside it.
+    #[test]
+    fn bench_seeds_are_scenario_position_independent() {
+        let cfg = BenchConfig {
+            trials_per_cell: 1,
+            max_slots: Some(20_000),
+            reference: false,
+            ..BenchConfig::default()
+        };
+        let race = find("epidemic-race").expect("entry");
+        let ladder = find("scaling-ladder").expect("entry");
+        let alone = run_bench(&[race], &cfg);
+        let paired = run_bench(&[ladder, race], &cfg);
+        let totals = |r: &BenchReport, s: &str| -> Vec<u64> {
+            r.scenarios
+                .iter()
+                .find(|x| x.scenario == s)
+                .expect("scenario present")
+                .cells
+                .iter()
+                .map(|c| c.slots_total)
+                .collect()
+        };
+        assert_eq!(
+            totals(&alone, "epidemic-race"),
+            totals(&paired, "epidemic-race"),
+            "cell seeds must be position-independent"
+        );
+    }
+
+    #[test]
+    fn bench_artifact_parses_and_has_schema_markers() {
+        let json = tiny_bench().to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(json.contains("\"kind\": \"rcb-bench-report\""));
+        assert!(json.contains("\"slots_per_sec\""));
+        assert!(json.contains("\"speedup\""));
+        let parsed = crate::jsonin::parse(&json).expect("bench artifact parses");
+        let Json::Object(fields) = parsed else {
+            panic!("not an object")
+        };
+        assert!(fields.iter().any(|(k, _)| k == "scenarios"));
+    }
+
+    #[test]
+    fn quick_preset_caps_workloads() {
+        let q = BenchConfig::quick();
+        assert_eq!(q.trials_per_cell, 1);
+        assert!(q.max_slots.is_some());
+        assert!(q.reference);
+    }
+}

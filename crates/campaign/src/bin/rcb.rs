@@ -5,21 +5,34 @@
 //! rcb describe <scenario>                   # cells of one scenario
 //! rcb run <scenario> [--trials N] [--seed S] [--threads K]
 //!                    [--max-slots M] [--out FILE] [--quiet]
+//! rcb bench [scenario ...] [--quick] [--trials N] [--seed S]
+//!           [--max-slots M] [--no-reference] [--out FILE] [--quiet]
+//! rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]
 //! ```
 //!
 //! `run` prints a human summary table to stdout and, with `--out`, writes
 //! the schema-versioned JSON artifact. The artifact depends only on
 //! (scenario, seed, trials, max-slots): rerunning with the same seed gives
 //! byte-identical files at any `--threads` value.
+//!
+//! `bench` measures single-threaded engine throughput (slots/sec, wall
+//! time, fast-forward speedup) per catalog cell; `diff` compares two
+//! artifacts and exits non-zero when any relative delta exceeds
+//! `--threshold` — together they are the perf-trajectory regression gate.
 
-use rcb_campaign::{find, registry, run_campaign, CampaignConfig};
+use rcb_campaign::{
+    diff, find, jsonin, registry, run_bench, run_campaign, BenchConfig, CampaignConfig,
+};
 use std::io::Write as _;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
-         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] [--quiet]\n\
+         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] [--quiet]\n  \
+         rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
+         [--no-reference] [--out FILE] [--quiet]\n  \
+         rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]\n\
          \nscenarios:\n{}",
         registry()
             .iter()
@@ -52,6 +65,11 @@ fn main() {
         Some("run") => match args.get(1) {
             Some(name) => cmd_run(name, &args[2..]),
             None => usage(),
+        },
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => cmd_diff(a, b, &args[3..]),
+            _ => usage(),
         },
         _ => usage(),
     }
@@ -160,5 +178,148 @@ fn cmd_run(name: &str, rest: &[String]) {
 
     if violations > 0 {
         std::process::exit(1);
+    }
+}
+
+fn cmd_bench(rest: &[String]) {
+    let mut cfg = BenchConfig {
+        progress: true,
+        ..BenchConfig::default()
+    };
+    // Explicit flags always win over the --quick preset, whatever the
+    // argument order.
+    let mut quick = false;
+    let mut explicit_trials: Option<u64> = None;
+    let mut explicit_max_slots: Option<u64> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trials" => explicit_trials = Some(parse(arg, it.next())),
+            "--seed" => cfg.seed = parse(arg, it.next()),
+            "--max-slots" => explicit_max_slots = Some(parse(arg, it.next())),
+            "--no-reference" => cfg.reference = false,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--quiet" => cfg.progress = false,
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+    if quick {
+        let preset = BenchConfig::quick();
+        cfg.trials_per_cell = preset.trials_per_cell;
+        cfg.max_slots = preset.max_slots;
+    }
+    if let Some(t) = explicit_trials {
+        cfg.trials_per_cell = t;
+    }
+    if let Some(m) = explicit_max_slots {
+        cfg.max_slots = Some(m);
+    }
+
+    let scenarios: Vec<_> = if names.is_empty() {
+        registry()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find(n).unwrap_or_else(|| {
+                    eprintln!("unknown scenario: {n}");
+                    usage()
+                })
+            })
+            .collect()
+    };
+
+    let mut out_file = out_path.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2)
+        })
+    });
+
+    let start = Instant::now();
+    let report = run_bench(&scenarios, &cfg);
+    println!("{}", report.to_table());
+    eprintln!("[rcb bench] completed in {:.1?}", start.elapsed());
+
+    if let (Some(f), Some(path)) = (out_file.as_mut(), out_path.as_ref()) {
+        f.write_all(report.to_json().as_bytes())
+            .expect("write artifact");
+        println!("artifact written to {path}");
+    }
+}
+
+fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
+    let mut threshold: Option<f64> = None;
+    let mut ignore: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => threshold = Some(parse(arg, it.next())),
+            "--ignore" => ignore.push(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+
+    let load = |path: &str| -> rcb_campaign::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        jsonin::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2)
+        })
+    };
+    let (a, b) = (load(path_a), load(path_b));
+
+    let out = diff(&a, &b, &ignore).unwrap_or_else(|e| {
+        eprintln!("diff failed: {e}");
+        std::process::exit(2)
+    });
+
+    if out.rows.is_empty() {
+        println!(
+            "no numeric differences ({} leaves compared, {} ignored)",
+            out.compared, out.ignored
+        );
+        return;
+    }
+    println!(
+        "{} differing leaves of {} compared ({} ignored); max |rel| = {:.3}",
+        out.rows.len(),
+        out.compared,
+        out.ignored,
+        out.max_rel()
+    );
+    for row in &out.rows {
+        println!(
+            "  {:<60} {:>14.4} -> {:>14.4}  ({:+.2}%)",
+            row.path,
+            row.a,
+            row.b,
+            row.rel * 100.0
+        );
+    }
+    if let Some(t) = threshold {
+        let violations = out.violations(t);
+        if !violations.is_empty() {
+            eprintln!(
+                "[rcb diff] FAIL: {} leaves exceed the {:.3} relative threshold",
+                violations.len(),
+                t
+            );
+            std::process::exit(1);
+        }
+        println!("all deltas within the {t:.3} threshold");
     }
 }

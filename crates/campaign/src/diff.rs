@@ -1,0 +1,235 @@
+//! `rcb diff` — compare two schema-versioned artifacts.
+//!
+//! The regression gate for perf trajectories (ROADMAP item): load two
+//! campaign or bench artifacts, walk their JSON trees in parallel, and
+//! report every numeric leaf whose relative delta exceeds a threshold.
+//! Structure must match (same kind, same schema version, same shape) —
+//! artifacts produced by different scenarios are an error, not a diff.
+//!
+//! Host-dependent leaves (`wall_s`, `slots_per_sec`, `speedup`, …) can be
+//! excluded by key with `ignore`, which is how CI gates deterministic slot
+//! totals tightly while letting wall-clock noise through.
+
+use crate::json::Json;
+
+/// One numeric difference between the two artifacts.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Dotted path of the leaf, e.g. `cells[3].metrics.completion_slots.mean`.
+    pub path: String,
+    pub a: f64,
+    pub b: f64,
+    /// `(b − a) / |a|`; infinite when `a == 0 ≠ b`.
+    pub rel: f64,
+}
+
+/// Outcome of a structural diff.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutput {
+    /// Numeric leaves that differ, in document order.
+    pub rows: Vec<DiffRow>,
+    /// Number of numeric leaves compared.
+    pub compared: usize,
+    /// Leaves skipped via the ignore list.
+    pub ignored: usize,
+}
+
+impl DiffOutput {
+    /// Largest absolute relative delta across all differing leaves.
+    pub fn max_rel(&self) -> f64 {
+        self.rows.iter().map(|r| r.rel.abs()).fold(0.0, f64::max)
+    }
+
+    /// Rows whose |relative delta| exceeds `threshold`.
+    pub fn violations(&self, threshold: f64) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.rel.abs() > threshold)
+            .collect()
+    }
+}
+
+/// Structurally compare two parsed artifacts.
+///
+/// `ignore` lists object keys whose subtrees are skipped entirely.
+/// Returns an error when the documents are not comparable (different kinds,
+/// schema versions, shapes, or non-numeric leaf mismatches).
+pub fn diff(a: &Json, b: &Json, ignore: &[String]) -> Result<DiffOutput, String> {
+    // Kind and schema version must agree before any cell comparison makes
+    // sense.
+    for key in ["kind", "schema_version"] {
+        let (va, vb) = (lookup(a, key), lookup(b, key));
+        if va != vb {
+            return Err(format!(
+                "artifacts are not comparable: `{key}` differs ({} vs {})",
+                render(va),
+                render(vb)
+            ));
+        }
+    }
+    let mut out = DiffOutput::default();
+    walk(a, b, "", ignore, &mut out)?;
+    Ok(out)
+}
+
+fn lookup<'j>(v: &'j Json, key: &str) -> Option<&'j Json> {
+    match v {
+        Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn render(v: Option<&Json>) -> String {
+    v.map(Json::to_compact).unwrap_or_else(|| "absent".into())
+}
+
+fn numeric(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn walk(
+    a: &Json,
+    b: &Json,
+    path: &str,
+    ignore: &[String],
+    out: &mut DiffOutput,
+) -> Result<(), String> {
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        out.compared += 1;
+        if x != y {
+            let rel = if x == 0.0 {
+                f64::INFINITY
+            } else {
+                (y - x) / x.abs()
+            };
+            out.rows.push(DiffRow {
+                path: path.to_string(),
+                a: x,
+                b: y,
+                rel,
+            });
+        }
+        return Ok(());
+    }
+    match (a, b) {
+        (Json::Object(fa), Json::Object(fb)) => {
+            if fa.len() != fb.len() {
+                return Err(format!(
+                    "object at `{path}` has {} fields vs {}",
+                    fa.len(),
+                    fb.len()
+                ));
+            }
+            for ((ka, va), (kb, vb)) in fa.iter().zip(fb) {
+                if ka != kb {
+                    return Err(format!("key mismatch at `{path}`: `{ka}` vs `{kb}`"));
+                }
+                if ignore.iter().any(|i| i == ka) {
+                    out.ignored += 1;
+                    continue;
+                }
+                let sub = if path.is_empty() {
+                    ka.clone()
+                } else {
+                    format!("{path}.{ka}")
+                };
+                walk(va, vb, &sub, ignore, out)?;
+            }
+            Ok(())
+        }
+        (Json::Array(xa), Json::Array(xb)) => {
+            if xa.len() != xb.len() {
+                return Err(format!(
+                    "array at `{path}` has {} items vs {}",
+                    xa.len(),
+                    xb.len()
+                ));
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                walk(va, vb, &format!("{path}[{i}]"), ignore, out)?;
+            }
+            Ok(())
+        }
+        _ => {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!(
+                    "non-numeric mismatch at `{path}`: {} vs {}",
+                    a.to_compact(),
+                    b.to_compact()
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonin::parse;
+
+    fn artifact(mean: f64, wall: f64) -> Json {
+        parse(&format!(
+            r#"{{"schema_version": 1, "kind": "rcb-bench-report",
+                 "cells": [{{"trials": 3, "mean": {mean}, "wall_s": {wall}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_rows() {
+        let a = artifact(100.0, 1.5);
+        let out = diff(&a, &a, &[]).unwrap();
+        assert!(out.rows.is_empty());
+        assert!(out.compared >= 4);
+        assert_eq!(out.max_rel(), 0.0);
+    }
+
+    #[test]
+    fn relative_deltas_and_paths() {
+        let a = artifact(100.0, 1.0);
+        let b = artifact(130.0, 9.0);
+        let out = diff(&a, &b, &[]).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].path, "cells[0].mean");
+        assert!((out.rows[0].rel - 0.3).abs() < 1e-12);
+        assert_eq!(out.violations(0.5).len(), 1, "only wall_s exceeds 50%");
+        assert!(out.max_rel() > 7.9);
+    }
+
+    #[test]
+    fn ignore_list_skips_host_dependent_fields() {
+        let a = artifact(100.0, 1.0);
+        let b = artifact(100.0, 9.0);
+        let out = diff(&a, &b, &["wall_s".to_string()]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.ignored, 1);
+    }
+
+    #[test]
+    fn mismatched_kinds_and_shapes_are_errors() {
+        let a = artifact(1.0, 1.0);
+        let mut b = artifact(1.0, 1.0);
+        if let Json::Object(fields) = &mut b {
+            fields[1].1 = "rcb-campaign-report".into();
+        }
+        assert!(diff(&a, &b, &[]).unwrap_err().contains("kind"));
+
+        let c = parse(r#"{"schema_version": 1, "kind": "rcb-bench-report", "cells": []}"#).unwrap();
+        assert!(diff(&a, &c, &[]).unwrap_err().contains("array"));
+    }
+
+    #[test]
+    fn zero_to_nonzero_is_infinite_delta() {
+        let a = artifact(0.0, 1.0);
+        let b = artifact(5.0, 1.0);
+        let out = diff(&a, &b, &[]).unwrap();
+        assert!(out.rows[0].rel.is_infinite());
+        assert_eq!(out.violations(1e12).len(), 1);
+    }
+}

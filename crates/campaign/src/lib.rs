@@ -16,19 +16,36 @@
 //! * [`report`] — the **schema-versioned JSON artifact**
 //!   (`BENCH_<scenario>.json`-ready) plus a human summary table.
 //!
+//! Performance tooling rides on the same catalog:
+//!
+//! * [`bench`] — `rcb bench`: single-threaded engine-throughput
+//!   measurement per scenario cell (slots/sec, wall time, fast-forward
+//!   speedup vs the slot-by-slot reference), emitted as a schema-versioned
+//!   `BENCH_*.json` artifact — the repo's perf trajectory.
+//! * [`diff`] + [`jsonin`] — `rcb diff a.json b.json`: structural
+//!   comparison of two artifacts with per-leaf relative deltas and a
+//!   threshold gate (the perf/behavior regression gate in CI).
+//!
 //! The `rcb` binary (`src/bin/rcb.rs`) is the command-line face:
 //!
 //! ```text
 //! rcb list
 //! rcb describe core-repro
 //! rcb run core-repro --trials 1000 --seed 1 --out BENCH_core.json
+//! rcb bench --quick --out BENCH_engine.json
+//! rcb diff BENCH_engine.json new.json --threshold 0.5 --ignore wall_s
 //! ```
 
+pub mod bench;
+pub mod diff;
 pub mod engine;
 pub mod json;
+pub mod jsonin;
 pub mod report;
 pub mod scenario;
 
+pub use bench::{run_bench, BenchConfig, BenchReport, BENCH_SCHEMA_VERSION};
+pub use diff::{diff, DiffOutput, DiffRow};
 pub use engine::{run_campaign, CampaignConfig};
 pub use json::Json;
 pub use report::{CampaignReport, CellReport, MetricReport, SCHEMA_VERSION};

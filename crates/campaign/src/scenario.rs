@@ -108,6 +108,11 @@ pub fn registry() -> Vec<Scenario> {
             summary: "MultiCast across an n ladder with T proportional to n",
             build: scaling_ladder,
         },
+        Scenario {
+            name: "adv-late-epoch",
+            summary: "MultiCastAdv driven deep into sparse late epochs (idle fast-forward stress)",
+            build: adv_late_epoch,
+        },
     ]
 }
 
@@ -142,7 +147,7 @@ fn core_repro() -> CampaignSpec {
 
 fn budget_sweep() -> CampaignSpec {
     let n = 64u64;
-    let cells = [4_000u64, 16_000, 64_000, 256_000]
+    let mut cells: Vec<CellSpec> = [4_000u64, 16_000, 64_000, 256_000]
         .iter()
         .map(|&t| {
             CellSpec::new(
@@ -154,12 +159,29 @@ fn budget_sweep() -> CampaignSpec {
             )
         })
         .collect();
+    // The late-iteration tail at n = 16: budgets big enough to push
+    // MultiCast into iterations where p_i = 2^-i makes >90% of rounds
+    // empty — the idle fast-forward's signature workload (each blocked
+    // iteration quadruples R_i while halving p_i).
+    for &t in &[4_000_000u64, 35_000_000] {
+        cells.push(
+            CellSpec::new(
+                ProtocolKind::MultiCast {
+                    n: 16,
+                    params: McParams::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+            )
+            .with_max_slots(200_000_000),
+        );
+    }
     CampaignSpec {
         name: "budget-sweep".into(),
-        description: "MultiCast at n = 64 against a 90%-band uniform jammer \
-                      with budgets 4k..256k. The completion-time column should \
-                      scale ~linearly in T (Theorem 5.4a) while max node cost \
-                      grows only ~sqrt(T) (Theorem 5.4b)."
+        description: "MultiCast against a 90%-band uniform jammer up a budget \
+                      ladder: 4k..256k at n = 64 (the O(T/n) slope of Theorem \
+                      5.4a at ~sqrt(T) node cost, Theorem 5.4b), then 4M and \
+                      35M at n = 16 — the late-iteration sparse regime that \
+                      stresses the engine's idle fast-forward."
             .into(),
         cells,
     }
@@ -375,6 +397,46 @@ fn scaling_ladder() -> CampaignSpec {
         description: "MultiCast up an n ladder (16..256) with the jamming \
                       budget scaled as T = 100n, half the band jammed. Fixing \
                       T/n isolates the protocol's n-dependence."
+            .into(),
+        cells,
+    }
+}
+
+fn adv_late_epoch() -> CampaignSpec {
+    let mut cells = Vec::new();
+    for &(n, t) in &[(16u64, 50_000u64), (16, 200_000), (32, 100_000)] {
+        cells.push(
+            CellSpec::new(
+                ProtocolKind::Adv {
+                    n,
+                    params: AdvParams::default(),
+                },
+                AdversaryKind::Uniform { t, frac: 0.9 },
+            )
+            .with_max_slots(200_000_000),
+        );
+    }
+    cells.push(
+        CellSpec::new(
+            ProtocolKind::Adv {
+                n: 16,
+                params: AdvParams::default(),
+            },
+            AdversaryKind::Burst {
+                t: 200_000,
+                start: 0,
+            },
+        )
+        .with_max_slots(200_000_000),
+    );
+    CampaignSpec {
+        name: "adv-late-epoch".into(),
+        description: "MultiCastAdv runs reaching their deepest (sparsest) \
+                      epochs, where p(i, j) = 2^{-α(i-j)}/2 empties ~half of \
+                      all rounds (the protocol halts by design before p decays \
+                      further — the >90%-idle regime lives in budget-sweep's \
+                      late MultiCast iterations). Together with budget-sweep \
+                      these are the `rcb bench` fast-forward stress cells."
             .into(),
         cells,
     }

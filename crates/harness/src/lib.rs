@@ -15,5 +15,5 @@ pub mod runner;
 pub mod spec;
 
 pub use report::{sweep_by, SweepPoint};
-pub use runner::{resolve_threads, run_trial, run_trials, TrialResult};
+pub use runner::{resolve_threads, run_trial, run_trial_with_engine, run_trials, TrialResult};
 pub use spec::{AdversaryKind, ProtocolKind, TrialSpec};

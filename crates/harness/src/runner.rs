@@ -188,13 +188,29 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     run_trial_with_observer(spec, &mut Noop)
 }
 
+/// Run a single trial under a caller-supplied base [`EngineConfig`] (the
+/// spec's slot cap and the protocol's stop rule still override the base).
+/// Used by `rcb bench` to compare the fast-forward engine against the
+/// slot-by-slot reference on identical workloads.
+pub fn run_trial_with_engine(spec: &TrialSpec, base: &EngineConfig) -> TrialResult {
+    run_trial_inner(spec, base, &mut Noop)
+}
+
 /// Run a single trial, streaming engine events into `observer` (used by the
 /// epidemic-growth experiment to capture informed-count curves).
 pub fn run_trial_with_observer(spec: &TrialSpec, observer: &mut dyn Observer) -> TrialResult {
+    run_trial_inner(spec, &EngineConfig::default(), observer)
+}
+
+fn run_trial_inner(
+    spec: &TrialSpec,
+    base: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> TrialResult {
     let cfg = EngineConfig {
         max_slots: spec.max_slots,
         stop_when_all_informed: spec.protocol.never_halts(),
-        ..EngineConfig::default()
+        ..*base
     };
     let mut adversary = build_adversary(&spec.adversary, spec.seed);
     let out = match spec.protocol.clone() {

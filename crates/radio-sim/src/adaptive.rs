@@ -73,6 +73,13 @@ pub trait AdaptiveAdversary {
     /// Eve's total energy budget `T`.
     fn budget(&self) -> u64;
 
+    /// Does this strategy actually read its observations? Adapters over
+    /// oblivious strategies return `false`, letting the engine skip the
+    /// per-slot `busy_channels` collection and observation swap entirely.
+    fn needs_observations(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "adaptive"
     }
@@ -90,6 +97,10 @@ impl<A: Adversary + ?Sized> AdaptiveAdversary for ObliviousAsAdaptive<'_, A> {
 
     fn budget(&self) -> u64 {
         self.0.budget()
+    }
+
+    fn needs_observations(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {
@@ -113,6 +124,27 @@ mod tests {
         assert_eq!(adapted.jam(0, 8, &obs), JamSet::Empty);
         assert_eq!(adapted.budget(), 0);
         assert_eq!(adapted.name(), "none");
+        assert!(!adapted.needs_observations());
+    }
+
+    #[test]
+    fn truly_adaptive_strategies_need_observations_by_default() {
+        struct Echo;
+        impl AdaptiveAdversary for Echo {
+            fn jam(&mut self, _s: u64, channels: u64, prev: &BandObservation) -> JamSet {
+                JamSet::from_channels(
+                    prev.busy
+                        .iter()
+                        .copied()
+                        .filter(|&c| c < channels)
+                        .collect(),
+                )
+            }
+            fn budget(&self) -> u64 {
+                1
+            }
+        }
+        assert!(Echo.needs_observations());
     }
 
     #[test]

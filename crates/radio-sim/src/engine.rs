@@ -21,28 +21,57 @@
 //! 4. **Boundaries**: at a segment's end every active node runs its
 //!    end-of-segment checks and may halt.
 //!
+//! # Idle-round fast-forward
+//!
+//! In late iterations/epochs the action probability decays geometrically, so
+//! almost every round samples **zero actors** — the paper's protocols spend
+//! most of their wall-clock in silence. The engine therefore treats a
+//! segment's actor sampling as one geometric-skip process carried across
+//! rounds ([`TwoClassRoundStream`]): an empty round consumes no randomness,
+//! and the length of a run of consecutive empty rounds is known from the
+//! carried skip in O(1). When a round comes up empty (and the adversary is
+//! oblivious, and [`EngineConfig::fast_forward`] is on), the engine jumps
+//! over the whole run of empty rounds at once:
+//!
+//! * Eve's budget is charged **exactly** via the span-batched
+//!   [`Adversary::jam_span`] API — by contract equivalent to per-slot `jam`
+//!   calls under the engine's budget rule (the default implementation *is*
+//!   that loop; structured jammers supply closed forms).
+//! * No channel board, feedback, or per-slot observer work happens;
+//!   observers get a single [`Observer::on_idle_span`] event.
+//!
+//! For adversaries whose `jam_span` is exact (everything in `rcb-adversary`
+//! except the Markov-state `GilbertElliott`), a fast-forwarded run produces a
+//! [`RunOutcome`] byte-identical to the slot-by-slot path
+//! (`fast_forward: false`), including RNG stream states — enforced by the
+//! `fast_forward` integration test matrix. Adaptive adversaries and
+//! [`Sampling::DensePerNode`] always take the slot-by-slot path.
+//!
 //! # Determinism
 //!
 //! A run is a pure function of `(protocol, adversary, master_seed)`: node
 //! streams and the engine's sampling stream are derived from the master seed
 //! with [`derive_seed`], and the adversary carries its own seeded stream.
 
-use crate::adaptive::{AdaptiveAdversary, BandObservation, ObliviousAsAdaptive};
+use crate::adaptive::{AdaptiveAdversary, BandObservation};
 use crate::channel::{ChannelBoard, Feedback};
 use crate::jamset::JamSet;
 use crate::metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 use crate::protocol::{
-    Action, Adversary, BoundaryDecision, Coin, Protocol, ProtocolNode, SlotProfile,
+    Action, Adversary, BoundaryDecision, Coin, Protocol, ProtocolNode, SlotProfile, SpanCharge,
 };
 use crate::rng::{derive_seed, Xoshiro256};
-use crate::sampler::sample_two_class;
+use crate::sampler::TwoClassRoundStream;
 use crate::trace::Observer;
 
 /// How the engine samples the per-slot acting subset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Sampling {
     /// Geometric-skip subset sampling from a dedicated engine stream
-    /// (`O(#actors)` per slot). The default.
+    /// (`O(#actors)` per slot), carried across the rounds of a segment so
+    /// empty rounds consume no randomness (see
+    /// [`TwoClassRoundStream`]). The default, and the only mode eligible
+    /// for the idle fast-forward.
     #[default]
     Sparse,
     /// Reference mode: every active node flips its own coin from its own
@@ -62,6 +91,11 @@ pub struct EngineConfig {
     pub stop_when_all_informed: bool,
     /// Actor sampling mode.
     pub sampling: Sampling,
+    /// Fast-forward runs of idle rounds (see the module docs). On by
+    /// default; turn off to force the slot-by-slot reference path, e.g. for
+    /// cross-validation or per-slot observer traces. Only effective with
+    /// [`Sampling::Sparse`] and an oblivious adversary.
+    pub fast_forward: bool,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +104,7 @@ impl Default for EngineConfig {
             max_slots: 200_000_000,
             stop_when_all_informed: false,
             sampling: Sampling::Sparse,
+            fast_forward: true,
         }
     }
 }
@@ -105,8 +140,13 @@ pub fn run_with_observer<P: Protocol>(
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
 ) -> RunOutcome {
-    let mut adapted = ObliviousAsAdaptive(adversary);
-    run_adaptive_with_observer(protocol, &mut adapted, master_seed, cfg, observer)
+    run_inner(
+        protocol,
+        Eve::Oblivious(adversary),
+        master_seed,
+        cfg,
+        observer,
+    )
 }
 
 /// Run against an [`AdaptiveAdversary`] (the Section 8 future-work model):
@@ -125,6 +165,68 @@ pub fn run_adaptive<P: Protocol>(
 pub fn run_adaptive_with_observer<P: Protocol>(
     protocol: &mut P,
     adversary: &mut dyn AdaptiveAdversary,
+    master_seed: u64,
+    cfg: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
+    run_inner(
+        protocol,
+        Eve::Adaptive(adversary),
+        master_seed,
+        cfg,
+        observer,
+    )
+}
+
+/// The engine's internal adversary handle: either the paper's oblivious
+/// model (span-batchable, fast-forward eligible) or the Section 8 adaptive
+/// extension (needs per-slot dispatch; may need band observations).
+enum Eve<'a> {
+    Oblivious(&'a mut dyn Adversary),
+    Adaptive(&'a mut dyn AdaptiveAdversary),
+}
+
+impl Eve<'_> {
+    fn budget(&self) -> u64 {
+        match self {
+            Eve::Oblivious(a) => a.budget(),
+            Eve::Adaptive(a) => a.budget(),
+        }
+    }
+
+    #[inline]
+    fn jam(&mut self, slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+        match self {
+            Eve::Oblivious(a) => a.jam(slot, channels),
+            Eve::Adaptive(a) => a.jam(slot, channels, prev),
+        }
+    }
+
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        match self {
+            Eve::Oblivious(a) => a.jam_span(start, len, channels, budget),
+            Eve::Adaptive(_) => unreachable!("fast-forward is oblivious-only"),
+        }
+    }
+
+    /// Fast-forward requires the span-batched charge API, which only the
+    /// oblivious trait carries.
+    fn supports_span(&self) -> bool {
+        matches!(self, Eve::Oblivious(_))
+    }
+
+    /// Whether the engine must collect per-slot band observations.
+    fn observes(&self) -> bool {
+        match self {
+            Eve::Oblivious(_) => false,
+            Eve::Adaptive(a) => a.needs_observations(),
+        }
+    }
+}
+
+fn run_inner<P: Protocol>(
+    protocol: &mut P,
+    mut eve: Eve<'_>,
     master_seed: u64,
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
@@ -149,7 +251,7 @@ pub fn run_adaptive_with_observer<P: Protocol>(
     let mut bcast_cost: Vec<u64> = vec![0; n as usize];
     let mut informed_count: u32 = 1;
 
-    let mut eve_remaining = adversary.budget();
+    let mut eve_remaining = eve.budget();
     let mut eve_spent: u64 = 0;
 
     let mut totals = SlotStats::default();
@@ -158,19 +260,26 @@ pub fn run_adaptive_with_observer<P: Protocol>(
     // Scratch buffers reused across slots.
     let mut class1: Vec<u32> = Vec::new();
     let mut class2: Vec<u32> = Vec::new();
-    let mut scratch: Vec<u32> = Vec::new();
     // Buffered actions per sub-slot of the current round.
     let mut round_buf: Vec<Vec<(u32, Action)>> = vec![Vec::new()];
     // Listeners of the current physical slot: (node, physical channel).
     let mut listeners: Vec<(u32, u64)> = Vec::new();
-    // Band observations for adaptive adversaries (previous slot / scratch).
+    // Band observations for adaptive adversaries (previous slot / scratch);
+    // maintained only when the adversary actually reads them.
+    let observes = eve.observes();
     let mut prev_obs = BandObservation::default();
     let mut next_obs = BandObservation::default();
+
+    let fast_forward = cfg.fast_forward && cfg.sampling == Sampling::Sparse && eve.supports_span();
 
     let mut slot: u64 = 0;
     let mut prof = checked_profile(protocol.segment(0), n);
     let mut seg_start: u64 = 0;
     let mut seg_end: u64 = prof.seg_len; // profiles have seg_len >= 1
+    let sparse = cfg.sampling == Sampling::Sparse;
+    // The segment's actor-sampling stream (sparse mode only).
+    let mut stream =
+        sparse.then(|| TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2));
 
     while slot < cfg.max_slots {
         if active.is_empty() {
@@ -182,143 +291,184 @@ pub fn run_adaptive_with_observer<P: Protocol>(
 
         let round_len = prof.round_len as u64;
         let sub = (slot - seg_start) % round_len;
+        let mut fast_forwarded = false;
 
-        // --- 1. Actor sampling at round start -------------------------------
+        // --- 1. Actor sampling / idle fast-forward at round start -----------
         if sub == 0 {
-            for buf in &mut round_buf {
-                buf.clear();
-            }
-            if round_buf.len() < round_len as usize {
-                round_buf.resize_with(round_len as usize, Vec::new);
-            }
-            class1.clear();
-            class2.clear();
-            match cfg.sampling {
-                Sampling::Sparse => {
-                    sample_two_class(
-                        &mut engine_rng,
-                        active.len(),
-                        prof.p1,
-                        prof.p2,
-                        &mut class1,
-                        &mut class2,
-                        &mut scratch,
-                    );
+            if fast_forward {
+                let s = stream.as_mut().expect("sparse mode has a stream");
+                let empty_rounds = s.empty_rounds_ahead();
+                if empty_rounds > 0 {
+                    // The run of empty rounds ahead, clipped to the segment
+                    // (profiles change at boundaries) and to the slot cap.
+                    let rounds_left = (seg_end - slot) / round_len;
+                    let mut whole_rounds = empty_rounds.min(rounds_left);
+                    let mut span = whole_rounds * round_len;
+                    let avail = cfg.max_slots - slot;
+                    if span > avail {
+                        span = avail; // ends the run; a partial round is fine
+                        whole_rounds = span / round_len;
+                    }
+                    let spent = if eve_remaining > 0 {
+                        let charge = eve.jam_span(slot, span, prof.channels, eve_remaining);
+                        debug_assert!(charge.spent <= eve_remaining, "jam_span overspent");
+                        // Clamp in release too: a buggy closed-form override
+                        // must bankrupt Eve, not underflow her into riches.
+                        let spent = charge.spent.min(eve_remaining);
+                        eve_remaining -= spent;
+                        eve_spent += spent;
+                        totals.jammed += spent;
+                        spent
+                    } else {
+                        0
+                    };
+                    s.skip_rounds(whole_rounds);
+                    observer.on_idle_span(slot, span, spent);
+                    slot += span;
+                    fast_forwarded = true;
                 }
-                Sampling::DensePerNode => {
-                    for (idx, &nid) in active.iter().enumerate() {
-                        let u = node_rngs[nid as usize].next_f64();
-                        if u < prof.p1 {
-                            class1.push(idx as u32);
-                        } else if u < prof.p1 + prof.p2 {
-                            class2.push(idx as u32);
+            }
+            if !fast_forwarded {
+                for buf in &mut round_buf {
+                    buf.clear();
+                }
+                if round_buf.len() < round_len as usize {
+                    round_buf.resize_with(round_len as usize, Vec::new);
+                }
+                class1.clear();
+                class2.clear();
+                match cfg.sampling {
+                    Sampling::Sparse => {
+                        stream
+                            .as_mut()
+                            .expect("sparse mode has a stream")
+                            .next_round(&mut engine_rng, &mut class1, &mut class2);
+                    }
+                    Sampling::DensePerNode => {
+                        for (idx, &nid) in active.iter().enumerate() {
+                            let u = node_rngs[nid as usize].next_f64();
+                            if u < prof.p1 {
+                                class1.push(idx as u32);
+                            } else if u < prof.p1 + prof.p2 {
+                                class2.push(idx as u32);
+                            }
                         }
                     }
                 }
-            }
-            for (list, coin) in [(&class1, Coin::One), (&class2, Coin::Two)] {
-                for &idx in list.iter() {
-                    let nid = active[idx as usize];
-                    let action =
-                        nodes[nid as usize].on_selected(&prof, coin, &mut node_rngs[nid as usize]);
-                    match action {
-                        Action::Idle => {}
-                        Action::Listen { ch } | Action::Broadcast { ch, .. } => {
-                            debug_assert!(
-                                ch < prof.virt_channels,
-                                "node picked channel {ch} of {}",
-                                prof.virt_channels
-                            );
-                            let (target, phys) = if round_len == 1 {
-                                (0u64, ch)
-                            } else {
-                                (ch / prof.channels, ch % prof.channels)
-                            };
-                            let mapped = match action {
-                                Action::Listen { .. } => Action::Listen { ch: phys },
-                                Action::Broadcast { payload, .. } => {
-                                    Action::Broadcast { ch: phys, payload }
-                                }
-                                Action::Idle => unreachable!(),
-                            };
-                            round_buf[target as usize].push((nid, mapped));
+                for (list, coin) in [(&class1, Coin::One), (&class2, Coin::Two)] {
+                    for &idx in list.iter() {
+                        let nid = active[idx as usize];
+                        let action = nodes[nid as usize].on_selected(
+                            &prof,
+                            coin,
+                            &mut node_rngs[nid as usize],
+                        );
+                        match action {
+                            Action::Idle => {}
+                            Action::Listen { ch } | Action::Broadcast { ch, .. } => {
+                                debug_assert!(
+                                    ch < prof.virt_channels,
+                                    "node picked channel {ch} of {}",
+                                    prof.virt_channels
+                                );
+                                let (target, phys) = if round_len == 1 {
+                                    (0u64, ch)
+                                } else {
+                                    (ch / prof.channels, ch % prof.channels)
+                                };
+                                let mapped = match action {
+                                    Action::Listen { .. } => Action::Listen { ch: phys },
+                                    Action::Broadcast { payload, .. } => {
+                                        Action::Broadcast { ch: phys, payload }
+                                    }
+                                    Action::Idle => unreachable!(),
+                                };
+                                round_buf[target as usize].push((nid, mapped));
+                            }
                         }
                     }
                 }
             }
         }
 
-        // --- 2. Jamming ------------------------------------------------------
-        let jam = if eve_remaining == 0 {
-            JamSet::Empty
-        } else {
-            let request = adversary.jam(slot, prof.channels, &prev_obs);
-            let want = request.count(prof.channels);
-            let take = want.min(eve_remaining);
-            eve_remaining -= take;
-            eve_spent += take;
-            if take < want {
-                request.truncate(take, prof.channels)
+        if !fast_forwarded {
+            // --- 2. Jamming --------------------------------------------------
+            // `take` is both her spend and the size of the (possibly
+            // truncated) jam set, so it is never recounted.
+            let (jam, take) = if eve_remaining == 0 {
+                (JamSet::Empty, 0)
             } else {
-                request
-            }
-        };
-        let jammed_now = jam.count(prof.channels);
+                let request = eve.jam(slot, prof.channels, &prev_obs);
+                let want = request.count(prof.channels);
+                let take = want.min(eve_remaining);
+                eve_remaining -= take;
+                eve_spent += take;
+                let jam = if take < want {
+                    request.truncate(take, prof.channels)
+                } else {
+                    request
+                };
+                (jam.normalize(prof.channels), take)
+            };
 
-        // --- 3. Execute this sub-slot's buffered actions ---------------------
-        board.clear();
-        listeners.clear();
-        let mut slot_stats = SlotStats {
-            jammed: jammed_now,
-            ..SlotStats::default()
-        };
-        for &(nid, action) in &round_buf[sub as usize] {
-            match action {
-                Action::Idle => {}
-                Action::Listen { ch } => {
-                    listen_cost[nid as usize] += 1;
-                    slot_stats.listens += 1;
-                    listeners.push((nid, ch));
+            // --- 3. Execute this sub-slot's buffered actions -----------------
+            board.clear();
+            listeners.clear();
+            let mut slot_stats = SlotStats {
+                jammed: take,
+                ..SlotStats::default()
+            };
+            for &(nid, action) in &round_buf[sub as usize] {
+                match action {
+                    Action::Idle => {}
+                    Action::Listen { ch } => {
+                        listen_cost[nid as usize] += 1;
+                        slot_stats.listens += 1;
+                        listeners.push((nid, ch));
+                    }
+                    Action::Broadcast { ch, payload } => {
+                        bcast_cost[nid as usize] += 1;
+                        slot_stats.broadcasts += 1;
+                        board.add_broadcast(ch, payload);
+                    }
                 }
-                Action::Broadcast { ch, payload } => {
-                    bcast_cost[nid as usize] += 1;
-                    slot_stats.broadcasts += 1;
-                    board.add_broadcast(ch, payload);
+            }
+            board.resolve();
+            for &(nid, ch) in &listeners {
+                let fb = board.outcome(ch, jam.contains(ch, prof.channels));
+                match fb {
+                    Feedback::Silence => slot_stats.heard_silence += 1,
+                    Feedback::Message(_) => slot_stats.heard_message += 1,
+                    Feedback::Noise => slot_stats.heard_noise += 1,
+                }
+                let node = &mut nodes[nid as usize];
+                let was_informed = node.is_informed();
+                node.on_feedback(&prof, fb);
+                if !was_informed && node.is_informed() {
+                    informed_at[nid as usize] = Some(slot);
+                    informed_count += 1;
+                    observer.on_informed(nid, slot);
                 }
             }
-        }
-        board.resolve();
-        for &(nid, ch) in &listeners {
-            let fb = board.outcome(ch, jam.contains(ch, prof.channels));
-            match fb {
-                Feedback::Silence => slot_stats.heard_silence += 1,
-                Feedback::Message(_) => slot_stats.heard_message += 1,
-                Feedback::Noise => slot_stats.heard_noise += 1,
-            }
-            let node = &mut nodes[nid as usize];
-            let was_informed = node.is_informed();
-            node.on_feedback(&prof, fb);
-            if !was_informed && node.is_informed() {
-                informed_at[nid as usize] = Some(slot);
-                informed_count += 1;
-                observer.on_informed(nid, slot);
-            }
-        }
-        totals.broadcasts += slot_stats.broadcasts;
-        totals.listens += slot_stats.listens;
-        totals.heard_silence += slot_stats.heard_silence;
-        totals.heard_message += slot_stats.heard_message;
-        totals.heard_noise += slot_stats.heard_noise;
-        totals.jammed += slot_stats.jammed;
-        observer.on_slot(slot, &slot_stats);
+            totals.broadcasts += slot_stats.broadcasts;
+            totals.listens += slot_stats.listens;
+            totals.heard_silence += slot_stats.heard_silence;
+            totals.heard_message += slot_stats.heard_message;
+            totals.heard_noise += slot_stats.heard_noise;
+            totals.jammed += slot_stats.jammed;
+            observer.on_slot(slot, &slot_stats);
 
-        // Record the band activity for the adaptive adversary's next call.
-        next_obs.clear();
-        next_obs.channels = prof.channels;
-        board.busy_channels(&mut next_obs.busy);
-        std::mem::swap(&mut prev_obs, &mut next_obs);
+            // Record the band activity for the adaptive adversary's next
+            // call — skipped entirely for strategies that never read it.
+            if observes {
+                next_obs.clear();
+                next_obs.channels = prof.channels;
+                board.busy_channels(&mut next_obs.busy);
+                std::mem::swap(&mut prev_obs, &mut next_obs);
+            }
 
-        slot += 1;
+            slot += 1;
+        }
 
         // --- 4. Segment boundary ---------------------------------------------
         if slot == seg_end {
@@ -348,6 +498,16 @@ pub fn run_adaptive_with_observer<P: Protocol>(
                 prof = checked_profile(protocol.segment(slot), n);
                 seg_start = slot;
                 seg_end = slot.saturating_add(prof.seg_len);
+                if sparse {
+                    // Fresh stream per segment: probabilities and the active
+                    // set are constant within a segment, not across them.
+                    stream = Some(TwoClassRoundStream::new(
+                        &mut engine_rng,
+                        active.len(),
+                        prof.p1,
+                        prof.p2,
+                    ));
+                }
             }
         }
     }
@@ -687,6 +847,127 @@ mod tests {
         assert!(
             rel < 0.25,
             "sparse {sparse} vs dense {dense} diverge by {rel:.2}"
+        );
+    }
+
+    /// A sparse toy: acts with tiny probability so most rounds are empty and
+    /// the fast path engages.
+    struct SparseToy {
+        n: u32,
+        seg_len: u64,
+    }
+    impl Protocol for SparseToy {
+        type Node = ToyNode;
+        fn num_nodes(&self) -> u32 {
+            self.n
+        }
+        fn segment(&mut self, _start: u64) -> SlotProfile {
+            SlotProfile {
+                p1: 0.01,
+                p2: 0.01,
+                channels: 4,
+                virt_channels: 4,
+                round_len: 1,
+                seg_len: self.seg_len,
+                seg_major: 0,
+                seg_minor: 0,
+                step: 0,
+            }
+        }
+        fn make_node(&self, _id: u32, is_source: bool) -> ToyNode {
+            ToyNode {
+                informed: is_source,
+                is_source,
+                heard_noise: 0,
+            }
+        }
+    }
+
+    /// Fast-forward on vs off must agree byte-for-byte for any adversary
+    /// whose `jam_span` is exact — here the default per-slot loop of a
+    /// stateful custom jammer, the strongest case.
+    #[test]
+    fn fast_forward_matches_slot_by_slot_reference() {
+        struct EveryThird {
+            calls: u64,
+        }
+        impl Adversary for EveryThird {
+            fn jam(&mut self, slot: u64, _channels: u64) -> JamSet {
+                self.calls += 1;
+                if slot.is_multiple_of(3) {
+                    JamSet::Prefix(2)
+                } else {
+                    JamSet::Empty
+                }
+            }
+            fn budget(&self) -> u64 {
+                5_000
+            }
+        }
+        for seed in [1u64, 2, 3, 4] {
+            let run_mode = |fast_forward: bool| {
+                let mut proto = SparseToy {
+                    n: 16,
+                    seg_len: 256,
+                };
+                let cfg = EngineConfig {
+                    fast_forward,
+                    ..EngineConfig::capped(50_000)
+                };
+                run(&mut proto, &mut EveryThird { calls: 0 }, seed, &cfg)
+            };
+            let fast = run_mode(true);
+            let slow = run_mode(false);
+            // Byte-identical outcomes — whether or not the toy completed
+            // within the cap — including Eve's exact spend.
+            assert_eq!(fast, slow, "seed {seed}");
+            assert!(fast.eve_spent > 0, "the jammer must have been charged");
+        }
+    }
+
+    #[test]
+    fn fast_forward_emits_idle_span_events() {
+        struct SpanCounter {
+            spans: u64,
+            span_slots: u64,
+            slots: u64,
+        }
+        impl Observer for SpanCounter {
+            fn on_slot(&mut self, _slot: u64, _stats: &SlotStats) {
+                self.slots += 1;
+            }
+            fn on_idle_span(&mut self, _slot: u64, len: u64, _jammed: u64) {
+                self.spans += 1;
+                self.span_slots += len;
+            }
+        }
+        let mut proto = SparseToy {
+            n: 16,
+            seg_len: 256,
+        };
+        let mut obs = SpanCounter {
+            spans: 0,
+            span_slots: 0,
+            slots: 0,
+        };
+        let out = run_with_observer(
+            &mut proto,
+            &mut NoAdversary,
+            5,
+            &EngineConfig::capped(50_000),
+            &mut obs,
+        );
+        assert!(obs.spans > 0, "sparse toy must fast-forward");
+        assert_eq!(
+            obs.slots + obs.span_slots,
+            out.slots,
+            "executed + skipped slots must cover the run"
+        );
+        assert!(
+            obs.span_slots > out.slots / 2,
+            "most slots should be skipped: {} of {}",
+            obs.span_slots,
+            out.slots
         );
     }
 

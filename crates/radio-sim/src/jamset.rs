@@ -82,7 +82,14 @@ impl JamSet {
                 w < mask.len() && mask[w] & (1u64 << (ch % 64)) != 0
             }
             JamSet::Window { start, len } => {
-                let s = start % channels;
+                // The branch lets pre-normalized windows (the engine calls
+                // [`normalize`](JamSet::normalize) once per slot) skip the
+                // division on every per-listener query.
+                let s = if *start < channels {
+                    *start
+                } else {
+                    start % channels
+                };
                 let offset = (ch + channels - s) % channels;
                 offset < (*len).min(channels)
             }
@@ -178,6 +185,21 @@ impl JamSet {
                 let members: Vec<u64> = (0..l).map(|i| (s + i) % channels).collect();
                 JamSet::from_channels(members).truncate(limit, channels)
             }
+        }
+    }
+
+    /// Reduce a `Window`'s start modulo the channel count once, so that the
+    /// per-listener [`contains`](JamSet::contains) queries of the slot skip
+    /// the reduction. Other variants pass through untouched. Semantics are
+    /// unchanged — normalization is purely an engine-side micro-optimization.
+    #[inline]
+    pub fn normalize(self, channels: u64) -> JamSet {
+        match self {
+            JamSet::Window { start, len } if channels > 0 && start >= channels => JamSet::Window {
+                start: start % channels,
+                len,
+            },
+            other => other,
         }
     }
 
@@ -323,6 +345,18 @@ mod tests {
         // start 12 ≡ 2 (mod 10)
         assert!(s.contains(2, 10) && s.contains(3, 10));
         assert!(!s.contains(4, 10));
+    }
+
+    #[test]
+    fn normalize_reduces_window_start_only() {
+        let s = JamSet::Window { start: 12, len: 2 }.normalize(10);
+        assert_eq!(s, JamSet::Window { start: 2, len: 2 });
+        assert!(s.contains(2, 10) && s.contains(3, 10) && !s.contains(4, 10));
+        // Already-reduced windows and other variants are untouched.
+        let w = JamSet::Window { start: 3, len: 2 };
+        assert_eq!(w.clone().normalize(10), w);
+        assert_eq!(JamSet::Prefix(4).normalize(10), JamSet::Prefix(4));
+        assert_eq!(JamSet::All.normalize(0), JamSet::All);
     }
 
     #[test]

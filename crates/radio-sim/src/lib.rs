@@ -50,8 +50,8 @@ pub use jamset::JamSet;
 pub use metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 pub use protocol::{
     Action, Adversary, BoundaryDecision, Coin, NoAdversary, NodeId, Protocol, ProtocolNode,
-    SlotProfile,
+    SlotProfile, SpanCharge,
 };
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
-pub use sampler::{bernoulli_subset, sample_two_class};
+pub use sampler::{bernoulli_subset, geometric_gap, sample_two_class, TwoClassRoundStream};
 pub use trace::{Observer, RecordingObserver, TraceEvent};

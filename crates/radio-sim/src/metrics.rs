@@ -21,7 +21,7 @@ impl NodeExtra {
 }
 
 /// Per-node result of a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeOutcome {
     /// Node id (0 = source).
     pub id: u32,
@@ -63,7 +63,7 @@ pub struct SlotStats {
 }
 
 /// Result of one engine run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Physical slots executed.
     pub slots: u64,

@@ -157,6 +157,15 @@ pub trait ProtocolNode {
     }
 }
 
+/// Aggregate result of charging a jam span ([`Adversary::jam_span`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanCharge {
+    /// Total energy Eve spends across the span: exactly the sum, over the
+    /// span's slots, of `min(jam(slot).count(channels), remaining budget)`,
+    /// with the remaining budget decreasing as she spends.
+    pub spent: u64,
+}
+
 /// An oblivious jamming adversary.
 ///
 /// Obliviousness is enforced structurally: the only inputs a strategy ever
@@ -171,6 +180,38 @@ pub trait Adversary {
 
     /// Eve's total energy budget `T`.
     fn budget(&self) -> u64;
+
+    /// Batched counterpart of [`jam`](Adversary::jam) for a span of `len`
+    /// consecutive slots starting at `start` in which **no node listens** —
+    /// the engine's idle-round fast-forward asks for the whole span's energy
+    /// charge in one call instead of materializing a jam set per slot.
+    /// `budget` is Eve's remaining energy when the span begins.
+    ///
+    /// # Contract
+    ///
+    /// The call must return the same total charge, and leave the strategy in
+    /// the same externally observable state (future `jam` results), as the
+    /// engine's per-slot rule applied over the span: charge
+    /// `min(jam(slot).count(channels), remaining)` per slot and stop calling
+    /// `jam` once `remaining` hits zero. The default implementation is
+    /// exactly that loop, so every adversary is span-correct out of the box;
+    /// structured strategies override it with closed forms (see
+    /// `rcb-adversary`). Strategies whose override is equivalent only *in
+    /// distribution* (not per-seed) must say so in their docs — the engine's
+    /// fast path then changes per-seed outcomes but not statistics.
+    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+        let mut remaining = budget;
+        let mut spent = 0u64;
+        for slot in start..start.saturating_add(len) {
+            if remaining == 0 {
+                break;
+            }
+            let take = self.jam(slot, channels).count(channels).min(remaining);
+            remaining -= take;
+            spent += take;
+        }
+        SpanCharge { spent }
+    }
 
     /// Human-readable strategy name for reports.
     fn name(&self) -> &'static str {
@@ -189,6 +230,10 @@ impl Adversary for NoAdversary {
 
     fn budget(&self) -> u64 {
         0
+    }
+
+    fn jam_span(&mut self, _start: u64, _len: u64, _channels: u64, _budget: u64) -> SpanCharge {
+        SpanCharge::default()
     }
 
     fn name(&self) -> &'static str {
@@ -222,5 +267,32 @@ mod tests {
         let mut adv = NoAdversary;
         assert_eq!(adv.jam(0, 16), JamSet::Empty);
         assert_eq!(adv.budget(), 0);
+        assert_eq!(adv.jam_span(0, 1000, 16, 0), SpanCharge { spent: 0 });
+    }
+
+    /// The default `jam_span` must mirror the engine's per-slot budget rule,
+    /// including bankruptcy mid-span.
+    #[test]
+    fn default_jam_span_mirrors_per_slot_budget_rule() {
+        struct TwoEveryOther;
+        impl Adversary for TwoEveryOther {
+            fn jam(&mut self, slot: u64, _channels: u64) -> JamSet {
+                if slot.is_multiple_of(2) {
+                    JamSet::Prefix(2)
+                } else {
+                    JamSet::Empty
+                }
+            }
+            fn budget(&self) -> u64 {
+                7
+            }
+        }
+        let mut eve = TwoEveryOther;
+        // Slots 0..10 want 2 on even slots (5 × 2 = 10) but only 7 remain:
+        // charges 2, 2, 2, then 1 at the bankruptcy slot.
+        assert_eq!(eve.jam_span(0, 10, 8, 7), SpanCharge { spent: 7 });
+        assert_eq!(eve.jam_span(0, 10, 8, 100), SpanCharge { spent: 10 });
+        assert_eq!(eve.jam_span(1, 1, 8, 100), SpanCharge { spent: 0 });
+        assert_eq!(eve.jam_span(0, 0, 8, 100), SpanCharge { spent: 0 });
     }
 }

@@ -106,6 +106,174 @@ pub fn sample_two_class(
     }
 }
 
+/// Draw `Geometric(p)` on `{0, 1, …}` by inversion — `⌊ln(1−U)/ln(1−p)⌋` —
+/// from a precomputed `ln_q = ln(1 − p)`, saturating to `u64::MAX`
+/// ("never") on overflow or a degenerate draw.
+///
+/// `ln_q` must be finite and strictly negative (`p ∈ (0, 1)`); callers
+/// special-case `p ≤ 0` (never succeeds) and `p ≥ 1` (always succeeds)
+/// themselves. Shared by [`TwoClassRoundStream`] and the sojourn-jump
+/// adversaries in `rcb-adversary` so the numerically subtle edge cases
+/// (`U → 1`, tiny `p`, f64→u64 saturation) live in exactly one place.
+#[inline]
+pub fn geometric_gap(rng: &mut Xoshiro256, ln_q: f64) -> u64 {
+    debug_assert!(ln_q.is_finite() && ln_q < 0.0, "ln_q = {ln_q}");
+    let u = rng.next_f64();
+    let gap = ((1.0 - u).ln() / ln_q).floor();
+    if gap.is_finite() && gap < u64::MAX as f64 {
+        gap as u64
+    } else {
+        u64::MAX
+    }
+}
+
+/// Segment-scoped two-class actor sampling with a geometric skip carried
+/// **across rounds** — the sampling substrate of the engine's idle-round
+/// fast-forward.
+///
+/// Conceptually, a segment of `R` rounds over `m` active nodes is one long
+/// Bernoulli(`p1 + p2`) process over `R·m` indices, chopped into rounds of
+/// `m`: index `I` is round `I / m`, node `I % m`. By memorylessness of the
+/// geometric gap this is *exactly* the same joint distribution as drawing
+/// each round independently (the restart-per-round scheme of
+/// [`sample_two_class`]), but it has a property the restart scheme lacks:
+/// **an empty round consumes no randomness**. When the carried gap exceeds
+/// `m`, the stream already knows — without touching the RNG — that the next
+/// `gap / m` whole rounds select nobody, so the engine can fast-forward
+/// them in O(1) ([`skip_rounds`](Self::skip_rounds)) and produce the exact
+/// same downstream stream state as if it had executed them one by one
+/// ([`next_round`](Self::next_round) on an empty round just subtracts `m`).
+///
+/// Selected actors are thinned into class 1 (probability `p1 / (p1 + p2)`)
+/// or class 2 with one Bernoulli draw each, as in [`sample_two_class`].
+#[derive(Clone, Debug)]
+pub struct TwoClassRoundStream {
+    m: u64,
+    total: f64,
+    frac1: f64,
+    p1: f64,
+    p2: f64,
+    /// `ln(1 − total)` when `0 < total < 1` (unused otherwise).
+    ln_q: f64,
+    /// Concatenated-process indices still to skip before the next selected
+    /// node. `u64::MAX` means "no further selection, ever".
+    gap: u64,
+}
+
+impl TwoClassRoundStream {
+    /// Open a stream for a segment with `m` active nodes and class
+    /// probabilities `p1`, `p2`. Draws the initial gap (one uniform) unless
+    /// the segment trivially selects nobody (`p1 + p2 ≤ 0`) or everybody
+    /// (`p1 + p2 ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if `p1 + p2 > 1 + ε` or `m == 0`.
+    pub fn new(rng: &mut Xoshiro256, m: usize, p1: f64, p2: f64) -> Self {
+        debug_assert!(p1 >= 0.0 && p2 >= 0.0);
+        let total = p1 + p2;
+        assert!(
+            total <= 1.0 + 1e-12,
+            "action probabilities must satisfy p1 + p2 <= 1 (got {p1} + {p2})"
+        );
+        assert!(m > 0, "a segment needs at least one active node");
+        let ln_q = if total > 0.0 && total < 1.0 {
+            (1.0 - total).ln()
+        } else {
+            0.0
+        };
+        let gap = if total <= 0.0 {
+            u64::MAX
+        } else if total >= 1.0 {
+            0
+        } else {
+            Self::draw_gap(rng, ln_q)
+        };
+        Self {
+            m: m as u64,
+            total,
+            frac1: if total > 0.0 { p1 / total } else { 0.0 },
+            p1,
+            p2,
+            ln_q,
+            gap,
+        }
+    }
+
+    /// One geometric gap draw from the segment's cached `ln(1 − p)`.
+    #[inline]
+    fn draw_gap(rng: &mut Xoshiro256, ln_q: f64) -> u64 {
+        geometric_gap(rng, ln_q)
+    }
+
+    /// Number of whole rounds, starting at the current round, that are
+    /// guaranteed to select no actor. `0` means the current round has at
+    /// least one. Costs no randomness.
+    #[inline]
+    pub fn empty_rounds_ahead(&self) -> u64 {
+        if self.gap == u64::MAX {
+            u64::MAX
+        } else {
+            self.gap / self.m
+        }
+    }
+
+    /// Skip `k` whole rounds, all of which must be empty
+    /// (`k ≤ empty_rounds_ahead()`). O(1), no randomness.
+    #[inline]
+    pub fn skip_rounds(&mut self, k: u64) {
+        if self.gap != u64::MAX {
+            debug_assert!(k <= self.gap / self.m, "skipping a non-empty round");
+            self.gap -= k * self.m;
+        }
+    }
+
+    /// Sample the acting subset of the current round, appending node
+    /// indices (in `[0, m)`, strictly increasing) to `class1`/`class2`,
+    /// then advance to the next round.
+    pub fn next_round(
+        &mut self,
+        rng: &mut Xoshiro256,
+        class1: &mut Vec<u32>,
+        class2: &mut Vec<u32>,
+    ) {
+        if self.total >= 1.0 {
+            // Every node acts every round; only the class draw remains.
+            for idx in 0..self.m as u32 {
+                self.classify(rng, idx, class1, class2);
+            }
+            return;
+        }
+        while self.gap < self.m {
+            let idx = self.gap as u32;
+            self.classify(rng, idx, class1, class2);
+            let g = Self::draw_gap(rng, self.ln_q);
+            self.gap = (self.gap + 1).saturating_add(g);
+        }
+        if self.gap != u64::MAX {
+            self.gap -= self.m;
+        }
+    }
+
+    #[inline]
+    fn classify(
+        &self,
+        rng: &mut Xoshiro256,
+        idx: u32,
+        class1: &mut Vec<u32>,
+        class2: &mut Vec<u32>,
+    ) {
+        if self.p2 <= 0.0 {
+            class1.push(idx);
+        } else if self.p1 <= 0.0 {
+            class2.push(idx);
+        } else if rng.gen_bool(self.frac1) {
+            class1.push(idx);
+        } else {
+            class2.push(idx);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +443,113 @@ mod tests {
         let mut rng = Xoshiro256::seeded(33);
         let (mut c1, mut c2, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
         sample_two_class(&mut rng, 10, 0.7, 0.7, &mut c1, &mut c2, &mut scratch);
+    }
+
+    /// The carried-gap stream must produce the same per-round selection
+    /// distribution as independent per-round sampling.
+    #[test]
+    fn round_stream_matches_restart_sampling_in_distribution() {
+        let m = 128usize;
+        let (p1, p2) = (1.0 / 64.0, 1.0 / 64.0);
+        let rounds_per_stream = 50;
+        let streams = 800;
+        let mut rng = Xoshiro256::seeded(404);
+        let (mut c1, mut c2) = (Vec::new(), Vec::new());
+        let (mut n1, mut n2) = (0usize, 0usize);
+        let mut hits = vec![0u64; m];
+        for _ in 0..streams {
+            let mut stream = TwoClassRoundStream::new(&mut rng, m, p1, p2);
+            for _ in 0..rounds_per_stream {
+                c1.clear();
+                c2.clear();
+                stream.next_round(&mut rng, &mut c1, &mut c2);
+                for w in c1.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+                n1 += c1.len();
+                n2 += c2.len();
+                for &i in c1.iter().chain(c2.iter()) {
+                    hits[i as usize] += 1;
+                }
+            }
+        }
+        let rounds = (rounds_per_stream * streams) as f64;
+        let e = m as f64 * p1 * rounds;
+        let sd = (m as f64 * p1 * (1.0 - p1) * rounds).sqrt();
+        assert!((n1 as f64 - e).abs() < 6.0 * sd, "class1 {n1} vs {e}");
+        assert!((n2 as f64 - e).abs() < 6.0 * sd, "class2 {n2} vs {e}");
+        // No position bias from the carried gap.
+        let p = p1 + p2;
+        let per_idx_sd = (rounds * p * (1.0 - p)).sqrt();
+        for (i, &h) in hits.iter().enumerate() {
+            let z = (h as f64 - rounds * p) / per_idx_sd;
+            assert!(z.abs() < 5.5, "index {i}: z = {z:.2}");
+        }
+    }
+
+    /// `skip_rounds(k)` must leave the stream in exactly the state that
+    /// executing the k empty rounds one by one would.
+    #[test]
+    fn round_stream_skip_equals_stepping_through_empty_rounds() {
+        let m = 64usize;
+        let p = 1.0 / 512.0;
+        let mut rng_a = Xoshiro256::seeded(9);
+        let mut rng_b = Xoshiro256::seeded(9);
+        let mut a = TwoClassRoundStream::new(&mut rng_a, m, p, p);
+        let mut b = TwoClassRoundStream::new(&mut rng_b, m, p, p);
+        let (mut c1a, mut c2a) = (Vec::new(), Vec::new());
+        let (mut c1b, mut c2b) = (Vec::new(), Vec::new());
+        let mut skipped = 0u64;
+        for _ in 0..2_000 {
+            let ahead = a.empty_rounds_ahead();
+            assert_eq!(ahead, b.empty_rounds_ahead());
+            if ahead > 0 {
+                // a jumps; b steps through each empty round.
+                a.skip_rounds(ahead);
+                for _ in 0..ahead {
+                    c1b.clear();
+                    c2b.clear();
+                    b.next_round(&mut rng_b, &mut c1b, &mut c2b);
+                    assert!(c1b.is_empty() && c2b.is_empty(), "round was not empty");
+                }
+                skipped += ahead;
+            }
+            c1a.clear();
+            c2a.clear();
+            c1b.clear();
+            c2b.clear();
+            a.next_round(&mut rng_a, &mut c1a, &mut c2a);
+            b.next_round(&mut rng_b, &mut c1b, &mut c2b);
+            assert_eq!(c1a, c1b);
+            assert_eq!(c2a, c2b);
+            assert!(!c1a.is_empty() || !c2a.is_empty(), "post-skip round empty");
+        }
+        assert!(skipped > 1_000, "sparse stream should skip many rounds");
+    }
+
+    #[test]
+    fn round_stream_degenerate_probabilities() {
+        let mut rng = Xoshiro256::seeded(7);
+        let (mut c1, mut c2) = (Vec::new(), Vec::new());
+        // p1 + p2 == 0: nobody ever acts, infinitely many empty rounds.
+        let mut none = TwoClassRoundStream::new(&mut rng, 10, 0.0, 0.0);
+        assert_eq!(none.empty_rounds_ahead(), u64::MAX);
+        none.next_round(&mut rng, &mut c1, &mut c2);
+        assert!(c1.is_empty() && c2.is_empty());
+        none.skip_rounds(1 << 40); // no-op, must not underflow
+        assert_eq!(none.empty_rounds_ahead(), u64::MAX);
+        // p1 + p2 == 1: everyone acts every round.
+        let mut all = TwoClassRoundStream::new(&mut rng, 10, 0.5, 0.5);
+        assert_eq!(all.empty_rounds_ahead(), 0);
+        all.next_round(&mut rng, &mut c1, &mut c2);
+        assert_eq!(c1.len() + c2.len(), 10);
+        // One-sided classes take the draw-free path.
+        c1.clear();
+        c2.clear();
+        let mut one_sided = TwoClassRoundStream::new(&mut rng, 100, 1.0, 0.0);
+        one_sided.next_round(&mut rng, &mut c1, &mut c2);
+        assert_eq!(c1.len(), 100);
+        assert!(c2.is_empty());
     }
 
     #[test]

@@ -39,7 +39,15 @@ pub trait Observer {
     fn on_boundary(&mut self, _slot: u64, _profile: &SlotProfile, _active: u32, _informed: u32) {}
 
     /// Called once per slot with that slot's activity counters.
+    ///
+    /// Not called for slots covered by a fast-forwarded idle span — those
+    /// arrive as one [`on_idle_span`](Observer::on_idle_span) instead.
     fn on_slot(&mut self, _slot: u64, _stats: &SlotStats) {}
+
+    /// The engine fast-forwarded `len` idle slots starting at `slot`: no
+    /// node acted in any of them, and Eve spent `jammed` channel-slots of
+    /// energy across the whole span.
+    fn on_idle_span(&mut self, _slot: u64, _len: u64, _jammed: u64) {}
 }
 
 /// An observer that records informational events into vectors, for tests and

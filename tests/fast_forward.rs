@@ -1,0 +1,225 @@
+//! Idle fast-forward equivalence: the engine's span-batched fast path must
+//! be **byte-identical** to the slot-by-slot reference path.
+//!
+//! Two layers, mirroring the Sparse/DensePerNode cross-validation contract:
+//!
+//! * An outcome matrix over all five paper protocols × the span-exact
+//!   adversaries: `fast_forward: true` vs `false` must produce equal
+//!   [`RunOutcome`]s field-for-field at several seeds.
+//! * A seeded randomized interleaving check of `jam_span` against per-slot
+//!   `jam` charging (including bankruptcy mid-span) for every span-exact
+//!   strategy.
+//!
+//! `GilbertElliott` is the one distribution-only strategy; its statistical
+//! cross-validation lives in `rcb-adversary`'s unit tests, and here we only
+//! smoke-test that fast-forwarded runs against it stay safe.
+
+use rcb::adversary::{
+    FullBandBurst, GilbertElliott, JamSpan, PeriodicPulse, RandomSubset, Silent, SpanJammer, Sweep,
+    UniformFraction,
+};
+use rcb::core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
+use rcb::sim::{run, Adversary, EngineConfig, Protocol, RunOutcome, Xoshiro256};
+
+/// Run protocol `p` (by index) against adversary `a` (by index) in the
+/// given engine mode. Indices rather than closures so each combination
+/// constructs fresh, identically-seeded instances.
+fn run_combo(proto: usize, adv: usize, seed: u64, fast_forward: bool) -> RunOutcome {
+    let cfg = EngineConfig {
+        fast_forward,
+        ..EngineConfig::capped(60_000)
+    };
+    let t = 30_000u64;
+    let mut adversary: Box<dyn Adversary> = match adv {
+        0 => Box::new(Silent),
+        1 => Box::new(UniformFraction::new(t, 0.6, seed + 100)),
+        2 => Box::new(FullBandBurst::new(t, 500)),
+        3 => Box::new(PeriodicPulse::new(t, 37, 11, 0.5, seed + 101)),
+        4 => Box::new(Sweep::new(t, 3, 2)),
+        5 => Box::new(RandomSubset::new(t, 3, seed + 102)),
+        6 => Box::new(SpanJammer::from_spans(
+            t,
+            (0..60)
+                .map(|k| JamSpan::new(k * 1000, k * 1000 + 250, 0.8))
+                .collect(),
+            seed + 103,
+        )),
+        _ => unreachable!(),
+    };
+    fn go<P: Protocol>(
+        mut p: P,
+        a: &mut dyn Adversary,
+        seed: u64,
+        cfg: &EngineConfig,
+    ) -> RunOutcome {
+        run(&mut p, a, seed, cfg)
+    }
+    let n = 16u64;
+    match proto {
+        0 => go(MultiCastCore::new(n, t), adversary.as_mut(), seed, &cfg),
+        1 => go(MultiCast::new(n), adversary.as_mut(), seed, &cfg),
+        2 => go(MultiCastC::new(n, 4), adversary.as_mut(), seed, &cfg),
+        3 => go(MultiCastAdv::new(n), adversary.as_mut(), seed, &cfg),
+        4 => go(
+            MultiCastAdv::with_channel_cap(n, 4, AdvParams::default()),
+            adversary.as_mut(),
+            seed,
+            &cfg,
+        ),
+        _ => unreachable!(),
+    }
+}
+
+/// The acceptance matrix: {all five protocols} × {span-exact adversaries}
+/// × three seeds, fast path vs reference path, field-for-field equality.
+#[test]
+fn fast_forward_outcome_equals_reference_across_protocols_and_adversaries() {
+    const PROTOS: [&str; 5] = [
+        "MultiCastCore",
+        "MultiCast",
+        "MultiCast(C)",
+        "MultiCastAdv",
+        "MultiCastAdv(C)",
+    ];
+    const ADVS: [&str; 7] = [
+        "silent",
+        "uniform-fraction",
+        "full-band-burst",
+        "periodic-pulse",
+        "sweep",
+        "random-subset",
+        "span-targeted",
+    ];
+    for (pi, pname) in PROTOS.iter().enumerate() {
+        for (ai, aname) in ADVS.iter().enumerate() {
+            for seed in [11u64, 22, 33] {
+                let fast = run_combo(pi, ai, seed, true);
+                let slow = run_combo(pi, ai, seed, false);
+                assert_eq!(
+                    fast, slow,
+                    "{pname} vs {aname} at seed {seed}: fast-forward diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Fast-forwarded complete runs (no slot cap pressure) stay equal too —
+/// halting, informed times, and energy ledgers all line up.
+#[test]
+fn fast_forward_preserves_complete_runs() {
+    for seed in [1u64, 2, 3] {
+        let run_mode = |fast_forward: bool| {
+            let mut proto = MultiCast::new(16);
+            let mut eve = UniformFraction::new(400_000, 0.9, 7);
+            let cfg = EngineConfig {
+                fast_forward,
+                ..EngineConfig::default()
+            };
+            run(&mut proto, &mut eve, seed, &cfg)
+        };
+        let fast = run_mode(true);
+        assert_eq!(fast, run_mode(false), "seed {seed}");
+        assert!(
+            fast.all_halted && fast.all_informed,
+            "seed {seed}: {fast:?}"
+        );
+        assert_eq!(fast.safety_violations(), 0);
+        assert!(fast.eve_spent > 0);
+    }
+}
+
+/// Randomized `jam_span` vs per-slot charging for every span-exact
+/// adversary: alternate per-slot chunks (jam sets compared one by one) with
+/// batched chunks (charges compared), on one shared budget ledger.
+#[test]
+fn jam_span_equals_per_slot_charging_under_interleaving() {
+    type Builder = fn(u64, u64) -> Box<dyn Adversary>;
+    let builders: [(&str, Builder); 7] = [
+        ("silent", |_, _| Box::new(Silent)),
+        ("uniform", |t, s| Box::new(UniformFraction::new(t, 0.45, s))),
+        ("burst", |t, _| Box::new(FullBandBurst::new(t, 700))),
+        ("pulse", |t, s| {
+            Box::new(PeriodicPulse::new(t, 53, 17, 0.7, s))
+        }),
+        ("sweep", |t, _| Box::new(Sweep::new(t, 4, 3))),
+        ("subset", |t, s| Box::new(RandomSubset::new(t, 5, s))),
+        ("spans", |t, s| {
+            Box::new(SpanJammer::from_spans(
+                t,
+                (0..200)
+                    .map(|k| JamSpan::new(k * 97, k * 97 + 40, 0.6))
+                    .collect(),
+                s,
+            ))
+        }),
+    ];
+    for (name, build) in builders {
+        for seed in [5u64, 6, 7, 8] {
+            // Budgets chosen to hit bankruptcy mid-exercise at some seeds
+            // and never at others.
+            for budget in [1_500u64, u64::MAX / 2] {
+                let channels = 8 + (seed % 3) * 4;
+                let mut per_slot = build(budget, 900 + seed);
+                let mut batched = build(budget, 900 + seed);
+                let mut rng = Xoshiro256::seeded(seed * 31 + 1);
+                let mut remaining = budget;
+                let mut slot = 0u64;
+                'chunks: for chunk in 0..40 {
+                    let len = 1 + rng.gen_range(120);
+                    if chunk % 2 == 0 {
+                        // Both per-slot: jam sets must agree exactly.
+                        for s in slot..slot + len {
+                            if remaining == 0 {
+                                break 'chunks;
+                            }
+                            let ja = per_slot.jam(s, channels);
+                            let jb = batched.jam(s, channels);
+                            assert_eq!(ja, jb, "{name} seed {seed} slot {s}");
+                            remaining -= ja.count(channels).min(remaining);
+                        }
+                    } else {
+                        // Reference per-slot charging (the engine's budget
+                        // rule) vs one jam_span call.
+                        if remaining == 0 {
+                            break 'chunks;
+                        }
+                        let mut ref_spent = 0u64;
+                        let mut ref_remaining = remaining;
+                        for s in slot..slot + len {
+                            if ref_remaining == 0 {
+                                break;
+                            }
+                            let take = per_slot.jam(s, channels).count(channels).min(ref_remaining);
+                            ref_remaining -= take;
+                            ref_spent += take;
+                        }
+                        let charge = batched.jam_span(slot, len, channels, remaining);
+                        assert_eq!(
+                            charge.spent,
+                            ref_spent,
+                            "{name} seed {seed} span [{slot}, {})",
+                            slot + len
+                        );
+                        remaining -= charge.spent;
+                    }
+                    slot += len;
+                }
+            }
+        }
+    }
+}
+
+/// Gilbert–Elliott is distribution-equivalent only; fast-forwarded runs
+/// against it must still be safe and budget-sound.
+#[test]
+fn gilbert_elliott_fast_forward_smoke() {
+    for seed in [4u64, 5] {
+        let mut proto = MultiCast::new(16);
+        let mut eve = GilbertElliott::new(20_000, 0.05, 0.2, 0.6, 9);
+        let out = run(&mut proto, &mut eve, seed, &EngineConfig::default());
+        assert!(out.all_halted && out.all_informed, "seed {seed}: {out:?}");
+        assert_eq!(out.safety_violations(), 0);
+        assert!(out.eve_spent <= 20_000);
+    }
+}
