@@ -1,7 +1,13 @@
 //! Experiments E8, E9, E11: `MultiCastAdv` and `MultiCastAdv(C)`.
+//!
+//! E8/E9 run on the **campaign engine**: one cell per sweep point,
+//! streaming aggregation, and (for E9) the per-cell `helper_events`
+//! histogram instead of per-trial helper vectors. E11 still drives
+//! `run_trials` directly (remaining port tracked in ROADMAP.md).
 
-use super::header;
+use super::{campaign, header};
 use crate::scale::Scale;
+use rcb_campaign::CellSpec;
 use rcb_core::AdvParams;
 use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
 use rcb_stats::{fit_power_law, Table};
@@ -39,11 +45,11 @@ pub fn e8_adv_scaling(scale: Scale) -> String {
         ),
     );
 
-    // --- T sweep at fixed n -------------------------------------------------
-    let mut specs = Vec::new();
-    for &t in budgets {
-        for s in 0..seeds {
-            specs.push(TrialSpec::new(
+    // --- T sweep at fixed n: one campaign cell per budget -------------------
+    let cells: Vec<CellSpec> = budgets
+        .iter()
+        .map(|&t| {
+            CellSpec::new(
                 ProtocolKind::Adv {
                     n,
                     params: adv_params(alpha),
@@ -59,15 +65,14 @@ pub fn e8_adv_scaling(scale: Scale) -> String {
                         params: adv_params(alpha),
                     }
                 },
-                101_000 + t + s,
-            ));
-        }
-    }
-    let results = run_trials(&specs, 0);
-    for r in &results {
+            )
+        })
+        .collect();
+    let reports = campaign("e8-adv-scaling", cells, seeds, 101_000);
+    for c in &reports {
         assert!(
-            r.completed && r.safety_violations == 0,
-            "E8 trial failed: {r:?}"
+            c.completed == c.trials && c.safety_violations == 0,
+            "E8 cell failed: {c:?}"
         );
     }
     let mut table = Table::new(&["T", "time (slots)", "max node cost", "cost/Eve spend"]);
@@ -75,15 +80,10 @@ pub fn e8_adv_scaling(scale: Scale) -> String {
     let mut cost_pts = Vec::new();
     let mut floor_time = 0.0f64;
     let mut floor_cost = 0.0f64;
-    for &t in budgets {
-        let batch: Vec<_> = results.iter().filter(|r| r.budget == t).collect();
-        let time = batch
-            .iter()
-            .map(|r| r.completion_time() as f64)
-            .sum::<f64>()
-            / batch.len() as f64;
-        let cost = batch.iter().map(|r| r.max_cost as f64).sum::<f64>() / batch.len() as f64;
-        let eve = batch.iter().map(|r| r.eve_spent as f64).sum::<f64>() / batch.len() as f64;
+    for (c, &t) in reports.iter().zip(budgets) {
+        let time = c.completion_slots.mean;
+        let cost = c.max_node_cost.mean;
+        let eve = c.eve_spent.mean;
         if t == 0 {
             floor_time = time;
             floor_cost = cost;
@@ -120,35 +120,27 @@ pub fn e8_adv_scaling(scale: Scale) -> String {
          fits land in [0.5, 0.8] and drift down as T grows).\n"
     ));
 
-    // --- n^{2α} floor at T = 0 ----------------------------------------------
+    // --- n^{2α} floor at T = 0: one cell per n ------------------------------
     let ns = [16u64, 32, 64];
-    let mut floor_specs = Vec::new();
-    for &fn_ in &ns {
-        for s in 0..seeds {
-            floor_specs.push(TrialSpec::new(
+    let floor_cells: Vec<CellSpec> = ns
+        .iter()
+        .map(|&fn_| {
+            CellSpec::new(
                 ProtocolKind::Adv {
                     n: fn_,
                     params: adv_params(alpha),
                 },
                 AdversaryKind::Silent,
-                105_000 + fn_ + s,
-            ));
-        }
-    }
-    let floor_results = run_trials(&floor_specs, 0);
+            )
+        })
+        .collect();
+    let floor_reports = campaign("e8-adv-floor", floor_cells, seeds, 105_000);
     let mut ftable = Table::new(&["n", "T=0 time (slots)", "T=0 max cost", "cost/n^{2α}·lg³n"]);
     let mut fpts = Vec::new();
-    for (k, &fn_) in ns.iter().enumerate() {
-        let batch = &floor_results[k * seeds as usize..(k + 1) * seeds as usize];
-        assert!(batch
-            .iter()
-            .all(|r| r.completed && r.safety_violations == 0));
-        let time = batch
-            .iter()
-            .map(|r| r.completion_time() as f64)
-            .sum::<f64>()
-            / batch.len() as f64;
-        let cost = batch.iter().map(|r| r.max_cost as f64).sum::<f64>() / batch.len() as f64;
+    for (c, &fn_) in floor_reports.iter().zip(&ns) {
+        assert!(c.completed == c.trials && c.safety_violations == 0);
+        let time = c.completion_slots.mean;
+        let cost = c.max_node_cost.mean;
         fpts.push((fn_ as f64, cost));
         let lgn = (fn_ as f64).log2();
         ftable.row(&[
@@ -194,6 +186,25 @@ pub fn e9_helper_localization(scale: Scale) -> String {
         ),
     );
 
+    // One campaign cell per n × adversary; the audit reads the cell's
+    // streamed helper_events histogram rather than per-trial vectors.
+    let mut cells = Vec::new();
+    for &n in ns {
+        for adv in [
+            AdversaryKind::Silent,
+            AdversaryKind::Uniform { t, frac: 0.3 },
+        ] {
+            cells.push(CellSpec::new(
+                ProtocolKind::Adv {
+                    n,
+                    params: adv_params(alpha),
+                },
+                adv,
+            ));
+        }
+    }
+    let reports = campaign("e9-helper-localization", cells, seeds, 202_000);
+
     let mut table = Table::new(&[
         "n",
         "adversary",
@@ -202,57 +213,42 @@ pub fn e9_helper_localization(scale: Scale) -> String {
         "at i > lg n",
         "earliest epoch",
     ]);
-    let mut bad = 0usize;
-    for &n in ns {
+    let mut bad = 0u64;
+    for c in &reports {
+        // Audit each cell against the n it actually ran with.
+        let n = c.n;
         let want_j = (n as f64).log2() as u32 - 1;
         let lgn = (n as f64).log2() as u32;
-        for adv in [
-            AdversaryKind::Silent,
-            AdversaryKind::Uniform { t, frac: 0.3 },
-        ] {
-            let specs: Vec<TrialSpec> = (0..seeds)
-                .map(|s| {
-                    TrialSpec::new(
-                        ProtocolKind::Adv {
-                            n,
-                            params: adv_params(alpha),
-                        },
-                        adv.clone(),
-                        202_000 + n + s,
-                    )
-                })
-                .collect();
-            let rs = run_trials(&specs, 0);
-            let mut events = 0usize;
-            let mut at_j = 0usize;
-            let mut at_i = 0usize;
-            let mut earliest = u32::MAX;
-            for r in &rs {
-                assert!(r.completed && r.safety_violations == 0, "E9 trial failed");
-                for &(i, j) in &r.helper_phases {
-                    events += 1;
-                    if j == want_j {
-                        at_j += 1;
-                    } else {
-                        bad += 1;
-                    }
-                    if i > lgn {
-                        at_i += 1;
-                    } else {
-                        bad += 1;
-                    }
-                    earliest = earliest.min(i);
-                }
+        assert!(
+            c.completed == c.trials && c.safety_violations == 0,
+            "E9 cell failed: {c:?}"
+        );
+        let mut events = 0u64;
+        let mut at_j = 0u64;
+        let mut at_i = 0u64;
+        let mut earliest = u32::MAX;
+        for h in &c.helper_events {
+            events += h.count;
+            if h.phase == want_j {
+                at_j += h.count;
+            } else {
+                bad += h.count;
             }
-            table.row(&[
-                n.to_string(),
-                adv.name().to_string(),
-                events.to_string(),
-                at_j.to_string(),
-                at_i.to_string(),
-                earliest.to_string(),
-            ]);
+            if h.epoch > lgn {
+                at_i += h.count;
+            } else {
+                bad += h.count;
+            }
+            earliest = earliest.min(h.epoch);
         }
+        table.row(&[
+            n.to_string(),
+            c.adversary.clone(),
+            events.to_string(),
+            at_j.to_string(),
+            at_i.to_string(),
+            earliest.to_string(),
+        ]);
     }
     out.push_str(&table.markdown());
     out.push_str(&format!(

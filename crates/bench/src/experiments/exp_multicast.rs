@@ -1,7 +1,7 @@
 //! Experiments E4–E7 and E10: `MultiCast` and its channel-limited variant.
 //!
-//! E4–E6 run on the **campaign engine** (like E1–E3): cells in, streaming
-//! per-cell reports out — no per-trial result vectors. E7/E10 still drive
+//! E4–E7 run on the **campaign engine** (like E1–E3): cells in, streaming
+//! per-cell reports out — no per-trial result vectors. E10 still drives
 //! `run_trials` directly (remaining port tracked in ROADMAP.md).
 
 use super::{campaign, ci95_of, header};
@@ -312,6 +312,18 @@ pub fn e7_safety_matrix(scale: Scale) -> String {
         },
     ];
 
+    // One campaign cell per protocol × adversary pairing; the campaign
+    // engine aggregates the counters this table needs streamingly.
+    let cells: Vec<CellSpec> = protocols
+        .iter()
+        .flat_map(|proto| {
+            adversaries
+                .iter()
+                .map(|adv| CellSpec::new(proto.clone(), adv.clone()))
+        })
+        .collect();
+    let reports = campaign("e7-safety-matrix", cells, seeds, 77_000);
+
     let mut table = Table::new(&[
         "protocol",
         "adversary",
@@ -320,28 +332,19 @@ pub fn e7_safety_matrix(scale: Scale) -> String {
         "informed",
         "halted-uninformed",
     ]);
-    let mut total_violations = 0usize;
-    let mut total_incomplete = 0usize;
-    for proto in &protocols {
-        for adv in &adversaries {
-            let specs: Vec<TrialSpec> = (0..seeds)
-                .map(|s| TrialSpec::new(proto.clone(), adv.clone(), 77_000 + s))
-                .collect();
-            let rs = run_trials(&specs, 0);
-            let completed = rs.iter().filter(|r| r.completed).count();
-            let informed = rs.iter().filter(|r| r.all_informed).count();
-            let violations: usize = rs.iter().map(|r| r.safety_violations).sum();
-            total_violations += violations;
-            total_incomplete += rs.len() - completed;
-            table.row(&[
-                proto.name().to_string(),
-                adv.name().to_string(),
-                rs.len().to_string(),
-                completed.to_string(),
-                informed.to_string(),
-                violations.to_string(),
-            ]);
-        }
+    let mut total_violations = 0u64;
+    let mut total_incomplete = 0u64;
+    for c in &reports {
+        total_violations += c.safety_violations;
+        total_incomplete += c.trials - c.completed;
+        table.row(&[
+            c.protocol.clone(),
+            c.adversary.clone(),
+            c.trials.to_string(),
+            c.completed.to_string(),
+            c.all_informed.to_string(),
+            c.safety_violations.to_string(),
+        ]);
     }
     out.push_str(&table.markdown());
     out.push_str(&format!(

@@ -1,0 +1,141 @@
+//! Experiment E17: multi-hop broadcast over topology families (extension).
+//!
+//! The paper is deliberately single-hop; this experiment exercises the
+//! topology layer (`rcb_sim::topology`) end to end on the campaign engine:
+//! `MultiHopCast` relays the message across lines, grids, random geometric
+//! graphs, and a dynamically churning graph, with completion defined as
+//! "every node reachable from the source is informed". The reference model
+//! for the dynamic family is Ahmadi & Kuhn (arXiv:1610.02931).
+
+use super::{campaign, ci95_of, header};
+use crate::scale::Scale;
+use rcb_campaign::CellSpec;
+use rcb_harness::{AdversaryKind, ProtocolKind, TopologyKind};
+use rcb_sim::{Topology, TopologyView};
+use rcb_stats::Table;
+
+/// E17 — flooding time grows with topology depth; reachability-complete
+/// under churn and jamming.
+pub fn e17_multihop(scale: Scale) -> String {
+    let seeds = scale.seeds();
+    let radius = Topology::connectivity_radius(32);
+    let mh = |n: u64, channels: u64| ProtocolKind::MultiHop {
+        n,
+        channels,
+        p: 0.25,
+    };
+
+    let mut out = header(
+        "E17",
+        "Multi-hop broadcast over topology families",
+        "Extension of the single-hop model: over a connectivity graph the \
+         message must propagate hop by hop through relays, so flooding time \
+         scales with topology depth (diameter), not just with n — and \
+         per-round edge churn (the Ahmadi–Kuhn dynamic-network direction) \
+         slows but does not stop completion.",
+        &format!(
+            "MultiHopCast (p = 0.25, informed nodes relay) on lines of \
+             diameter 15/31, a 4-row grid, random geometric graphs at the \
+             connectivity-safe radius {radius:.2}, and a 30%-churn dynamic \
+             line; {seeds} seeds per cell via the campaign engine."
+        ),
+    );
+
+    // (label, cell, static diameter if deterministic)
+    let cases: Vec<(&str, CellSpec, Option<u64>)> = vec![
+        (
+            "line n=16",
+            CellSpec::new(mh(16, 4), AdversaryKind::Silent)
+                .with_topology(TopologyKind::Line)
+                .with_max_slots(20_000_000),
+            TopologyView::build(&Topology::Line, 16).diameter(),
+        ),
+        (
+            "line n=32",
+            CellSpec::new(mh(32, 4), AdversaryKind::Silent)
+                .with_topology(TopologyKind::Line)
+                .with_max_slots(20_000_000),
+            TopologyView::build(&Topology::Line, 32).diameter(),
+        ),
+        (
+            "grid 8x4 n=32",
+            CellSpec::new(mh(32, 4), AdversaryKind::Silent)
+                .with_topology(TopologyKind::Grid { cols: 8 })
+                .with_max_slots(20_000_000),
+            TopologyView::build(&Topology::Grid { cols: 8 }, 32).diameter(),
+        ),
+        (
+            "geometric n=32",
+            CellSpec::new(mh(32, 8), AdversaryKind::Silent)
+                .with_topology(TopologyKind::RandomGeometric { radius })
+                .with_max_slots(20_000_000),
+            None, // per-trial graphs
+        ),
+        (
+            "dynamic line n=16",
+            CellSpec::new(
+                mh(16, 4),
+                AdversaryKind::Uniform {
+                    t: 5_000,
+                    frac: 0.5,
+                },
+            )
+            .with_topology(TopologyKind::Dynamic {
+                base: Box::new(TopologyKind::Line),
+                p_down: 0.3,
+            })
+            .with_max_slots(20_000_000),
+            TopologyView::build(&Topology::Line, 16).diameter(),
+        ),
+    ];
+
+    let cells = cases.iter().map(|(_, c, _)| c.clone()).collect();
+    let reports = campaign("e17-multihop", cells, seeds, 170_000);
+
+    let mut table = Table::new(&[
+        "topology",
+        "n",
+        "diameter",
+        "ok",
+        "time (slots)",
+        "± ci95",
+        "max node cost",
+    ]);
+    for ((label, _, diameter), c) in cases.iter().zip(&reports) {
+        assert_eq!(
+            c.completed, c.trials,
+            "E17 {label}: reachable component must always be informed: {c:?}"
+        );
+        assert_eq!(c.safety_violations, 0, "E17 {label}: safety violation");
+        table.row(&[
+            label.to_string(),
+            c.n.to_string(),
+            diameter.map_or("~".into(), |d| d.to_string()),
+            format!("{}/{}", c.completed, c.trials),
+            format!("{:.0}", c.completion_slots.mean),
+            format!("{:.0}", ci95_of(&c.completion_slots)),
+            format!("{:.0}", c.max_node_cost.mean),
+        ]);
+    }
+    out.push_str(&table.markdown());
+
+    let line16 = reports[0].completion_slots.mean;
+    let line32 = reports[1].completion_slots.mean;
+    let grid32 = reports[2].completion_slots.mean;
+    assert!(
+        line32 > line16,
+        "deeper line must flood slower: {line32} vs {line16}"
+    );
+    out.push_str(&format!(
+        "\n**Result.** Flooding time follows depth: the diameter-31 line takes \
+         {:.1}x the diameter-15 line, while the same 32 nodes arranged as a \
+         diameter-10 grid need only {:.2}x the n=16 line's time — with n \
+         fixed, the graph (not the node count) sets the pace. The churned \
+         line and the jammed cells still complete every trial: transient \
+         edge loss and jamming delay the flood but cannot strand a \
+         reachable node.\n",
+        line32 / line16,
+        grid32 / line16,
+    ));
+    out
+}

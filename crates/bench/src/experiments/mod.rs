@@ -6,6 +6,7 @@ mod exp_adv;
 mod exp_core;
 mod exp_extension;
 mod exp_multicast;
+mod exp_multihop;
 mod exp_summary;
 
 use crate::scale::Scale;
@@ -135,6 +136,15 @@ pub fn all_experiments() -> Vec<Experiment> {
                     iteration — the origin of the √T bound",
             run: exp_extension::e16_sparse_epidemic_ablation,
         },
+        Experiment {
+            id: "e17",
+            title: "Multi-hop topologies (extension)",
+            claim: "Beyond the paper's single-hop model: over a connectivity \
+                    graph, flooding time scales with diameter, and per-round \
+                    edge churn (Ahmadi–Kuhn dynamic networks) delays but \
+                    never strands reachable nodes",
+            run: exp_multihop::e17_multihop,
+        },
     ]
 }
 
@@ -184,7 +194,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 16, "12 paper experiments + 4 extensions");
+        assert_eq!(exps.len(), 17, "12 paper experiments + 5 extensions");
         for (k, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", k + 1));
             assert!(!e.title.is_empty());

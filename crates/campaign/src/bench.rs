@@ -32,7 +32,9 @@ use std::time::Instant;
 ///
 /// * **1** — initial schema: header + per-scenario cell list with
 ///   deterministic slot totals and host-dependent throughput fields.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// * **2** — per-cell `topology` (the connectivity graph the cell's trials
+///   run over; `"complete"` is the single-hop model).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// How a bench run executes.
 #[derive(Clone, Debug)]
@@ -77,6 +79,8 @@ impl BenchConfig {
 pub struct CellBench {
     pub protocol: String,
     pub adversary: String,
+    /// Connectivity topology (`"complete"` = single-hop).
+    pub topology: String,
     pub n: u64,
     pub budget: u64,
     pub trials: u64,
@@ -99,6 +103,7 @@ impl CellBench {
         let mut fields = vec![
             ("protocol", Json::from(self.protocol.as_str())),
             ("adversary", self.adversary.as_str().into()),
+            ("topology", self.topology.as_str().into()),
             ("n", self.n.into()),
             ("budget", self.budget.into()),
             ("trials", self.trials.into()),
@@ -171,6 +176,7 @@ impl BenchReport {
             "scenario",
             "protocol",
             "adversary",
+            "topo",
             "n",
             "T",
             "slots",
@@ -185,6 +191,7 @@ impl BenchReport {
                     s.scenario.clone(),
                     c.protocol.clone(),
                     c.adversary.clone(),
+                    c.topology.clone(),
                     c.n.to_string(),
                     c.budget.to_string(),
                     c.slots_total.to_string(),
@@ -254,6 +261,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
                 .map(|trial| {
                     let seed = derive_seed(scenario_seed, ((ci as u64) << 32) | trial);
                     TrialSpec::new(cell.protocol.clone(), cell.adversary.clone(), seed)
+                        .with_topology(cell.topology.clone())
                         .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
                 })
                 .collect();
@@ -281,6 +289,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
             cells.push(CellBench {
                 protocol: cell.protocol.name().to_string(),
                 adversary: cell.adversary.name().to_string(),
+                topology: cell.topology.name().to_string(),
                 n: cell.protocol.n(),
                 budget: cell.adversary.budget(),
                 trials: cfg.trials_per_cell,
@@ -389,8 +398,9 @@ mod tests {
     #[test]
     fn bench_artifact_parses_and_has_schema_markers() {
         let json = tiny_bench().to_json();
-        assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(json.starts_with("{\n  \"schema_version\": 2,"));
         assert!(json.contains("\"kind\": \"rcb-bench-report\""));
+        assert!(json.contains("\"topology\": \"complete\""));
         assert!(json.contains("\"slots_per_sec\""));
         assert!(json.contains("\"speedup\""));
         let parsed = crate::jsonin::parse(&json).expect("bench artifact parses");

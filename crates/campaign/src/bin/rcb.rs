@@ -94,9 +94,10 @@ fn cmd_describe(name: &str) {
     println!("{} cells:", spec.cells.len());
     for (i, c) in spec.cells.iter().enumerate() {
         println!(
-            "  [{i:>2}] {:<16} vs {:<20} n = {:<6} T = {:<10} cap = {}",
+            "  [{i:>2}] {:<16} vs {:<20} on {:<17} n = {:<6} T = {:<10} cap = {}",
             c.protocol.name(),
             c.adversary.name(),
+            c.topology.name(),
             c.protocol.n(),
             c.adversary.budget(),
             c.max_slots,
@@ -302,13 +303,29 @@ fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
         out.max_rel()
     );
     for row in &out.rows {
-        println!(
-            "  {:<60} {:>14.4} -> {:>14.4}  ({:+.2}%)",
-            row.path,
-            row.a,
-            row.b,
-            row.rel * 100.0
-        );
+        match row.kind {
+            rcb_campaign::DiffKind::Changed => println!(
+                "  {:<60} {:>14.4} -> {:>14.4}  ({:+.2}%)",
+                row.path,
+                row.a,
+                row.b,
+                row.rel * 100.0
+            ),
+            rcb_campaign::DiffKind::MissingInB => println!(
+                "  {:<60} {:>14.4} -> {:>14}  (missing in {path_b})",
+                row.path,
+                row.a,
+                "-",
+                path_b = path_b,
+            ),
+            rcb_campaign::DiffKind::ExtraInB => println!(
+                "  {:<60} {:>14} -> {:>14.4}  (only in {path_b})",
+                row.path,
+                "-",
+                row.b,
+                path_b = path_b,
+            ),
+        }
     }
     if let Some(t) = threshold {
         let violations = out.violations(t);

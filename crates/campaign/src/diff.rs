@@ -3,8 +3,14 @@
 //! The regression gate for perf trajectories (ROADMAP item): load two
 //! campaign or bench artifacts, walk their JSON trees in parallel, and
 //! report every numeric leaf whose relative delta exceeds a threshold.
-//! Structure must match (same kind, same schema version, same shape) —
-//! artifacts produced by different scenarios are an error, not a diff.
+//! Artifacts of different `kind` or `schema_version` are an error, not a
+//! diff.
+//!
+//! A leaf present in only **one** artifact (a dropped cell, a renamed key,
+//! a shrunken scenario list) is *not* skipped: it is reported as a
+//! [`DiffRow`] with an **infinite** relative delta, so any `--threshold`
+//! gate fails. A report that silently lost cells can therefore never pass
+//! the CI bench gate.
 //!
 //! Host-dependent leaves (`wall_s`, `slots_per_sec`, `speedup`, …) can be
 //! excluded by key with `ignore`, which is how CI gates deterministic slot
@@ -12,21 +18,38 @@
 
 use crate::json::Json;
 
-/// One numeric difference between the two artifacts.
+/// How a reported leaf relates the two artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Present in both with different numeric values.
+    Changed,
+    /// Present only in the first artifact (`b` is NaN).
+    MissingInB,
+    /// Present only in the second artifact (`a` is NaN).
+    ExtraInB,
+}
+
+/// One difference between the two artifacts.
 #[derive(Clone, Debug)]
 pub struct DiffRow {
     /// Dotted path of the leaf, e.g. `cells[3].metrics.completion_slots.mean`.
     pub path: String,
+    /// Leaf value in the first artifact; NaN when absent there (or when a
+    /// one-sided leaf is non-numeric).
     pub a: f64,
+    /// Leaf value in the second artifact; NaN when absent there.
     pub b: f64,
-    /// `(b − a) / |a|`; infinite when `a == 0 ≠ b`.
+    /// `(b − a) / |a|`; infinite when `a == 0 ≠ b` and for one-sided
+    /// leaves, so missing/extra leaves always violate any threshold.
     pub rel: f64,
+    pub kind: DiffKind,
 }
 
 /// Outcome of a structural diff.
 #[derive(Clone, Debug, Default)]
 pub struct DiffOutput {
-    /// Numeric leaves that differ, in document order.
+    /// Leaves that differ — changed values plus leaves present in only one
+    /// artifact — in document order.
     pub rows: Vec<DiffRow>,
     /// Number of numeric leaves compared.
     pub compared: usize,
@@ -51,9 +74,12 @@ impl DiffOutput {
 
 /// Structurally compare two parsed artifacts.
 ///
-/// `ignore` lists object keys whose subtrees are skipped entirely.
-/// Returns an error when the documents are not comparable (different kinds,
-/// schema versions, shapes, or non-numeric leaf mismatches).
+/// `ignore` lists object keys whose subtrees are skipped entirely. Leaves
+/// present in only one artifact are reported as rows with infinite
+/// relative delta (see the module docs). Returns an error only when the
+/// documents are fundamentally incomparable: different `kind`/
+/// `schema_version`, a value-shape conflict at the same path (object vs
+/// array vs leaf), or a non-numeric leaf mismatch.
 pub fn diff(a: &Json, b: &Json, ignore: &[String]) -> Result<DiffOutput, String> {
     // Kind and schema version must agree before any cell comparison makes
     // sense.
@@ -91,6 +117,52 @@ fn numeric(v: &Json) -> Option<f64> {
     }
 }
 
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Report every leaf of a subtree that exists in only one artifact, one
+/// `DiffRow` per leaf with an infinite relative delta. Non-numeric leaves
+/// are reported too (value NaN) — a dropped cell must surface even if its
+/// only fields are strings.
+fn report_one_sided(v: &Json, path: &str, kind: DiffKind, ignore: &[String], out: &mut DiffOutput) {
+    match v {
+        Json::Object(fields) => {
+            for (k, vv) in fields {
+                if ignore.iter().any(|i| i == k) {
+                    out.ignored += 1;
+                    continue;
+                }
+                report_one_sided(vv, &join(path, k), kind, ignore, out);
+            }
+        }
+        Json::Array(items) => {
+            for (i, vv) in items.iter().enumerate() {
+                report_one_sided(vv, &format!("{path}[{i}]"), kind, ignore, out);
+            }
+        }
+        leaf => {
+            let value = numeric(leaf).unwrap_or(f64::NAN);
+            let (a, b) = match kind {
+                DiffKind::MissingInB => (value, f64::NAN),
+                DiffKind::ExtraInB => (f64::NAN, value),
+                DiffKind::Changed => unreachable!("one-sided leaves are never Changed"),
+            };
+            out.rows.push(DiffRow {
+                path: path.to_string(),
+                a,
+                b,
+                rel: f64::INFINITY,
+                kind,
+            });
+        }
+    }
+}
+
 fn walk(
     a: &Json,
     b: &Json,
@@ -111,46 +183,54 @@ fn walk(
                 a: x,
                 b: y,
                 rel,
+                kind: DiffKind::Changed,
             });
         }
         return Ok(());
     }
     match (a, b) {
         (Json::Object(fa), Json::Object(fb)) => {
-            if fa.len() != fb.len() {
-                return Err(format!(
-                    "object at `{path}` has {} fields vs {}",
-                    fa.len(),
-                    fb.len()
-                ));
-            }
-            for ((ka, va), (kb, vb)) in fa.iter().zip(fb) {
-                if ka != kb {
-                    return Err(format!("key mismatch at `{path}`: `{ka}` vs `{kb}`"));
-                }
+            // Match fields by key, not position: keys present in both are
+            // compared, keys present in only one are reported as deltas.
+            for (ka, va) in fa {
                 if ignore.iter().any(|i| i == ka) {
                     out.ignored += 1;
                     continue;
                 }
-                let sub = if path.is_empty() {
-                    ka.clone()
-                } else {
-                    format!("{path}.{ka}")
-                };
-                walk(va, vb, &sub, ignore, out)?;
+                let sub = join(path, ka);
+                match fb.iter().find(|(kb, _)| kb == ka) {
+                    Some((_, vb)) => walk(va, vb, &sub, ignore, out)?,
+                    None => report_one_sided(va, &sub, DiffKind::MissingInB, ignore, out),
+                }
+            }
+            for (kb, vb) in fb {
+                if fa.iter().any(|(ka, _)| ka == kb) {
+                    continue;
+                }
+                if ignore.iter().any(|i| i == kb) {
+                    out.ignored += 1;
+                    continue;
+                }
+                report_one_sided(vb, &join(path, kb), DiffKind::ExtraInB, ignore, out);
             }
             Ok(())
         }
         (Json::Array(xa), Json::Array(xb)) => {
-            if xa.len() != xb.len() {
-                return Err(format!(
-                    "array at `{path}` has {} items vs {}",
-                    xa.len(),
-                    xb.len()
-                ));
-            }
-            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+            let common = xa.len().min(xb.len());
+            for (i, (va, vb)) in xa.iter().zip(xb).take(common).enumerate() {
                 walk(va, vb, &format!("{path}[{i}]"), ignore, out)?;
+            }
+            for (i, va) in xa.iter().enumerate().skip(common) {
+                report_one_sided(
+                    va,
+                    &format!("{path}[{i}]"),
+                    DiffKind::MissingInB,
+                    ignore,
+                    out,
+                );
+            }
+            for (i, vb) in xb.iter().enumerate().skip(common) {
+                report_one_sided(vb, &format!("{path}[{i}]"), DiffKind::ExtraInB, ignore, out);
             }
             Ok(())
         }
@@ -212,16 +292,81 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_kinds_and_shapes_are_errors() {
+    fn mismatched_kinds_are_errors() {
         let a = artifact(1.0, 1.0);
         let mut b = artifact(1.0, 1.0);
         if let Json::Object(fields) = &mut b {
             fields[1].1 = "rcb-campaign-report".into();
         }
         assert!(diff(&a, &b, &[]).unwrap_err().contains("kind"));
+    }
 
-        let c = parse(r#"{"schema_version": 1, "kind": "rcb-bench-report", "cells": []}"#).unwrap();
-        assert!(diff(&a, &c, &[]).unwrap_err().contains("array"));
+    /// The CI-gate regression this guards: a report that silently *lost*
+    /// cells must fail any threshold, not pass with fewer comparisons.
+    #[test]
+    fn shrunken_report_fails_every_threshold() {
+        let a = artifact(100.0, 1.5);
+        let shrunk =
+            parse(r#"{"schema_version": 1, "kind": "rcb-bench-report", "cells": []}"#).unwrap();
+        let out = diff(&a, &shrunk, &[]).unwrap();
+        // All three leaves of the dropped cell are reported as missing.
+        assert_eq!(out.rows.len(), 3);
+        assert!(out
+            .rows
+            .iter()
+            .all(|r| r.kind == DiffKind::MissingInB && r.rel.is_infinite() && r.b.is_nan()));
+        assert_eq!(out.rows[0].path, "cells[0].trials");
+        assert_eq!(
+            out.violations(1e18).len(),
+            3,
+            "missing leaves violate any threshold"
+        );
+        // The reverse direction reports the same leaves as extra.
+        let out = diff(&shrunk, &a, &[]).unwrap();
+        assert!(out.rows.iter().all(|r| r.kind == DiffKind::ExtraInB));
+        assert_eq!(out.violations(0.5).len(), 3);
+    }
+
+    #[test]
+    fn renamed_key_reports_both_sides() {
+        let a = parse(r#"{"schema_version": 1, "kind": "k", "old_name": 7}"#).unwrap();
+        let b = parse(r#"{"schema_version": 1, "kind": "k", "new_name": 7}"#).unwrap();
+        let out = diff(&a, &b, &[]).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].path, "old_name");
+        assert_eq!(out.rows[0].kind, DiffKind::MissingInB);
+        assert_eq!(out.rows[1].path, "new_name");
+        assert_eq!(out.rows[1].kind, DiffKind::ExtraInB);
+    }
+
+    #[test]
+    fn ignored_keys_are_skipped_even_when_one_sided() {
+        let a = parse(r#"{"schema_version": 1, "kind": "k", "cells": [{"x": 1, "wall_s": 2.0}]}"#)
+            .unwrap();
+        let b = parse(r#"{"schema_version": 1, "kind": "k", "cells": []}"#).unwrap();
+        let out = diff(&a, &b, &["wall_s".to_string()]).unwrap();
+        assert_eq!(out.rows.len(), 1, "only the non-ignored leaf is reported");
+        assert_eq!(out.rows[0].path, "cells[0].x");
+        assert_eq!(out.ignored, 1);
+    }
+
+    #[test]
+    fn non_numeric_one_sided_leaves_still_surface() {
+        let a =
+            parse(r#"{"schema_version": 1, "kind": "k", "cells": [{"protocol": "MultiCast"}]}"#)
+                .unwrap();
+        let b = parse(r#"{"schema_version": 1, "kind": "k", "cells": []}"#).unwrap();
+        let out = diff(&a, &b, &[]).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.rows[0].a.is_nan() && out.rows[0].b.is_nan());
+        assert!(out.rows[0].rel.is_infinite());
+    }
+
+    #[test]
+    fn shape_conflicts_at_the_same_path_stay_errors() {
+        let a = parse(r#"{"schema_version": 1, "kind": "k", "cells": [1]}"#).unwrap();
+        let b = parse(r#"{"schema_version": 1, "kind": "k", "cells": "oops"}"#).unwrap();
+        assert!(diff(&a, &b, &[]).is_err());
     }
 
     #[test]

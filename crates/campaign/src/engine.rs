@@ -62,9 +62,11 @@ impl Default for CampaignConfig {
 }
 
 /// The distilled per-trial record that crosses the worker/aggregator
-/// channel. Fixed-size — campaigns never hold per-trial data beyond the
-/// reorder buffer.
-#[derive(Clone, Copy, Debug)]
+/// channel. Near-fixed-size — the helper list is empty for every protocol
+/// except `MultiCastAdv`, where it holds at most one entry per node —
+/// so campaigns never hold meaningful per-trial data beyond the reorder
+/// buffer.
+#[derive(Clone, Debug)]
 struct TrialMetrics {
     completion_slots: u64,
     max_cost: u64,
@@ -74,6 +76,8 @@ struct TrialMetrics {
     completed: bool,
     all_informed: bool,
     safety_violations: u64,
+    /// `(epoch, phase)` of each helper-promotion event (`MultiCastAdv`).
+    helper_phases: Vec<(u32, u32)>,
 }
 
 impl TrialMetrics {
@@ -87,6 +91,7 @@ impl TrialMetrics {
             completed: r.completed,
             all_informed: r.all_informed,
             safety_violations: r.safety_violations as u64,
+            helper_phases: r.helper_phases.clone(),
         }
     }
 }
@@ -103,6 +108,9 @@ pub(crate) struct CellAccumulator {
     mean_cost: MetricAcc,
     source_cost: MetricAcc,
     eve_spent: MetricAcc,
+    /// Count per distinct helper `(epoch, phase)` across the cell's trials
+    /// (bounded by the handful of phases a schedule visits, not by trials).
+    helper_events: std::collections::BTreeMap<(u32, u32), u64>,
 }
 
 /// Moments + quantile sketch for one metric.
@@ -151,6 +159,7 @@ impl CellAccumulator {
             mean_cost: MetricAcc::new(),
             source_cost: MetricAcc::new(),
             eve_spent: MetricAcc::new(),
+            helper_events: std::collections::BTreeMap::new(),
         }
     }
 
@@ -164,12 +173,16 @@ impl CellAccumulator {
         self.mean_cost.push(m.mean_cost);
         self.source_cost.push(m.source_cost as f64);
         self.eve_spent.push(m.eve_spent as f64);
+        for &(epoch, phase) in &m.helper_phases {
+            *self.helper_events.entry((epoch, phase)).or_insert(0) += 1;
+        }
     }
 
     fn report(&self, cell: &CellSpec, max_slots: u64) -> CellReport {
         CellReport {
             protocol: cell.protocol.name().to_string(),
             adversary: cell.adversary.name().to_string(),
+            topology: cell.topology.name().to_string(),
             n: cell.protocol.n(),
             budget: cell.adversary.budget(),
             max_slots,
@@ -187,6 +200,17 @@ impl CellAccumulator {
             mean_node_cost: self.mean_cost.report(),
             source_cost: self.source_cost.report(),
             eve_spent: self.eve_spent.report(),
+            helper_events: self
+                .helper_events
+                .iter()
+                .map(
+                    |(&(epoch, phase), &count)| crate::report::HelperPhaseCount {
+                        epoch,
+                        phase,
+                        count,
+                    },
+                )
+                .collect(),
         }
     }
 }
@@ -199,6 +223,7 @@ fn trial_spec(spec: &CampaignSpec, cfg: &CampaignConfig, g: u64) -> TrialSpec {
         cell.adversary.clone(),
         derive_seed(cfg.seed, g),
     )
+    .with_topology(cell.topology.clone())
     .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
 }
 

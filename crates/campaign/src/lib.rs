@@ -4,10 +4,11 @@
 //! driver:
 //!
 //! * [`scenario`] — a **registry of named scenarios**: declarative campaign
-//!   specs (protocol grid × adversary grid × n/T sweep) covering the core
-//!   reproduction, unknown-`n`, limited channels, adaptive-jammer proxies,
-//!   Gilbert–Elliott bursty noise, sweeping interference, baseline races,
-//!   and scaling ladders. Adding a workload is one ~30-line registry entry.
+//!   specs (protocol grid × adversary grid × topology × n/T sweep) covering
+//!   the core reproduction, unknown-`n`, limited channels, adaptive-jammer
+//!   proxies, Gilbert–Elliott bursty noise, sweeping interference, baseline
+//!   races, scaling ladders, and multi-hop topology families. Adding a
+//!   workload is one ~30-line registry entry.
 //! * [`engine`] — a **parallel campaign runner** that shards trials across
 //!   cores with positional seed derivation
 //!   (`derive_seed(campaign_seed, trial_idx)`) and strict-order streaming
@@ -45,8 +46,8 @@ pub mod report;
 pub mod scenario;
 
 pub use bench::{run_bench, BenchConfig, BenchReport, BENCH_SCHEMA_VERSION};
-pub use diff::{diff, DiffOutput, DiffRow};
+pub use diff::{diff, DiffKind, DiffOutput, DiffRow};
 pub use engine::{run_campaign, CampaignConfig};
 pub use json::Json;
-pub use report::{CampaignReport, CellReport, MetricReport, SCHEMA_VERSION};
+pub use report::{CampaignReport, CellReport, HelperPhaseCount, MetricReport, SCHEMA_VERSION};
 pub use scenario::{find, registry, CampaignSpec, CellSpec, Scenario};

@@ -14,7 +14,29 @@ use rcb_stats::Table;
 ///
 /// * **1** — initial schema: campaign header + per-cell
 ///   counts/rates/metric distributions (mean/std/min/max/p50/p90/p99).
-pub const SCHEMA_VERSION: u64 = 1;
+/// * **2** — per-cell `topology` (connectivity graph of the cell's trials;
+///   `"complete"` is the paper's single-hop model) and `helper_events`
+///   (count per distinct `MultiCastAdv` helper `(epoch, phase)`).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// How many trials saw a helper promotion at a given `(epoch, phase)` of
+/// the `MultiCastAdv` schedule (Lemmas 6.1–6.3 localize these events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelperPhaseCount {
+    pub epoch: u32,
+    pub phase: u32,
+    pub count: u64,
+}
+
+impl HelperPhaseCount {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("epoch", self.epoch.into()),
+            ("phase", self.phase.into()),
+            ("count", self.count.into()),
+        ])
+    }
+}
 
 /// Distribution summary of one metric over a cell's trials.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +72,8 @@ impl MetricReport {
 pub struct CellReport {
     pub protocol: String,
     pub adversary: String,
+    /// Connectivity topology the cell ran over (`"complete"` = single-hop).
+    pub topology: String,
     pub n: u64,
     /// Eve's budget `T` for this cell.
     pub budget: u64,
@@ -66,6 +90,9 @@ pub struct CellReport {
     pub mean_node_cost: MetricReport,
     pub source_cost: MetricReport,
     pub eve_spent: MetricReport,
+    /// Helper promotions per `(epoch, phase)` over the cell's trials
+    /// (`MultiCastAdv` only; empty otherwise).
+    pub helper_events: Vec<HelperPhaseCount>,
 }
 
 impl CellReport {
@@ -73,6 +100,7 @@ impl CellReport {
         Json::obj(vec![
             ("protocol", self.protocol.as_str().into()),
             ("adversary", self.adversary.as_str().into()),
+            ("topology", self.topology.as_str().into()),
             ("n", self.n.into()),
             ("budget", self.budget.into()),
             ("max_slots", self.max_slots.into()),
@@ -90,6 +118,10 @@ impl CellReport {
                     ("source_cost", self.source_cost.to_json()),
                     ("eve_spent", self.eve_spent.to_json()),
                 ]),
+            ),
+            (
+                "helper_events",
+                Json::arr(self.helper_events.iter().map(|h| h.to_json()).collect()),
             ),
         ])
     }
@@ -132,6 +164,7 @@ impl CampaignReport {
         let mut table = Table::new(&[
             "protocol",
             "adversary",
+            "topo",
             "n",
             "T",
             "trials",
@@ -146,6 +179,7 @@ impl CampaignReport {
             table.row(&[
                 c.protocol.clone(),
                 c.adversary.clone(),
+                c.topology.clone(),
                 c.n.to_string(),
                 c.budget.to_string(),
                 c.trials.to_string(),
@@ -195,6 +229,7 @@ mod tests {
             cells: vec![CellReport {
                 protocol: "MultiCast".into(),
                 adversary: "uniform".into(),
+                topology: "line".into(),
                 n: 64,
                 budget: 1000,
                 max_slots: 5000,
@@ -208,6 +243,11 @@ mod tests {
                 mean_node_cost: metric(9.0),
                 source_cost: metric(11.0),
                 eve_spent: metric(800.0),
+                helper_events: vec![HelperPhaseCount {
+                    epoch: 7,
+                    phase: 3,
+                    count: 2,
+                }],
             }],
         }
     }
@@ -215,10 +255,13 @@ mod tests {
     #[test]
     fn json_has_schema_version_and_escapes() {
         let j = report().to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 2,"));
         assert!(j.contains("\"kind\": \"rcb-campaign-report\""));
         assert!(j.contains(r#"a \"quoted\" description"#));
         assert!(j.contains("\"completion_slots\""));
+        assert!(j.contains("\"topology\": \"line\""));
+        assert!(j.contains("\"helper_events\""));
+        assert!(j.contains("\"epoch\": 7"));
         assert!(j.ends_with("}\n"));
     }
 

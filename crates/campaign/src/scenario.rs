@@ -14,15 +14,17 @@
 //! races, and scaling ladders.
 
 use rcb_core::{AdvParams, McParams};
-use rcb_harness::{AdversaryKind, ProtocolKind};
+use rcb_harness::{AdversaryKind, ProtocolKind, TopologyKind};
 
-/// One aggregation cell of a campaign: a protocol/adversary pairing run for
-/// many seeds. Everything the engine needs to build a `TrialSpec`, minus
-/// the per-trial seed (the engine derives those).
+/// One aggregation cell of a campaign: a protocol/adversary/topology
+/// triple run for many seeds. Everything the engine needs to build a
+/// `TrialSpec`, minus the per-trial seed (the engine derives those).
 #[derive(Clone, Debug)]
 pub struct CellSpec {
     pub protocol: ProtocolKind,
     pub adversary: AdversaryKind,
+    /// Connectivity topology (default: the paper's single-hop model).
+    pub topology: TopologyKind,
     /// Engine slot cap for this cell's trials.
     pub max_slots: u64,
 }
@@ -32,6 +34,7 @@ impl CellSpec {
         Self {
             protocol,
             adversary,
+            topology: TopologyKind::Complete,
             // Generous but finite: a stuck cell fails loudly instead of
             // spinning the campaign forever.
             max_slots: 50_000_000,
@@ -40,6 +43,11 @@ impl CellSpec {
 
     pub fn with_max_slots(mut self, cap: u64) -> Self {
         self.max_slots = cap;
+        self
+    }
+
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -112,6 +120,12 @@ pub fn registry() -> Vec<Scenario> {
             name: "adv-late-epoch",
             summary: "MultiCastAdv driven deep into sparse late epochs (idle fast-forward stress)",
             build: adv_late_epoch,
+        },
+        Scenario {
+            name: "multi-hop",
+            summary:
+                "MultiHopCast over line/grid/geometric/dynamic topologies, with and without jamming",
+            build: multi_hop,
         },
     ]
 }
@@ -442,6 +456,72 @@ fn adv_late_epoch() -> CampaignSpec {
     }
 }
 
+fn multi_hop() -> CampaignSpec {
+    let mh = |n: u64, channels: u64| ProtocolKind::MultiHop {
+        n,
+        channels,
+        p: 0.25,
+    };
+    // A radius safely above the geometric connectivity threshold for n = 64
+    // (see `rcb_sim::Topology::connectivity_radius`).
+    let radius = rcb_sim::Topology::connectivity_radius(64);
+    let cells = vec![
+        // Deepest propagation: lines of diameter 31 and 63, clean and jammed.
+        CellSpec::new(mh(32, 8), AdversaryKind::Silent)
+            .with_topology(TopologyKind::Line)
+            .with_max_slots(20_000_000),
+        CellSpec::new(
+            mh(64, 8),
+            AdversaryKind::Uniform {
+                t: 20_000,
+                frac: 0.5,
+            },
+        )
+        .with_topology(TopologyKind::Line)
+        .with_max_slots(20_000_000),
+        // 8x8 grid, diameter 14, under uniform jamming.
+        CellSpec::new(
+            mh(64, 8),
+            AdversaryKind::Uniform {
+                t: 20_000,
+                frac: 0.5,
+            },
+        )
+        .with_topology(TopologyKind::Grid { cols: 8 })
+        .with_max_slots(20_000_000),
+        // Per-trial random geometric graphs at a connectivity-safe radius.
+        CellSpec::new(mh(64, 16), AdversaryKind::Silent)
+            .with_topology(TopologyKind::RandomGeometric { radius })
+            .with_max_slots(20_000_000),
+        // Dynamic churn (30% of edges down per round) over the geometric
+        // base, plus a front-loaded full-band burst.
+        CellSpec::new(
+            mh(64, 16),
+            AdversaryKind::Burst {
+                t: 30_000,
+                start: 0,
+            },
+        )
+        .with_topology(TopologyKind::Dynamic {
+            base: Box::new(TopologyKind::RandomGeometric { radius }),
+            p_down: 0.3,
+        })
+        .with_max_slots(20_000_000),
+    ];
+    CampaignSpec {
+        name: "multi-hop".into(),
+        description: "MultiHopCast (informed nodes relay with the sender \
+                      schedule, p = 0.25) over a topology family: lines of \
+                      diameter 31/63, an 8x8 grid, per-trial random geometric \
+                      graphs at a connectivity-safe radius, and a dynamic \
+                      variant with 30% per-round edge churn. Completion means \
+                      every node reachable from the source is informed \
+                      (Ahmadi-Kuhn dynamic-network reference model)."
+            .into(),
+        cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +555,28 @@ mod tests {
     fn find_by_name() {
         assert!(find("core-repro").is_some());
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn multi_hop_covers_the_topology_family() {
+        let spec = (find("multi-hop").expect("registered").build)();
+        assert!(spec.cells.len() >= 5);
+        let mut topologies: Vec<&str> = spec.cells.iter().map(|c| c.topology.name()).collect();
+        topologies.sort_unstable();
+        topologies.dedup();
+        assert!(topologies.contains(&"line"));
+        assert!(topologies.contains(&"grid"));
+        assert!(topologies.contains(&"random-geometric"));
+        assert!(topologies.contains(&"dynamic"));
+        assert!(
+            spec.cells.iter().all(|c| c.protocol.never_halts()),
+            "multi-hop cells must run under stop_when_all_informed"
+        );
+        // Every other scenario stays on the single-hop default.
+        for s in registry() {
+            if s.name != "multi-hop" {
+                assert!((s.build)().cells.iter().all(|c| c.topology.is_complete()));
+            }
+        }
     }
 }

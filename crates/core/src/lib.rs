@@ -14,6 +14,11 @@
 //! | [`MultiCastC`] | §7, Fig. 5 | `n` | `C ≤ n/2` | `O(T/C + (n/C)lg²n)` | as `MultiCast` |
 //! | [`MultiCastAdv`] with cap | §7, Fig. 6 | — | `≤ C` | `Õ(T/C^{1−2α} + n^{2+2α}/C^{2−2α})` | `Õ(√(T/C^{1−2α}) + …)` |
 //!
+//! [`MultiHopCast`] extends the line-up beyond the paper: a relay-capable
+//! variant for multi-hop topologies (`rcb_sim::Topology`), where informed
+//! nodes re-run the sender schedule until the source's whole reachable
+//! component knows the message.
+//!
 //! Baselines live in [`baseline`]: the naive multi-channel epidemic from the
 //! paper's introduction, a single-channel resource-competitive comparator
 //! (the SPAA'14 bounds, realised as `MultiCast(C = 1)`), and classical
@@ -41,6 +46,7 @@ pub mod limited;
 pub mod multicast;
 pub mod multicast_adv;
 pub mod multicast_core;
+pub mod multihop;
 pub mod params;
 pub mod theory;
 
@@ -48,4 +54,5 @@ pub use limited::MultiCastC;
 pub use multicast::{McNode, MultiCast};
 pub use multicast_adv::{AdvNode, AdvScheduleIter, AdvSegment, AdvStatus, MultiCastAdv};
 pub use multicast_core::MultiCastCore;
+pub use multihop::{MultiHopCast, MultiHopNode};
 pub use params::{AdvParams, CoreParams, McParams};

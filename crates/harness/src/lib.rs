@@ -1,7 +1,7 @@
 //! # rcb-harness — parallel Monte-Carlo experiment runner
 //!
 //! Describes trials as plain data ([`TrialSpec`] = protocol × adversary ×
-//! seed), runs them — in parallel across CPU cores via crossbeam scoped
+//! topology × seed), runs them — in parallel across CPU cores via crossbeam scoped
 //! threads — and aggregates [`TrialResult`]s into the series and tables the
 //! experiments in EXPERIMENTS.md report.
 //!
@@ -16,4 +16,4 @@ pub mod spec;
 
 pub use report::{sweep_by, SweepPoint};
 pub use runner::{resolve_threads, run_trial, run_trial_with_engine, run_trials, TrialResult};
-pub use spec::{AdversaryKind, ProtocolKind, TrialSpec};
+pub use spec::{AdversaryKind, ProtocolKind, TopologyKind, TrialSpec};

@@ -7,10 +7,11 @@ use rcb_adversary::{
     ReactiveJammer, Silent, SpanJammer, Sweep, UniformFraction,
 };
 use rcb_core::baseline::{Decay, NaiveEpidemic, SingleChannelRcb};
-use rcb_core::{AdvScheduleIter, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
+use rcb_core::{AdvScheduleIter, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore, MultiHopCast};
 use rcb_sim::{
-    derive_seed, run_adaptive_with_observer, run_with_observer, AdaptiveAdversary, Adversary,
-    EngineConfig, Observer, RunOutcome,
+    derive_seed, run_adaptive_with_observer, run_topo_adaptive_with_observer,
+    run_topo_with_observer, run_with_observer, AdaptiveAdversary, Adversary, EngineConfig,
+    Observer, RunOutcome, Topology,
 };
 
 /// The distilled result of one trial — everything the experiment reports
@@ -165,20 +166,31 @@ struct Noop;
 impl Observer for Noop {}
 
 /// Dispatch a built adversary (oblivious or adaptive) to the matching
-/// engine entry point.
+/// engine entry point, over a topology when one is requested. The
+/// single-hop `Complete` default takes the topology-free path (the
+/// topology-aware path is byte-identical for it — see
+/// `tests/topology_equivalence.rs` — so this is an optimization, not a
+/// behavioural switch).
 fn dispatch<P: rcb_sim::Protocol>(
     protocol: &mut P,
     adversary: &mut BuiltAdversary,
+    topology: Option<&Topology>,
     seed: u64,
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
 ) -> RunOutcome {
-    match adversary {
-        BuiltAdversary::Oblivious(a) => {
+    match (adversary, topology) {
+        (BuiltAdversary::Oblivious(a), None) => {
             run_with_observer(protocol, a.as_mut(), seed, cfg, observer)
         }
-        BuiltAdversary::Adaptive(a) => {
+        (BuiltAdversary::Oblivious(a), Some(t)) => {
+            run_topo_with_observer(protocol, a.as_mut(), t, seed, cfg, observer)
+        }
+        (BuiltAdversary::Adaptive(a), None) => {
             run_adaptive_with_observer(protocol, a.as_mut(), seed, cfg, observer)
+        }
+        (BuiltAdversary::Adaptive(a), Some(t)) => {
+            run_topo_adaptive_with_observer(protocol, a.as_mut(), t, seed, cfg, observer)
         }
     }
 }
@@ -213,26 +225,29 @@ fn run_trial_inner(
         ..*base
     };
     let mut adversary = build_adversary(&spec.adversary, spec.seed);
+    // `Complete` takes the (byte-identical) topology-free path.
+    let topology = (!spec.topology.is_complete()).then(|| spec.topology.build(spec.seed));
+    let topo = topology.as_ref();
     let out = match spec.protocol.clone() {
         ProtocolKind::Core { n, t, params } => {
             let mut p = MultiCastCore::with_params(n, t, params);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::MultiCast { n, params } => {
             let mut p = MultiCast::with_params(n, params);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::MultiCastC { n, c, params } => {
             let mut p = MultiCastC::with_params(n, c, params);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::Adv { n, params } => {
             let mut p = MultiCastAdv::with_params(n, params);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::Naive { n, act_prob } => {
             let mut p = NaiveEpidemic::with_act_prob(n, act_prob);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::NaiveConfig {
             n,
@@ -240,15 +255,19 @@ fn run_trial_inner(
             act_prob,
         } => {
             let mut p = NaiveEpidemic::with_config(n, channels, act_prob);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::SingleChannel { n, params } => {
             let mut p = SingleChannelRcb::with_params(n, params);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
         ProtocolKind::Decay { n } => {
             let mut p = Decay::new(n);
-            dispatch(&mut p, &mut adversary, spec.seed, &cfg, observer)
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+        }
+        ProtocolKind::MultiHop { n, channels, p } => {
+            let mut p = MultiHopCast::with_config(n, channels, p);
+            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
         }
     };
     TrialResult::from_outcome(spec, &out)
@@ -424,5 +443,47 @@ mod tests {
     #[test]
     fn empty_spec_list() {
         assert!(run_trials(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn multihop_trial_over_a_line() {
+        use crate::spec::TopologyKind;
+        let spec = TrialSpec::new(
+            ProtocolKind::MultiHop {
+                n: 16,
+                channels: 4,
+                p: 0.25,
+            },
+            AdversaryKind::Silent,
+            9,
+        )
+        .with_topology(TopologyKind::Line)
+        .with_max_slots(5_000_000);
+        let r = run_trial(&spec);
+        assert!(r.completed, "{r:?}");
+        assert!(r.all_informed);
+        assert_eq!(r.protocol, "MultiHopCast");
+        assert_eq!(r.safety_violations, 0);
+    }
+
+    #[test]
+    fn complete_topology_matches_topology_free_dispatch() {
+        use crate::spec::TopologyKind;
+        let base = TrialSpec::new(
+            ProtocolKind::MultiCast {
+                n: 16,
+                params: McParams::default(),
+            },
+            AdversaryKind::Uniform {
+                t: 10_000,
+                frac: 0.5,
+            },
+            11,
+        );
+        let a = run_trial(&base);
+        let b = run_trial(&base.clone().with_topology(TopologyKind::Complete));
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.max_cost, b.max_cost);
+        assert_eq!(a.eve_spent, b.eve_spent);
     }
 }

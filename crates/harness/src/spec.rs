@@ -28,6 +28,9 @@ pub enum ProtocolKind {
     SingleChannel { n: u64, params: McParams },
     /// Classical `Decay` (baseline; never halts).
     Decay { n: u64 },
+    /// Relay-capable multi-hop broadcast (informed nodes re-run the sender
+    /// schedule; never halts — run until all reachable nodes are informed).
+    MultiHop { n: u64, channels: u64, p: f64 },
 }
 
 impl ProtocolKind {
@@ -41,7 +44,8 @@ impl ProtocolKind {
             | ProtocolKind::Naive { n, .. }
             | ProtocolKind::NaiveConfig { n, .. }
             | ProtocolKind::SingleChannel { n, .. }
-            | ProtocolKind::Decay { n } => n,
+            | ProtocolKind::Decay { n }
+            | ProtocolKind::MultiHop { n, .. } => n,
         }
     }
 
@@ -61,6 +65,7 @@ impl ProtocolKind {
             ProtocolKind::Naive { .. } | ProtocolKind::NaiveConfig { .. } => "NaiveEpidemic",
             ProtocolKind::SingleChannel { .. } => "SingleChannelRcb",
             ProtocolKind::Decay { .. } => "Decay",
+            ProtocolKind::MultiHop { .. } => "MultiHopCast",
         }
     }
 
@@ -72,7 +77,73 @@ impl ProtocolKind {
             ProtocolKind::Naive { .. }
                 | ProtocolKind::NaiveConfig { .. }
                 | ProtocolKind::Decay { .. }
+                | ProtocolKind::MultiHop { .. }
         )
+    }
+}
+
+/// Which connectivity topology a trial runs over. Plain data like
+/// [`ProtocolKind`]; seeds for the random generators are derived from the
+/// trial's master seed (see [`TopologyKind::build`]), so a spec stays fully
+/// reproducible and every trial of a cell gets an independent graph.
+#[derive(Clone, Debug)]
+pub enum TopologyKind {
+    /// The paper's single-hop model (every pair connected). The default;
+    /// dispatches to the topology-free engine path.
+    Complete,
+    /// The path `0 – 1 – … – (n−1)`.
+    Line,
+    /// Row-major grid, `cols` nodes per row.
+    Grid { cols: u32 },
+    /// Random geometric graph at the given radius (unit square).
+    RandomGeometric { radius: f64 },
+    /// Per-round edge churn over a static base topology.
+    Dynamic {
+        base: Box<TopologyKind>,
+        p_down: f64,
+    },
+}
+
+/// Reserved stream ids for topology randomness (the adversary uses
+/// `1_000_003`).
+const TOPOLOGY_STREAM: u64 = 1_000_004;
+const CHURN_STREAM: u64 = 1_000_005;
+
+impl TopologyKind {
+    /// Short name for report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Complete => "complete",
+            TopologyKind::Line => "line",
+            TopologyKind::Grid { .. } => "grid",
+            TopologyKind::RandomGeometric { .. } => "random-geometric",
+            TopologyKind::Dynamic { .. } => "dynamic",
+        }
+    }
+
+    /// Is this the single-hop model?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, TopologyKind::Complete)
+    }
+
+    /// Realize the engine-level [`rcb_sim::Topology`], deriving generator
+    /// seeds from the trial's master seed.
+    pub fn build(&self, master_seed: u64) -> rcb_sim::Topology {
+        use rcb_sim::derive_seed;
+        match self {
+            TopologyKind::Complete => rcb_sim::Topology::Complete,
+            TopologyKind::Line => rcb_sim::Topology::Line,
+            TopologyKind::Grid { cols } => rcb_sim::Topology::Grid { cols: *cols },
+            TopologyKind::RandomGeometric { radius } => rcb_sim::Topology::RandomGeometric {
+                radius: *radius,
+                seed: derive_seed(master_seed, TOPOLOGY_STREAM),
+            },
+            TopologyKind::Dynamic { base, p_down } => rcb_sim::Topology::Dynamic {
+                base: Box::new(base.build(master_seed)),
+                p_down: *p_down,
+                seed: derive_seed(master_seed, CHURN_STREAM),
+            },
+        }
     }
 }
 
@@ -183,8 +254,10 @@ impl AdversaryKind {
 pub struct TrialSpec {
     pub protocol: ProtocolKind,
     pub adversary: AdversaryKind,
-    /// Master seed; node streams, engine sampling, and adversary randomness
-    /// all derive from it.
+    /// Connectivity topology (default: the single-hop complete graph).
+    pub topology: TopologyKind,
+    /// Master seed; node streams, engine sampling, adversary randomness,
+    /// and topology randomness all derive from it.
     pub seed: u64,
     /// Engine slot cap.
     pub max_slots: u64,
@@ -195,6 +268,7 @@ impl TrialSpec {
         Self {
             protocol,
             adversary,
+            topology: TopologyKind::Complete,
             seed,
             max_slots: 2_000_000_000,
         }
@@ -202,6 +276,11 @@ impl TrialSpec {
 
     pub fn with_max_slots(mut self, cap: u64) -> Self {
         self.max_slots = cap;
+        self
+    }
+
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -240,5 +319,53 @@ mod tests {
         assert_eq!(AdversaryKind::Silent.budget(), 0);
         assert_eq!(AdversaryKind::Uniform { t: 99, frac: 0.5 }.budget(), 99);
         assert_eq!(AdversaryKind::Burst { t: 7, start: 0 }.name(), "burst");
+    }
+
+    #[test]
+    fn topology_kinds_build_deterministically() {
+        assert!(TopologyKind::Complete.is_complete());
+        assert!(!TopologyKind::Line.is_complete());
+        assert_eq!(TopologyKind::Grid { cols: 4 }.name(), "grid");
+
+        let kind = TopologyKind::RandomGeometric { radius: 0.5 };
+        assert_eq!(kind.build(7), kind.build(7), "same master seed, same graph");
+        assert_ne!(kind.build(7), kind.build(8), "per-trial graphs differ");
+
+        let churned = TopologyKind::Dynamic {
+            base: Box::new(TopologyKind::RandomGeometric { radius: 0.5 }),
+            p_down: 0.3,
+        };
+        let rcb_sim::Topology::Dynamic { base, p_down, seed } = churned.build(7) else {
+            panic!("dynamic kind must build a dynamic topology");
+        };
+        assert_eq!(p_down, 0.3);
+        // The churn stream and the base generator's stream are distinct.
+        let rcb_sim::Topology::RandomGeometric {
+            seed: base_seed, ..
+        } = *base
+        else {
+            panic!("base must survive the build");
+        };
+        assert_ne!(seed, base_seed);
+    }
+
+    #[test]
+    fn multihop_protocol_kind() {
+        let p = ProtocolKind::MultiHop {
+            n: 32,
+            channels: 16,
+            p: 0.25,
+        };
+        assert_eq!(p.name(), "MultiHopCast");
+        assert_eq!(p.n(), 32);
+        assert!(p.never_halts(), "no termination detection yet");
+    }
+
+    #[test]
+    fn trial_spec_defaults_to_single_hop() {
+        let spec = TrialSpec::new(ProtocolKind::Decay { n: 16 }, AdversaryKind::Silent, 1);
+        assert!(spec.topology.is_complete());
+        let spec = spec.with_topology(TopologyKind::Line);
+        assert_eq!(spec.topology.name(), "line");
     }
 }

@@ -47,14 +47,29 @@
 //! `fast_forward` integration test matrix. Adaptive adversaries and
 //! [`Sampling::DensePerNode`] always take the slot-by-slot path.
 //!
+//! # Multi-hop topologies
+//!
+//! The `run_topo*` entry points thread a [`Topology`] through the run: the
+//! delivery step only lets a listener hear broadcasters **adjacent** to it
+//! in the current round ([`TopologyView::connected`]), informed nodes act
+//! as relay sources, and "everyone informed" means every node *reachable*
+//! from the source. [`Topology::Complete`] reproduces the single-hop model
+//! byte-for-byte — same RNG draws, same traces, same fast-forward spans as
+//! the topology-free entry points (enforced by
+//! `tests/topology_equivalence.rs`): the per-listener adjacency resolution
+//! degenerates to the channel-board semantics, and topology construction
+//! draws only from the topology's own seeds.
+//!
 //! # Determinism
 //!
-//! A run is a pure function of `(protocol, adversary, master_seed)`: node
-//! streams and the engine's sampling stream are derived from the master seed
-//! with [`derive_seed`], and the adversary carries its own seeded stream.
+//! A run is a pure function of `(protocol, adversary, topology,
+//! master_seed)`: node streams and the engine's sampling stream are derived
+//! from the master seed with [`derive_seed`], the adversary carries its own
+//! seeded stream, and topologies carry theirs (dynamic edge churn is
+//! counter-based, so skipped rounds never materialize an edge set).
 
 use crate::adaptive::{AdaptiveAdversary, BandObservation};
-use crate::channel::{ChannelBoard, Feedback};
+use crate::channel::{ChannelBoard, Feedback, Payload};
 use crate::jamset::JamSet;
 use crate::metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 use crate::protocol::{
@@ -62,6 +77,7 @@ use crate::protocol::{
 };
 use crate::rng::{derive_seed, Xoshiro256};
 use crate::sampler::TwoClassRoundStream;
+use crate::topology::{Topology, TopologyView};
 use crate::trace::Observer;
 
 /// How the engine samples the per-slot acting subset.
@@ -143,6 +159,83 @@ pub fn run_with_observer<P: Protocol>(
     run_inner(
         protocol,
         Eve::Oblivious(adversary),
+        None,
+        master_seed,
+        cfg,
+        observer,
+    )
+}
+
+/// Run over a connectivity [`Topology`]: listeners only hear adjacent
+/// broadcasters, and completion means every *reachable* node is informed.
+/// With [`Topology::Complete`] this is byte-identical to [`run`].
+pub fn run_topo<P: Protocol>(
+    protocol: &mut P,
+    adversary: &mut dyn Adversary,
+    topology: &Topology,
+    master_seed: u64,
+    cfg: &EngineConfig,
+) -> RunOutcome {
+    run_topo_with_observer(
+        protocol,
+        adversary,
+        topology,
+        master_seed,
+        cfg,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_topo`] with an event observer.
+pub fn run_topo_with_observer<P: Protocol>(
+    protocol: &mut P,
+    adversary: &mut dyn Adversary,
+    topology: &Topology,
+    master_seed: u64,
+    cfg: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
+    run_inner(
+        protocol,
+        Eve::Oblivious(adversary),
+        Some(topology),
+        master_seed,
+        cfg,
+        observer,
+    )
+}
+
+/// [`run_adaptive`] over a connectivity [`Topology`].
+pub fn run_topo_adaptive<P: Protocol>(
+    protocol: &mut P,
+    adversary: &mut dyn AdaptiveAdversary,
+    topology: &Topology,
+    master_seed: u64,
+    cfg: &EngineConfig,
+) -> RunOutcome {
+    run_topo_adaptive_with_observer(
+        protocol,
+        adversary,
+        topology,
+        master_seed,
+        cfg,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_topo_adaptive`] with an event observer.
+pub fn run_topo_adaptive_with_observer<P: Protocol>(
+    protocol: &mut P,
+    adversary: &mut dyn AdaptiveAdversary,
+    topology: &Topology,
+    master_seed: u64,
+    cfg: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
+    run_inner(
+        protocol,
+        Eve::Adaptive(adversary),
+        Some(topology),
         master_seed,
         cfg,
         observer,
@@ -172,6 +265,7 @@ pub fn run_adaptive_with_observer<P: Protocol>(
     run_inner(
         protocol,
         Eve::Adaptive(adversary),
+        None,
         master_seed,
         cfg,
         observer,
@@ -227,12 +321,21 @@ impl Eve<'_> {
 fn run_inner<P: Protocol>(
     protocol: &mut P,
     mut eve: Eve<'_>,
+    topology: Option<&Topology>,
     master_seed: u64,
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
 ) -> RunOutcome {
     let n = protocol.num_nodes();
     assert!(n >= 2, "broadcast needs at least a source and one receiver");
+
+    // Realized connectivity; construction draws only from the topology's
+    // own seeds, so the node/engine RNG streams below are untouched.
+    let topo = topology.map(|t| TopologyView::build(t, n));
+    // "Everyone" means every node the source can reach at all. Compared
+    // with >= rather than == defensively: a protocol's boundary inference
+    // could in principle mark an unreachable node informed.
+    let informed_target: u32 = topo.as_ref().map_or(n, TopologyView::reachable_count);
 
     // Stream 0 is the engine's sampling stream; node i uses stream i + 1.
     let mut engine_rng = Xoshiro256::seeded(derive_seed(master_seed, 0));
@@ -264,6 +367,9 @@ fn run_inner<P: Protocol>(
     let mut round_buf: Vec<Vec<(u32, Action)>> = vec![Vec::new()];
     // Listeners of the current physical slot: (node, physical channel).
     let mut listeners: Vec<(u32, u64)> = Vec::new();
+    // Broadcasters of the current physical slot, kept with their node ids
+    // for the topology-aware delivery step (topology runs only).
+    let mut bcasters: Vec<(u32, u64, Payload)> = Vec::new();
     // Band observations for adaptive adversaries (previous slot / scratch);
     // maintained only when the adversary actually reads them.
     let observes = eve.observes();
@@ -271,6 +377,10 @@ fn run_inner<P: Protocol>(
     let mut next_obs = BandObservation::default();
 
     let fast_forward = cfg.fast_forward && cfg.sampling == Sampling::Sparse && eve.supports_span();
+    // The channel board is read for listener outcomes on the single-hop
+    // path and for band observations when the adversary senses; on a
+    // topology run with an oblivious adversary nothing ever reads it.
+    let use_board = topo.is_none() || observes;
 
     let mut slot: u64 = 0;
     let mut prof = checked_profile(protocol.segment(0), n);
@@ -285,7 +395,7 @@ fn run_inner<P: Protocol>(
         if active.is_empty() {
             break;
         }
-        if cfg.stop_when_all_informed && informed_count == n {
+        if cfg.stop_when_all_informed && informed_count >= informed_target {
             break;
         }
 
@@ -414,6 +524,7 @@ fn run_inner<P: Protocol>(
             // --- 3. Execute this sub-slot's buffered actions -----------------
             board.clear();
             listeners.clear();
+            bcasters.clear();
             let mut slot_stats = SlotStats {
                 jammed: take,
                 ..SlotStats::default()
@@ -429,13 +540,52 @@ fn run_inner<P: Protocol>(
                     Action::Broadcast { ch, payload } => {
                         bcast_cost[nid as usize] += 1;
                         slot_stats.broadcasts += 1;
-                        board.add_broadcast(ch, payload);
+                        if use_board {
+                            board.add_broadcast(ch, payload);
+                        }
+                        if topo.is_some() {
+                            bcasters.push((nid, ch, payload));
+                        }
                     }
                 }
             }
-            board.resolve();
+            if use_board {
+                board.resolve();
+            }
+            // Dynamic topologies churn per round; key edges by the round's
+            // starting slot.
+            let round_key = slot - sub;
             for &(nid, ch) in &listeners {
-                let fb = board.outcome(ch, jam.contains(ch, prof.channels));
+                let jammed = jam.contains(ch, prof.channels);
+                let fb = match &topo {
+                    // Topology-aware delivery: only adjacent broadcasters
+                    // count. For `Topology::Complete` every broadcaster is
+                    // adjacent, which reproduces the board semantics below
+                    // exactly (same silence/message/noise per listener).
+                    Some(view) => {
+                        if jammed {
+                            Feedback::Noise
+                        } else {
+                            let mut heard = 0u32;
+                            let mut payload = Payload::Data;
+                            for &(bid, bch, pl) in &bcasters {
+                                if bch == ch && view.connected(bid, nid, round_key) {
+                                    heard += 1;
+                                    payload = pl;
+                                    if heard == 2 {
+                                        break;
+                                    }
+                                }
+                            }
+                            match heard {
+                                0 => Feedback::Silence,
+                                1 => Feedback::Message(payload),
+                                _ => Feedback::Noise,
+                            }
+                        }
+                    }
+                    None => board.outcome(ch, jammed),
+                };
                 match fb {
                     Feedback::Silence => slot_stats.heard_silence += 1,
                     Feedback::Message(_) => slot_stats.heard_message += 1,
@@ -524,7 +674,7 @@ fn run_inner<P: Protocol>(
         })
         .collect();
 
-    let all_informed = informed_count == n;
+    let all_informed = informed_count >= informed_target;
     RunOutcome {
         slots: slot,
         all_halted: active.is_empty(),
@@ -534,6 +684,7 @@ fn run_inner<P: Protocol>(
         } else {
             None
         },
+        reachable: informed_target,
         eve_spent,
         totals,
         nodes: nodes_out,
@@ -581,7 +732,7 @@ mod tests {
     use super::*;
     use crate::channel::Payload;
     use crate::protocol::NoAdversary;
-    use crate::trace::RecordingObserver;
+    use crate::trace::{RecordingObserver, TraceEvent};
 
     /// A minimal test protocol: a single segment schedule where the source
     /// broadcasts with p2 and everyone else listens with p1 on `channels`
@@ -976,6 +1127,177 @@ mod tests {
     fn rejects_single_node_network() {
         let mut proto = toy(1);
         run(&mut proto, &mut NoAdversary, 0, &EngineConfig::default());
+    }
+
+    /// A relay toy for multi-hop runs: like [`Toy`] but nodes never halt
+    /// (informed nodes keep re-broadcasting), so the message can propagate
+    /// hop by hop; run with `stop_when_all_informed`.
+    struct RelayToy {
+        n: u32,
+        channels: u64,
+    }
+    impl Protocol for RelayToy {
+        type Node = RelayNode;
+        fn num_nodes(&self) -> u32 {
+            self.n
+        }
+        fn segment(&mut self, _s: u64) -> SlotProfile {
+            SlotProfile {
+                p1: 0.5,
+                p2: 0.5,
+                channels: self.channels,
+                virt_channels: self.channels,
+                round_len: 1,
+                seg_len: 1 << 40,
+                seg_major: 0,
+                seg_minor: 0,
+                step: 0,
+            }
+        }
+        fn make_node(&self, _id: u32, is_source: bool) -> RelayNode {
+            RelayNode {
+                informed: is_source,
+            }
+        }
+    }
+    struct RelayNode {
+        informed: bool,
+    }
+    impl ProtocolNode for RelayNode {
+        fn on_selected(&mut self, prof: &SlotProfile, coin: Coin, rng: &mut Xoshiro256) -> Action {
+            let ch = rng.gen_range(prof.virt_channels);
+            match coin {
+                Coin::One if !self.informed => Action::Listen { ch },
+                Coin::Two if self.informed => Action::Broadcast {
+                    ch,
+                    payload: Payload::Data,
+                },
+                _ => Action::Idle,
+            }
+        }
+        fn on_feedback(&mut self, _p: &SlotProfile, fb: Feedback) {
+            if fb == Feedback::Message(Payload::Data) {
+                self.informed = true;
+            }
+        }
+        fn on_boundary(&mut self, _p: &SlotProfile) -> BoundaryDecision {
+            BoundaryDecision::Continue
+        }
+        fn is_informed(&self) -> bool {
+            self.informed
+        }
+    }
+
+    fn informed_cfg() -> EngineConfig {
+        EngineConfig {
+            stop_when_all_informed: true,
+            ..EngineConfig::capped(2_000_000)
+        }
+    }
+
+    #[test]
+    fn complete_topology_is_byte_identical_to_single_hop() {
+        use crate::topology::Topology;
+        for seed in [1u64, 2, 3] {
+            let single = {
+                let mut proto = toy(16);
+                run(
+                    &mut proto,
+                    &mut NoAdversary,
+                    seed,
+                    &EngineConfig::capped(100_000),
+                )
+            };
+            let topo = {
+                let mut proto = toy(16);
+                run_topo(
+                    &mut proto,
+                    &mut NoAdversary,
+                    &Topology::Complete,
+                    seed,
+                    &EngineConfig::capped(100_000),
+                )
+            };
+            assert_eq!(single, topo, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn line_topology_propagates_hop_by_hop() {
+        use crate::topology::Topology;
+        let mut proto = RelayToy { n: 8, channels: 2 };
+        let mut obs = RecordingObserver::new();
+        let out = run_topo_with_observer(
+            &mut proto,
+            &mut NoAdversary,
+            &Topology::Line,
+            7,
+            &informed_cfg(),
+            &mut obs,
+        );
+        assert!(out.all_informed, "{out:?}");
+        assert_eq!(out.reachable, 8);
+        // On a line, node k can only be informed after node k-1 (its only
+        // path to the source passes through it).
+        let mut informed_slot = [u64::MAX; 8];
+        informed_slot[0] = 0;
+        for e in &obs.events {
+            if let TraceEvent::Informed { node, slot } = e {
+                informed_slot[*node as usize] = *slot;
+            }
+        }
+        for k in 2..8 {
+            assert!(
+                informed_slot[k] >= informed_slot[k - 1],
+                "node {k} informed before its upstream neighbor"
+            );
+        }
+        // Strictly multi-hop: the farthest node cannot learn m in slot 0.
+        assert!(informed_slot[7] > informed_slot[1]);
+    }
+
+    #[test]
+    fn disconnected_topology_completes_on_the_reachable_component() {
+        use crate::topology::{Topology, TopologyView};
+        // A near-zero radius isolates most nodes from the source.
+        let topo = Topology::RandomGeometric {
+            radius: 0.05,
+            seed: 13,
+        };
+        let view = TopologyView::build(&topo, 16);
+        assert!(view.reachable_count() < 16, "radius chosen to disconnect");
+        let mut proto = RelayToy { n: 16, channels: 4 };
+        let out = run_topo(&mut proto, &mut NoAdversary, &topo, 5, &informed_cfg());
+        assert!(
+            out.all_informed,
+            "reachable component must complete: {out:?}"
+        );
+        assert_eq!(out.reachable, view.reachable_count());
+        assert_eq!(out.informed_count() as u32, view.reachable_count());
+        for node in &out.nodes {
+            assert_eq!(
+                node.informed_at.is_some(),
+                view.is_reachable(node.id),
+                "informed set must be exactly the reachable component"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_churn_still_delivers() {
+        use crate::topology::Topology;
+        let topo = Topology::Dynamic {
+            base: Box::new(Topology::Line),
+            p_down: 0.5,
+            seed: 21,
+        };
+        let mut proto = RelayToy { n: 8, channels: 2 };
+        let out = run_topo(&mut proto, &mut NoAdversary, &topo, 9, &informed_cfg());
+        assert!(
+            out.all_informed,
+            "churned line must still complete: {out:?}"
+        );
+        assert_eq!(out.reachable, 8, "reachability is judged on the base graph");
     }
 
     /// Round simulation: virtual channels map to (sub-slot, physical channel).

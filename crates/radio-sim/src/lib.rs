@@ -30,6 +30,11 @@
 //! action, and resolves channel outcomes from a sparse broadcast board. See
 //! [`protocol`] for the trait contract and [`sampler`] for the exactness
 //! argument and tests.
+//!
+//! The [`topology`] module generalizes the model to **multi-hop** networks:
+//! a connectivity graph gates who hears whom, informed nodes relay, and
+//! completion means the source's whole reachable component is informed.
+//! [`Topology::Complete`] reproduces the single-hop model byte-for-byte.
 
 pub mod adaptive;
 pub mod channel;
@@ -39,12 +44,15 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod sampler;
+pub mod topology;
 pub mod trace;
 
 pub use adaptive::{AdaptiveAdversary, BandObservation, ObliviousAsAdaptive};
 pub use channel::{ChannelBoard, Feedback, Payload};
 pub use engine::{
-    run, run_adaptive, run_adaptive_with_observer, run_with_observer, EngineConfig, Sampling,
+    run, run_adaptive, run_adaptive_with_observer, run_topo, run_topo_adaptive,
+    run_topo_adaptive_with_observer, run_topo_with_observer, run_with_observer, EngineConfig,
+    Sampling,
 };
 pub use jamset::JamSet;
 pub use metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
@@ -54,4 +62,5 @@ pub use protocol::{
 };
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
 pub use sampler::{bernoulli_subset, geometric_gap, sample_two_class, TwoClassRoundStream};
+pub use topology::{Topology, TopologyView};
 pub use trace::{Observer, RecordingObserver, TraceEvent};

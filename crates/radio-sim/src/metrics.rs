@@ -73,6 +73,10 @@ pub struct RunOutcome {
     pub all_informed: bool,
     /// Slot at the end of which the last node became informed, if all did.
     pub all_informed_at: Option<u64>,
+    /// Number of nodes reachable from the source — the denominator of
+    /// `all_informed`. Equals `n` for single-hop runs and for connected
+    /// topologies; smaller when the connectivity graph is disconnected.
+    pub reachable: u32,
     /// Eve's actual expenditure (≤ her budget).
     pub eve_spent: u64,
     /// Aggregate listener statistics.
@@ -146,6 +150,7 @@ mod tests {
             all_halted: true,
             all_informed: true,
             all_informed_at: Some(50),
+            reachable: 2,
             eve_spent: 10,
             totals: SlotStats::default(),
             nodes,

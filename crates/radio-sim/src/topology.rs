@@ -1,0 +1,577 @@
+//! Connectivity topologies: who can hear whom.
+//!
+//! The paper's model is **single-hop**: every node hears every (un-jammed,
+//! collision-free) transmission, which is exactly a complete graph. This
+//! module generalizes the substrate to an arbitrary connectivity graph so
+//! broadcast must *propagate*: a listener only receives a transmission if an
+//! edge connects it to the transmitter in that round, informed nodes act as
+//! relay sources, and a run is complete when every node **reachable** from
+//! the source is informed.
+//!
+//! # Generators
+//!
+//! A [`Topology`] is a declarative, seed-deterministic recipe:
+//!
+//! * [`Topology::Complete`] — the paper's single-hop model. The engine's
+//!   delivery step degenerates to the classic channel board semantics; by
+//!   contract (enforced by `tests/topology_equivalence.rs`) a run under
+//!   `Complete` is **byte-identical** to a run with no topology at all:
+//!   same RNG draws, same traces, same fast-forward spans.
+//! * [`Topology::Line`] — the path `0 – 1 – … – (n−1)`; diameter `n − 1`,
+//!   the worst case for propagation depth.
+//! * [`Topology::Grid`] — a `cols`-wide grid in row-major node order (the
+//!   last row may be partial); a full `r × c` grid has diameter
+//!   `(r − 1) + (c − 1)`.
+//! * [`Topology::RandomGeometric`] — `n` points uniform in the unit square
+//!   (positions drawn from `seed`), an edge when two points are within
+//!   `radius`. [`Topology::connectivity_radius`] returns a radius safely
+//!   above the `Θ(√(ln n / n))` connectivity threshold.
+//! * [`Topology::Dynamic`] — per-round edge churn over a static base graph:
+//!   in each round every base edge is independently *down* with probability
+//!   `p_down`, decided by **counter-based hashing** of
+//!   `(seed, round, edge)`. Statelessness matters twice: rounds skipped by
+//!   the engine's idle fast-forward never need their edge sets materialized,
+//!   and a run stays a pure function of its seeds. This is the hook for the
+//!   Ahmadi–Kuhn dynamic-network model (arXiv:1610.02931), where the
+//!   adversary rewires the graph subject to connectivity constraints.
+//!
+//! # Reachability
+//!
+//! [`TopologyView::reachable_count`] is the number of nodes in the source's
+//! connected component of the **base** graph. For static topologies this is
+//! exactly the set of nodes broadcast can ever reach. For `Dynamic` churn
+//! the base component is the almost-sure limit set: an edge that is down
+//! this round recovers with constant probability every later round, so
+//! every base-component node is reached eventually with probability 1.
+
+use crate::rng::{SplitMix64, Xoshiro256};
+
+/// A declarative, seed-deterministic connectivity graph recipe. The node
+/// count comes from the protocol at engine time ([`TopologyView::build`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Topology {
+    /// Every pair of nodes connected — the paper's single-hop model.
+    Complete,
+    /// The path `0 – 1 – … – (n−1)`.
+    Line,
+    /// Row-major grid, `cols` nodes per row (last row may be partial).
+    Grid { cols: u32 },
+    /// Random geometric graph: `n` points uniform in the unit square from
+    /// `seed`, an edge when the Euclidean distance is below `radius`.
+    RandomGeometric { radius: f64, seed: u64 },
+    /// Per-round edge churn over `base`: each base edge is down with
+    /// probability `p_down` in any given round, decided statelessly from
+    /// `(seed, round, edge)`. `base` must not itself be `Dynamic`.
+    Dynamic {
+        base: Box<Topology>,
+        p_down: f64,
+        seed: u64,
+    },
+}
+
+impl Topology {
+    /// Short generator name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Complete => "complete",
+            Topology::Line => "line",
+            Topology::Grid { .. } => "grid",
+            Topology::RandomGeometric { .. } => "random-geometric",
+            Topology::Dynamic { .. } => "dynamic",
+        }
+    }
+
+    /// A radius comfortably above the random-geometric connectivity
+    /// threshold `√(ln n / (π n))`, so graphs at this radius are connected
+    /// for all but a vanishing fraction of seeds.
+    pub fn connectivity_radius(n: u32) -> f64 {
+        assert!(n >= 2);
+        (3.0 * (n as f64).ln() / n as f64).sqrt().min(1.0)
+    }
+}
+
+/// Counter-based churn decision: is `edge` down in `round`?
+#[derive(Clone, Copy, Debug)]
+struct Churn {
+    seed: u64,
+    /// `p_down` mapped onto the full `u64` range.
+    threshold: u64,
+}
+
+impl Churn {
+    fn new(p_down: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_down),
+            "p_down must be a probability, got {p_down}"
+        );
+        // Exact at both endpoints: 0.0 → never down, 1.0 → always down.
+        let threshold = if p_down >= 1.0 {
+            u64::MAX
+        } else {
+            (p_down * 2f64.powi(64)) as u64
+        };
+        Self { seed, threshold }
+    }
+
+    #[inline]
+    fn is_down(&self, round: u64, edge: u64) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        if self.threshold == u64::MAX {
+            return true;
+        }
+        let mut sm = SplitMix64::new(
+            self.seed
+                ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ edge.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        sm.next_u64() < self.threshold
+    }
+}
+
+/// A [`Topology`] realized for a concrete node count: adjacency, source
+/// reachability, and (for `Dynamic`) the churn rule. Built once per run;
+/// construction draws only from the topology's own seeds, never from the
+/// engine or node streams.
+#[derive(Clone, Debug)]
+pub struct TopologyView {
+    n: u32,
+    /// Base adjacency as a bit matrix; `None` for the complete graph.
+    adj: Option<AdjBits>,
+    churn: Option<Churn>,
+    reachable: Vec<bool>,
+    reachable_count: u32,
+}
+
+/// Dense bit-matrix adjacency (no self-loops); `n` is small enough in every
+/// workload (≤ a few thousand) that `n²` bits is trivial.
+#[derive(Clone, Debug)]
+struct AdjBits {
+    n: u32,
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl AdjBits {
+    fn new(n: u32) -> Self {
+        let stride = (n as usize).div_ceil(64);
+        Self {
+            n,
+            stride,
+            words: vec![0; stride * n as usize],
+        }
+    }
+
+    #[inline]
+    fn add_edge(&mut self, u: u32, v: u32) {
+        debug_assert!(u != v && u < self.n && v < self.n);
+        self.words[u as usize * self.stride + v as usize / 64] |= 1 << (v % 64);
+        self.words[v as usize * self.stride + u as usize / 64] |= 1 << (u % 64);
+    }
+
+    #[inline]
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.words[u as usize * self.stride + v as usize / 64] & (1 << (v % 64)) != 0
+    }
+}
+
+impl TopologyView {
+    /// Realize `topology` for `n` nodes.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (`n < 2`, zero-width grids, radii or
+    /// churn probabilities outside range, nested `Dynamic`).
+    pub fn build(topology: &Topology, n: u32) -> Self {
+        assert!(n >= 2, "a topology needs at least two nodes");
+        let (adj, churn) = match topology {
+            Topology::Complete => (None, None),
+            Topology::Dynamic { base, p_down, seed } => {
+                assert!(
+                    !matches!(**base, Topology::Dynamic { .. }),
+                    "Dynamic topologies cannot nest"
+                );
+                let base_adj = Self::base_adjacency(base, n);
+                (base_adj, Some(Churn::new(*p_down, *seed)))
+            }
+            other => (Self::base_adjacency(other, n), None),
+        };
+        let (reachable, reachable_count) = match &adj {
+            None => (vec![true; n as usize], n),
+            Some(bits) => {
+                let mut seen = vec![false; n as usize];
+                let mut queue = std::collections::VecDeque::new();
+                seen[0] = true;
+                queue.push_back(0u32);
+                let mut count = 1u32;
+                while let Some(u) = queue.pop_front() {
+                    for v in 0..n {
+                        if !seen[v as usize] && bits.has_edge(u, v) {
+                            seen[v as usize] = true;
+                            count += 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                (seen, count)
+            }
+        };
+        Self {
+            n,
+            adj,
+            churn,
+            reachable,
+            reachable_count,
+        }
+    }
+
+    /// Base (churn-free) adjacency for a static generator; `None` only for
+    /// `Complete` (handled by the caller).
+    fn base_adjacency(topology: &Topology, n: u32) -> Option<AdjBits> {
+        let mut bits = AdjBits::new(n);
+        match topology {
+            Topology::Complete => return None,
+            Topology::Dynamic { .. } => unreachable!("caller unwraps Dynamic"),
+            Topology::Line => {
+                for u in 0..n - 1 {
+                    bits.add_edge(u, u + 1);
+                }
+            }
+            Topology::Grid { cols } => {
+                let cols = *cols;
+                assert!(cols >= 1, "grid needs at least one column");
+                for u in 0..n {
+                    if (u + 1) % cols != 0 && u + 1 < n {
+                        bits.add_edge(u, u + 1);
+                    }
+                    if u + cols < n {
+                        bits.add_edge(u, u + cols);
+                    }
+                }
+            }
+            Topology::RandomGeometric { radius, seed } => {
+                assert!(
+                    *radius > 0.0 && radius.is_finite(),
+                    "radius must be positive, got {radius}"
+                );
+                let mut rng = Xoshiro256::seeded(*seed);
+                let pts: Vec<(f64, f64)> =
+                    (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+                let r2 = radius * radius;
+                for u in 0..n {
+                    for v in u + 1..n {
+                        let (dx, dy) = (
+                            pts[u as usize].0 - pts[v as usize].0,
+                            pts[u as usize].1 - pts[v as usize].1,
+                        );
+                        if dx * dx + dy * dy < r2 {
+                            bits.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+        Some(bits)
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Is this the complete (single-hop) graph?
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.adj.is_none()
+    }
+
+    /// Can `v` hear a transmission by `u` in the round starting at slot
+    /// `round`? For `Complete` this is unconditionally true (matching the
+    /// channel-board semantics the single-hop engine uses); otherwise the
+    /// base edge must exist and, under churn, be up this round.
+    #[inline]
+    pub fn connected(&self, u: u32, v: u32, round: u64) -> bool {
+        match &self.adj {
+            None => true,
+            Some(bits) => {
+                if !bits.has_edge(u, v) {
+                    return false;
+                }
+                match &self.churn {
+                    None => true,
+                    Some(churn) => !churn.is_down(round, edge_id(self.n, u, v)),
+                }
+            }
+        }
+    }
+
+    /// Is `v` in the source's connected component of the base graph?
+    #[inline]
+    pub fn is_reachable(&self, v: u32) -> bool {
+        self.reachable[v as usize]
+    }
+
+    /// Number of nodes reachable from the source (including the source).
+    #[inline]
+    pub fn reachable_count(&self) -> u32 {
+        self.reachable_count
+    }
+
+    /// Is the base graph connected?
+    pub fn is_connected(&self) -> bool {
+        self.reachable_count == self.n
+    }
+
+    /// Number of base edges.
+    pub fn base_edge_count(&self) -> usize {
+        match &self.adj {
+            None => (self.n as usize * (self.n as usize - 1)) / 2,
+            Some(bits) => {
+                let mut count = 0;
+                for u in 0..self.n {
+                    for v in u + 1..self.n {
+                        count += bits.has_edge(u, v) as usize;
+                    }
+                }
+                count
+            }
+        }
+    }
+
+    /// Number of edges up in the round starting at slot `round` (equals
+    /// [`base_edge_count`](Self::base_edge_count) without churn).
+    pub fn active_edge_count(&self, round: u64) -> usize {
+        let mut count = 0;
+        for u in 0..self.n {
+            for v in u + 1..self.n {
+                count += self.connected(u, v, round) as usize;
+            }
+        }
+        count
+    }
+
+    /// Exact base-graph diameter via BFS from every node; `None` when the
+    /// graph is disconnected. Test/diagnostic helper, O(n·m).
+    pub fn diameter(&self) -> Option<u64> {
+        if !self.is_connected() {
+            return None;
+        }
+        if self.adj.is_none() {
+            return Some(1);
+        }
+        let mut diameter = 0u64;
+        let mut dist = vec![u64::MAX; self.n as usize];
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..self.n {
+            dist.fill(u64::MAX);
+            dist[start as usize] = 0;
+            queue.clear();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..self.n {
+                    if dist[v as usize] == u64::MAX
+                        && self.adj.as_ref().is_some_and(|b| b.has_edge(u, v))
+                    {
+                        dist[v as usize] = dist[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            diameter = diameter.max(*dist.iter().max().expect("n >= 2"));
+        }
+        Some(diameter)
+    }
+}
+
+/// Canonical id of the undirected edge `{u, v}`.
+#[inline]
+fn edge_id(n: u32, u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    lo as u64 * n as u64 + hi as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_is_always_connected() {
+        let view = TopologyView::build(&Topology::Complete, 16);
+        assert!(view.is_complete());
+        assert!(view.is_connected());
+        assert_eq!(view.reachable_count(), 16);
+        assert_eq!(view.diameter(), Some(1));
+        assert!(view.connected(3, 11, 0));
+        assert_eq!(view.base_edge_count(), 16 * 15 / 2);
+    }
+
+    #[test]
+    fn line_shape() {
+        let view = TopologyView::build(&Topology::Line, 8);
+        assert!(view.is_connected());
+        assert_eq!(view.diameter(), Some(7));
+        assert_eq!(view.base_edge_count(), 7);
+        assert!(view.connected(3, 4, 0));
+        assert!(!view.connected(0, 2, 0));
+    }
+
+    #[test]
+    fn grid_shape_and_partial_last_row() {
+        // 3 columns, 8 nodes: rows [0 1 2] [3 4 5] [6 7].
+        let view = TopologyView::build(&Topology::Grid { cols: 3 }, 8);
+        assert!(view.is_connected());
+        assert!(view.connected(0, 1, 0));
+        assert!(view.connected(1, 4, 0));
+        assert!(!view.connected(2, 3, 0), "no wraparound between rows");
+        assert!(view.connected(4, 7, 0));
+        // Full 4x3 grid diameter: (rows-1)+(cols-1).
+        let full = TopologyView::build(&Topology::Grid { cols: 3 }, 12);
+        assert_eq!(full.diameter(), Some(3 + 2));
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_per_seed() {
+        let topo = |seed| Topology::RandomGeometric { radius: 0.4, seed };
+        let a = TopologyView::build(&topo(7), 32);
+        let b = TopologyView::build(&topo(7), 32);
+        let c = TopologyView::build(&topo(8), 32);
+        assert_eq!(a.base_edge_count(), b.base_edge_count());
+        for u in 0..32 {
+            for v in 0..32 {
+                if u != v {
+                    assert_eq!(a.connected(u, v, 0), b.connected(u, v, 0));
+                }
+            }
+        }
+        assert_ne!(
+            (0..32)
+                .flat_map(|u| (0..32).map(move |v| (u, v)))
+                .filter(|&(u, v)| u < v && a.connected(u, v, 0))
+                .count(),
+            0
+        );
+        // Different seeds almost surely place points differently.
+        assert_ne!(a.base_edge_count(), c.base_edge_count());
+    }
+
+    #[test]
+    fn connectivity_radius_connects() {
+        for n in [8u32, 32, 128] {
+            let r = Topology::connectivity_radius(n);
+            for seed in 0..8 {
+                let view = TopologyView::build(&Topology::RandomGeometric { radius: r, seed }, n);
+                assert!(view.is_connected(), "n={n} seed={seed} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_geometric_has_partial_reachability() {
+        // A tiny radius leaves almost every node isolated.
+        let view = TopologyView::build(
+            &Topology::RandomGeometric {
+                radius: 0.01,
+                seed: 3,
+            },
+            64,
+        );
+        assert!(!view.is_connected());
+        assert!(view.reachable_count() < 64);
+        assert!(view.is_reachable(0), "the source reaches itself");
+        assert_eq!(view.diameter(), None);
+    }
+
+    #[test]
+    fn dynamic_churn_is_stateless_and_bounded_by_base() {
+        let topo = Topology::Dynamic {
+            base: Box::new(Topology::Grid { cols: 4 }),
+            p_down: 0.5,
+            seed: 11,
+        };
+        let view = TopologyView::build(&topo, 16);
+        let base = TopologyView::build(&Topology::Grid { cols: 4 }, 16);
+        assert_eq!(
+            view.reachable_count(),
+            16,
+            "reachability uses the base graph"
+        );
+        for round in [0u64, 1, 17, 1_000_000] {
+            // Same round twice → same edge set (stateless).
+            assert_eq!(view.active_edge_count(round), view.active_edge_count(round));
+            assert!(view.active_edge_count(round) <= base.base_edge_count());
+            for u in 0..16 {
+                for v in 0..16 {
+                    if u != v && view.connected(u, v, round) {
+                        assert!(base.connected(u, v, 0), "churn can only remove edges");
+                    }
+                }
+            }
+        }
+        // Churn actually flips some edges across rounds at p_down = 0.5.
+        let counts: Vec<usize> = (0..16).map(|r| view.active_edge_count(r)).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]));
+    }
+
+    #[test]
+    fn churn_endpoints_are_exact() {
+        let mk = |p_down| {
+            TopologyView::build(
+                &Topology::Dynamic {
+                    base: Box::new(Topology::Line),
+                    p_down,
+                    seed: 5,
+                },
+                8,
+            )
+        };
+        let never = mk(0.0);
+        let always = mk(1.0);
+        for round in 0..32 {
+            assert_eq!(never.active_edge_count(round), 7);
+            assert_eq!(always.active_edge_count(round), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot nest")]
+    fn nested_dynamic_rejected() {
+        let inner = Topology::Dynamic {
+            base: Box::new(Topology::Line),
+            p_down: 0.1,
+            seed: 1,
+        };
+        TopologyView::build(
+            &Topology::Dynamic {
+                base: Box::new(inner),
+                p_down: 0.1,
+                seed: 2,
+            },
+            8,
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Topology::Complete.name(), "complete");
+        assert_eq!(Topology::Line.name(), "line");
+        assert_eq!(Topology::Grid { cols: 4 }.name(), "grid");
+        assert_eq!(
+            Topology::RandomGeometric {
+                radius: 0.5,
+                seed: 0
+            }
+            .name(),
+            "random-geometric"
+        );
+        assert_eq!(
+            Topology::Dynamic {
+                base: Box::new(Topology::Line),
+                p_down: 0.2,
+                seed: 0
+            }
+            .name(),
+            "dynamic"
+        );
+    }
+}

@@ -9,9 +9,12 @@
 //! seeded randomized tests driven by the simulator's own RNG. Case counts
 //! match the original configs (48 per property).
 
-use rcb::core::{CoreParams, McParams, MultiCast, MultiCastC, MultiCastCore};
+use rcb::core::{CoreParams, McParams, MultiCast, MultiCastC, MultiCastCore, MultiHopCast};
 use rcb::harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb::sim::{run, EngineConfig, NoAdversary, Xoshiro256};
+use rcb::sim::{
+    run, run_topo_with_observer, EngineConfig, NoAdversary, RecordingObserver, Topology,
+    TopologyView, TraceEvent, Xoshiro256,
+};
 
 const CASES: u64 = 48;
 
@@ -184,4 +187,156 @@ fn ledger_balances_on_default_params() {
     assert!(out.all_halted);
     let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
     assert_eq!(listens, out.totals.listens);
+}
+
+// --- Topology generator invariants -----------------------------------------
+
+/// Random geometric graphs at [`Topology::connectivity_radius`] are
+/// connected for every sampled (n, seed): the radius the `multi-hop`
+/// scenario family relies on really is above the connectivity threshold.
+#[test]
+fn random_geometric_connected_at_the_chosen_radius() {
+    let mut draw = Xoshiro256::seeded(0x1E46);
+    for _ in 0..CASES {
+        let n = 8 + draw.gen_range(160) as u32; // n = 8..168
+        let seed = draw.gen_range(1 << 40);
+        let radius = Topology::connectivity_radius(n);
+        let view = TopologyView::build(&Topology::RandomGeometric { radius, seed }, n);
+        assert!(
+            view.is_connected(),
+            "RGG(n={n}, r={radius:.3}, seed={seed}) disconnected"
+        );
+        assert_eq!(view.reachable_count(), n);
+    }
+}
+
+/// Grid and line diameters match their closed forms: `rows + cols − 2` for
+/// a full grid, `n − 1` for a line — the BFS diameter of the realized
+/// adjacency agrees with the formula for every sampled shape.
+#[test]
+fn grid_and_line_diameters_match_formulas() {
+    let mut draw = Xoshiro256::seeded(0x1E47);
+    for _ in 0..CASES {
+        let rows = 2 + draw.gen_range(6) as u32; // 2..8
+        let cols = 2 + draw.gen_range(6) as u32;
+        let n = rows * cols;
+        let grid = TopologyView::build(&Topology::Grid { cols }, n);
+        assert!(grid.is_connected());
+        assert_eq!(
+            grid.diameter(),
+            Some((rows - 1) as u64 + (cols - 1) as u64),
+            "grid {rows}x{cols}"
+        );
+
+        let line_n = 2 + draw.gen_range(62) as u32; // 2..64
+        let line = TopologyView::build(&Topology::Line, line_n);
+        assert_eq!(line.diameter(), Some(line_n as u64 - 1), "line n={line_n}");
+        assert_eq!(line.base_edge_count(), line_n as usize - 1);
+    }
+}
+
+/// Dynamic churn preserves the node count and reachable set (both judged
+/// on the base graph) and only ever *removes* edges from the base — for
+/// every sampled base shape, churn probability, and round.
+#[test]
+fn dynamic_churn_preserves_nodes_and_subsets_base() {
+    let mut draw = Xoshiro256::seeded(0x1E48);
+    for _ in 0..CASES {
+        let n = 4 + draw.gen_range(28) as u32; // 4..32
+        let base = match draw.gen_range(3) {
+            0 => Topology::Line,
+            1 => Topology::Grid {
+                cols: 2 + draw.gen_range(4) as u32,
+            },
+            _ => Topology::RandomGeometric {
+                radius: Topology::connectivity_radius(n),
+                seed: draw.gen_range(1 << 40),
+            },
+        };
+        let p_down = draw.next_f64();
+        let base_view = TopologyView::build(&base, n);
+        let churned = TopologyView::build(
+            &Topology::Dynamic {
+                base: Box::new(base.clone()),
+                p_down,
+                seed: draw.gen_range(1 << 40),
+            },
+            n,
+        );
+        assert_eq!(churned.num_nodes(), n, "churn must not change node count");
+        assert_eq!(
+            churned.reachable_count(),
+            base_view.reachable_count(),
+            "reachability is a base-graph property"
+        );
+        for round in [0u64, draw.gen_range(1 << 30)] {
+            assert!(churned.active_edge_count(round) <= base_view.base_edge_count());
+            for u in 0..n {
+                for v in u + 1..n {
+                    if churned.connected(u, v, round) {
+                        assert!(base_view.connected(u, v, 0), "churn invented edge {u}-{v}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- Multi-hop run invariants ----------------------------------------------
+
+/// Over any sampled topology, the informed set is monotone (the growth
+/// curve never decreases) and confined to the source's reachable
+/// component; when the run completes, it is *exactly* that component.
+#[test]
+fn multihop_informed_set_is_monotone_and_confined() {
+    let mut draw = Xoshiro256::seeded(0x1E49);
+    for _ in 0..16 {
+        let n = 1u64 << (2 + draw.gen_range(3)); // n = 4..16
+        let topo = match draw.gen_range(4) {
+            0 => Topology::Line,
+            1 => Topology::Grid { cols: 4 },
+            // Radius sampled across the connectivity threshold, so both
+            // connected and disconnected graphs are exercised.
+            2 => Topology::RandomGeometric {
+                radius: 0.1 + 0.5 * draw.next_f64(),
+                seed: draw.gen_range(1 << 40),
+            },
+            _ => Topology::Dynamic {
+                base: Box::new(Topology::Line),
+                p_down: 0.5 * draw.next_f64(),
+                seed: draw.gen_range(1 << 40),
+            },
+        };
+        let view = TopologyView::build(&topo, n as u32);
+        let seed = draw.gen_range(5_000);
+        let mut proto = MultiHopCast::with_config(n, (n / 2).max(2), 0.25);
+        let mut obs = RecordingObserver::new();
+        let cfg = EngineConfig {
+            stop_when_all_informed: true,
+            ..EngineConfig::capped(300_000)
+        };
+        let out = run_topo_with_observer(&mut proto, &mut NoAdversary, &topo, seed, &cfg, &mut obs);
+
+        // Monotone growth curve, strictly increasing in informed count.
+        for w in obs.growth.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1, "growth not monotone");
+        }
+        // Confinement: every informed node lies in the reachable component.
+        for e in &obs.events {
+            if let TraceEvent::Informed { node, .. } = e {
+                assert!(
+                    view.is_reachable(*node),
+                    "unreachable node {node} got informed"
+                );
+            }
+        }
+        assert_eq!(out.reachable, view.reachable_count());
+        // On completion the informed set is exactly the reachable set.
+        if out.all_informed {
+            assert_eq!(out.informed_count() as u32, view.reachable_count());
+            for node in &out.nodes {
+                assert_eq!(node.informed_at.is_some(), view.is_reachable(node.id));
+            }
+        }
+    }
 }
