@@ -1,49 +1,153 @@
-//! Adaptive (reactive) jamming strategies — the Section 8 future-work model.
+//! Adaptive (reactive) jamming strategies — the Section 8 future-work model
+//! and the reactivity spectrum of the follow-up paper (arXiv:2001.03936).
 //!
 //! These implement [`AdaptiveAdversary`]: unlike every strategy in the rest
 //! of this crate, they may condition on the band activity of previous slots.
 //! The paper conjectures its protocols survive such adversaries essentially
-//! unchanged; experiment E13 measures it. The structural reason the
-//! conjecture holds for *these* protocols is simple and worth stating: every
-//! node picks a **fresh uniformly random channel every slot**, so yesterday's
-//! busy set carries zero information about today's — reactive energy is
-//! spent exactly like random energy.
+//! unchanged; experiment E13 and the `adaptive-grid` scenario measure it.
+//! The structural reason the conjecture holds for *these* protocols is
+//! simple and worth stating: every node picks a **fresh uniformly random
+//! channel every slot**, so yesterday's busy set carries zero information
+//! about today's — reactive energy is spent exactly like random energy.
+//!
+//! [`ReactiveJammer`] is a **parameterized family** spanning the reactivity
+//! axes the follow-up work sweeps: a reactivity *window* `w` (how many past
+//! slots of sensing she aggregates), a per-slot *channel cap* `c` (how much
+//! of the band she can blanket at once), and a *trigger threshold* (how much
+//! observed activity it takes to wake her). `w = 1, threshold = 1` recovers
+//! the classic "re-jam last slot's busy set" reactive jammer of Richa et al.
 
-use rcb_sim::{AdaptiveAdversary, BandObservation, JamSet, Xoshiro256};
+use rcb_sim::{AdaptiveAdversary, BandObservation, JamSet, SpanCharge, Xoshiro256};
+use std::collections::VecDeque;
 
-/// Jams, in each slot, every channel that carried a transmission in the
-/// previous slot (capped at `max_channels` per slot, lowest first) — the
-/// classic full-band reactive jammer.
+/// The parameterized reactive family: jams, each slot, the channels that
+/// carried a transmission within the last `window` observed slots (capped at
+/// `max_channels` per slot, lowest-indexed first), but only while at least
+/// `threshold` distinct in-range channels are busy within the window.
+///
+/// [`ReactiveJammer::new`] builds the classic full-band reactive jammer
+/// (`window = 1`, `threshold = 1`: re-jam exactly last slot's busy set);
+/// [`ReactiveJammer::with_params`] opens the full `w × c × threshold` grid
+/// that the `adaptive-grid` scenario sweeps.
 #[derive(Clone, Debug)]
 pub struct ReactiveJammer {
     t: u64,
+    window: u64,
     max_channels: u64,
+    threshold: u64,
+    /// Busy sets of the last `window` observations, oldest first. Kept raw
+    /// (unfiltered) because the in-use channel count can change between
+    /// segments; filtering happens at jam time.
+    history: VecDeque<Vec<u64>>,
 }
 
 impl ReactiveJammer {
+    /// Classic reactive jammer: re-jam the previous slot's busy set
+    /// (reactivity window 1, trigger threshold 1).
     pub fn new(t: u64, max_channels: u64) -> Self {
-        assert!(max_channels > 0);
-        Self { t, max_channels }
+        Self::with_params(t, 1, max_channels, 1)
+    }
+
+    /// The full family: remember the last `window ≥ 1` observations, jam up
+    /// to `max_channels ≥ 1` per slot, and only act while the window holds
+    /// at least `threshold ≥ 1` distinct busy channels.
+    pub fn with_params(t: u64, window: u64, max_channels: u64, threshold: u64) -> Self {
+        assert!(window > 0, "reactivity window must be at least 1");
+        assert!(max_channels > 0, "channel cap must be at least 1");
+        assert!(threshold > 0, "trigger threshold must be at least 1");
+        Self {
+            t,
+            window,
+            max_channels,
+            threshold,
+            history: VecDeque::with_capacity(window.min(64) as usize),
+        }
+    }
+
+    /// Slide one observation into the window.
+    fn observe(&mut self, busy: &[u64]) {
+        if self.history.len() as u64 == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(busy.to_vec());
+    }
+
+    /// Sorted, distinct, in-range channels busy anywhere in the window.
+    fn hot_channels(&self, channels: u64) -> Vec<u64> {
+        let mut hot: Vec<u64> = self
+            .history
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&ch| ch < channels)
+            .collect();
+        hot.sort_unstable();
+        hot.dedup();
+        hot
     }
 }
 
 impl AdaptiveAdversary for ReactiveJammer {
     fn jam(&mut self, _slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
-        if prev.busy.is_empty() {
+        self.observe(&prev.busy);
+        let hot = self.hot_channels(channels);
+        if (hot.len() as u64) < self.threshold {
             return JamSet::Empty;
         }
-        let take: Vec<u64> = prev
-            .busy
-            .iter()
-            .copied()
-            .filter(|&ch| ch < channels)
-            .take(self.max_channels as usize)
-            .collect();
-        JamSet::from_channels(take)
+        JamSet::from_channels(
+            hot.into_iter()
+                .take(self.max_channels as usize)
+                .collect::<Vec<u64>>(),
+        )
     }
 
     fn budget(&self) -> u64 {
         self.t
+    }
+
+    /// Closed form over an idle span: only the span's first `window` slots
+    /// can still draw on pre-span activity — after that the window holds
+    /// nothing but silence, so the rest of the span charges zero. O(window)
+    /// instead of O(len), and exactly equal (charge *and* window state) to
+    /// the per-slot loop.
+    fn jam_span(
+        &mut self,
+        start: u64,
+        len: u64,
+        channels: u64,
+        budget: u64,
+        first_prev: &BandObservation,
+    ) -> SpanCharge {
+        let silent = BandObservation {
+            channels,
+            busy: Vec::new(),
+        };
+        let active = len.min(self.window);
+        let mut remaining = budget;
+        let mut spent = 0u64;
+        for slot in start..start + active {
+            if remaining == 0 {
+                // Bankrupt: the per-slot rule stops calling `jam`, so the
+                // window state freezes here too.
+                return SpanCharge { spent };
+            }
+            let prev = if slot == start { first_prev } else { &silent };
+            let take = self
+                .jam(slot, channels, prev)
+                .count(channels)
+                .min(remaining);
+            remaining -= take;
+            spent += take;
+        }
+        if remaining > 0 {
+            // The tail's per-slot calls would each push a silent observation;
+            // after `window` pushes the state is saturated, so `min(tail,
+            // window)` pushes reproduce it exactly.
+            for _ in 0..(len - active).min(self.window) {
+                self.observe(&[]);
+            }
+        }
+        SpanCharge { spent }
     }
 
     fn name(&self) -> &'static str {
@@ -56,6 +160,10 @@ impl AdaptiveAdversary for ReactiveJammer {
 /// currently hottest channels. Models a sensing jammer that tries to learn
 /// favoured frequencies; against uniform channel hopping there is nothing to
 /// learn, which is the point of E13.
+///
+/// Keeps the default (per-slot loop) [`AdaptiveAdversary::jam_span`]: its
+/// score decay and tie-break RNG advance every slot, so an idle span costs
+/// O(len) here — exact, just not accelerated.
 #[derive(Clone, Debug)]
 pub struct HotspotJammer {
     t: u64,
@@ -149,6 +257,146 @@ mod tests {
         assert_eq!(set.count(8), 2);
         assert!(set.contains(1, 8) && set.contains(3, 8));
         assert!(!set.contains(6, 8) && !set.contains(9, 8));
+    }
+
+    #[test]
+    fn window_remembers_past_busy_sets() {
+        let mut adv = ReactiveJammer::with_params(1000, 3, 64, 1);
+        adv.jam(0, 8, &obs(8, &[2]));
+        adv.jam(1, 8, &obs(8, &[5]));
+        // Slot 2 sees silence, but channels 2 and 5 are still in the window.
+        let set = adv.jam(2, 8, &obs(8, &[]));
+        assert!(set.contains(2, 8) && set.contains(5, 8));
+        assert_eq!(set.count(8), 2);
+        // Two more silent slots flush the window (3 observations deep).
+        adv.jam(3, 8, &obs(8, &[]));
+        assert_eq!(adv.jam(4, 8, &obs(8, &[])), JamSet::Empty);
+    }
+
+    #[test]
+    fn window_one_matches_the_classic_jammer() {
+        // `new` and `with_params(w=1, θ=1)` must behave identically.
+        let mut classic = ReactiveJammer::new(1000, 4);
+        let mut family = ReactiveJammer::with_params(1000, 1, 4, 1);
+        for (slot, busy) in [vec![3u64, 7], vec![], vec![1, 2, 5, 6, 7]]
+            .iter()
+            .enumerate()
+        {
+            let o = obs(8, busy);
+            assert_eq!(
+                classic.jam(slot as u64, 8, &o),
+                family.jam(slot as u64, 8, &o)
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_gates_the_trigger() {
+        let mut adv = ReactiveJammer::with_params(1000, 2, 64, 3);
+        // One then two distinct busy channels in the window: below threshold.
+        assert_eq!(adv.jam(0, 8, &obs(8, &[4])), JamSet::Empty);
+        assert_eq!(adv.jam(1, 8, &obs(8, &[6])), JamSet::Empty);
+        // Third distinct channel arrives; window now holds {4 (evicted), 6, 1, 3}?
+        // Window is 2 deep: holds {6} and {1, 3} -> 3 distinct, triggers.
+        let set = adv.jam(2, 8, &obs(8, &[1, 3]));
+        assert_eq!(set.count(8), 3);
+        assert!(set.contains(1, 8) && set.contains(3, 8) && set.contains(6, 8));
+    }
+
+    /// The closed-form `jam_span` must equal the per-slot reference loop —
+    /// spend and subsequent behaviour — under randomized interleavings of
+    /// executed slots (random observations) and silent spans.
+    #[test]
+    fn jam_span_equals_per_slot_loop_under_interleaving() {
+        let params: [(u64, u64, u64); 4] = [(1, 8, 1), (4, 4, 1), (16, 8, 3), (3, 2, 2)];
+        for (window, cap, threshold) in params {
+            for seed in [11u64, 12, 13] {
+                for budget in [60u64, 1_000_000] {
+                    let channels = 8u64;
+                    let mut rng = Xoshiro256::seeded(seed * 97 + window);
+                    let mut a = ReactiveJammer::with_params(budget, window, cap, threshold);
+                    let mut b = ReactiveJammer::with_params(budget, window, cap, threshold);
+                    let (mut rem_a, mut rem_b) = (budget, budget);
+                    let mut slot = 0u64;
+                    let mut last = BandObservation::default();
+                    for chunk in 0..30 {
+                        if chunk % 2 == 0 {
+                            // Executed slots with random observations: both
+                            // adversaries step per-slot and must agree.
+                            for _ in 0..1 + rng.gen_range(6) {
+                                let mut busy: Vec<u64> =
+                                    (0..channels).filter(|_| rng.gen_bool(0.3)).collect();
+                                busy.sort_unstable();
+                                let o = BandObservation {
+                                    channels,
+                                    busy: busy.clone(),
+                                };
+                                if rem_a > 0 {
+                                    let ja = a.jam(slot, channels, &o);
+                                    let jb = b.jam(slot, channels, &o);
+                                    assert_eq!(ja, jb, "w={window} slot {slot}");
+                                    let take = ja.count(channels).min(rem_a);
+                                    rem_a -= take;
+                                    rem_b -= take;
+                                }
+                                last = o;
+                                slot += 1;
+                            }
+                        } else {
+                            // A silent span: `a` takes the per-slot reference
+                            // (default-loop semantics), `b` the closed form.
+                            let len = 1 + rng.gen_range(80);
+                            let silent = BandObservation {
+                                channels,
+                                busy: Vec::new(),
+                            };
+                            let mut ref_spent = 0u64;
+                            for s in slot..slot + len {
+                                if rem_a == 0 {
+                                    break;
+                                }
+                                let prev = if s == slot { &last } else { &silent };
+                                let take = a.jam(s, channels, prev).count(channels).min(rem_a);
+                                rem_a -= take;
+                                ref_spent += take;
+                            }
+                            let charge = b.jam_span(slot, len, channels, rem_b, &last);
+                            assert_eq!(charge.spent, ref_spent, "w={window} span at {slot}");
+                            rem_b -= charge.spent;
+                            assert_eq!(rem_a, rem_b);
+                            slot += len;
+                            last = silent;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jam_span_freezes_state_at_bankruptcy() {
+        // Budget covers only the first span slot; the window must stop
+        // sliding exactly where the per-slot rule would stop calling `jam`.
+        let make = || ReactiveJammer::with_params(2, 4, 64, 1);
+        let first = obs(8, &[0, 1]);
+        let silent = obs(8, &[]);
+        let mut by_span = make();
+        let charge = by_span.jam_span(0, 100, 8, 2, &first);
+        let mut by_slot = make();
+        let mut rem = 2u64;
+        for s in 0..100u64 {
+            if rem == 0 {
+                break;
+            }
+            let prev = if s == 0 { &first } else { &silent };
+            rem -= by_slot.jam(s, 8, prev).count(8).min(rem);
+        }
+        assert_eq!(charge.spent, 2);
+        assert_eq!(rem, 0);
+        // Both must now behave identically on the next observed slot.
+        let next = obs(8, &[3]);
+        assert_eq!(by_span.jam(100, 8, &next), by_slot.jam(100, 8, &next));
+        assert_eq!(by_span.history, by_slot.history);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `repro` — regenerate every experiment table of the reproduction.
 //!
 //! The paper (Chen & Zheng, SPAA 2019) is evaluated through its theorems;
-//! this binary regenerates the empirical table for each of them (experiment
-//! index in DESIGN.md §4, recorded results in EXPERIMENTS.md).
+//! this binary regenerates the empirical table for each of them
+//! (`repro --list` prints the experiment index).
 //!
 //! ```text
 //! repro --list                 # show the experiment index
@@ -61,7 +61,7 @@ fn main() {
 
     let experiments = all_experiments();
     if list || (wanted.is_empty()) {
-        println!("experiment index (DESIGN.md §4):\n");
+        println!("experiment index:\n");
         for e in &experiments {
             println!("  {:>4}  {}\n        {}\n", e.id, e.title, e.claim);
         }

@@ -1,15 +1,14 @@
 //! Experiments E8, E9, E11: `MultiCastAdv` and `MultiCastAdv(C)`.
 //!
-//! E8/E9 run on the **campaign engine**: one cell per sweep point,
-//! streaming aggregation, and (for E9) the per-cell `helper_events`
-//! histogram instead of per-trial helper vectors. E11 still drives
-//! `run_trials` directly (remaining port tracked in ROADMAP.md).
+//! All three run on the **campaign engine**: one cell per sweep point,
+//! streaming aggregation, and (for the helper audits of E9/E11) the
+//! per-cell `helper_events` histogram instead of per-trial helper vectors.
 
 use super::{campaign, header};
 use crate::scale::Scale;
 use rcb_campaign::CellSpec;
 use rcb_core::AdvParams;
-use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_harness::{AdversaryKind, ProtocolKind};
 use rcb_stats::{fit_power_law, Table};
 
 fn adv_params(alpha: f64) -> AdvParams {
@@ -277,6 +276,24 @@ pub fn e11_adv_limited(scale: Scale) -> String {
         &format!("n = {n}, α = {alpha}, C ∈ {cs:?}, no jamming, {seeds} seeds."),
     );
 
+    let cells: Vec<CellSpec> = cs
+        .iter()
+        .map(|&c| {
+            CellSpec::new(
+                ProtocolKind::Adv {
+                    n,
+                    params: AdvParams {
+                        channel_cap: Some(c),
+                        ..adv_params(alpha)
+                    },
+                },
+                AdversaryKind::Silent,
+            )
+            .with_max_slots(2_000_000_000)
+        })
+        .collect();
+    let reports = campaign("e11-adv-limited", cells, seeds, 303_000);
+
     let mut table = Table::new(&[
         "C",
         "lg C",
@@ -285,35 +302,21 @@ pub fn e11_adv_limited(scale: Scale) -> String {
         "max node cost",
     ]);
     let mut times = Vec::new();
-    for &c in cs {
-        let params = AdvParams {
-            channel_cap: Some(c),
-            ..adv_params(alpha)
-        };
-        let specs: Vec<TrialSpec> = (0..seeds)
-            .map(|s| {
-                TrialSpec::new(
-                    ProtocolKind::Adv { n, params },
-                    AdversaryKind::Silent,
-                    303_000 + c + s,
-                )
-            })
-            .collect();
-        let rs = run_trials(&specs, 0);
+    for (report, &c) in reports.iter().zip(cs) {
+        assert!(
+            report.completed == report.trials && report.safety_violations == 0,
+            "E11 cell failed (C={c}): {report:?}"
+        );
+        // Audit the streamed helper histogram: every promotion must land
+        // exactly at phase j = lg C (Theorem 7.2's cut-off condition).
         let want_j = (c as f64).log2() as u32;
         let mut phases = std::collections::BTreeSet::new();
-        for r in &rs {
-            assert!(
-                r.completed && r.safety_violations == 0,
-                "E11 trial failed (C={c})"
-            );
-            for &(_, j) in &r.helper_phases {
-                phases.insert(j);
-                assert_eq!(j, want_j, "helper outside lg C");
-            }
+        for h in &report.helper_events {
+            phases.insert(h.phase);
+            assert_eq!(h.phase, want_j, "helper outside lg C (C={c})");
         }
-        let time = rs.iter().map(|r| r.completion_time() as f64).sum::<f64>() / rs.len() as f64;
-        let cost = rs.iter().map(|r| r.max_cost as f64).sum::<f64>() / rs.len() as f64;
+        let time = report.completion_slots.mean;
+        let cost = report.max_node_cost.mean;
         times.push((c as f64, time));
         table.row(&[
             c.to_string(),

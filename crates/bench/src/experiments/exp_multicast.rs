@@ -1,13 +1,12 @@
 //! Experiments E4–E7 and E10: `MultiCast` and its channel-limited variant.
 //!
-//! E4–E7 run on the **campaign engine** (like E1–E3): cells in, streaming
-//! per-cell reports out — no per-trial result vectors. E10 still drives
-//! `run_trials` directly (remaining port tracked in ROADMAP.md).
+//! All of them run on the **campaign engine** (like E1–E3): cells in,
+//! streaming per-cell reports out — no per-trial result vectors.
 
 use super::{campaign, ci95_of, header};
 use crate::scale::Scale;
 use rcb_campaign::{CellReport, CellSpec};
-use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_harness::{AdversaryKind, ProtocolKind};
 use rcb_stats::{fit_power_law, Table};
 
 /// Budgets spaced so each step lets Eve block roughly one more `MultiCast`
@@ -375,27 +374,22 @@ pub fn e10_channel_sweep(scale: Scale) -> String {
         ),
     );
 
-    let mut specs = Vec::new();
-    for &c in cs {
-        for s in 0..seeds {
-            specs.push(TrialSpec::new(
+    let cells: Vec<CellSpec> = cs
+        .iter()
+        .map(|&c| {
+            CellSpec::new(
                 ProtocolKind::MultiCastC {
                     n,
                     c,
                     params: Default::default(),
                 },
                 AdversaryKind::Uniform { t, frac: 0.6 },
-                88_000 + c * 1000 + s,
-            ));
-        }
-    }
-    let results = run_trials(&specs, 0);
-    for r in &results {
-        assert!(
-            r.completed && r.safety_violations == 0,
-            "E10 trial failed: {r:?}"
-        );
-    }
+            )
+            .with_max_slots(2_000_000_000)
+        })
+        .collect();
+    let reports = campaign("e10-channel-sweep", cells, seeds, 88_000);
+    assert_clean(&reports, "E10");
 
     let mut table = Table::new(&[
         "C",
@@ -405,21 +399,10 @@ pub fn e10_channel_sweep(scale: Scale) -> String {
         "cost vs C=32",
     ]);
     let mut pts = Vec::new();
-    let base_cost: f64 = {
-        let batch: Vec<_> = results
-            .iter()
-            .filter(|r| r.seed >= 88_000 + 32_000)
-            .collect();
-        batch.iter().map(|r| r.max_cost as f64).sum::<f64>() / batch.len() as f64
-    };
-    for (k, &c) in cs.iter().enumerate() {
-        let batch = &results[k * seeds as usize..(k + 1) * seeds as usize];
-        let time = batch
-            .iter()
-            .map(|r| r.completion_time() as f64)
-            .sum::<f64>()
-            / batch.len() as f64;
-        let cost = batch.iter().map(|r| r.max_cost as f64).sum::<f64>() / batch.len() as f64;
+    let base_cost = reports.last().expect("nonempty sweep").max_node_cost.mean;
+    for (report, &c) in reports.iter().zip(cs) {
+        let time = report.completion_slots.mean;
+        let cost = report.max_node_cost.mean;
         pts.push((c as f64, time));
         table.row(&[
             c.to_string(),

@@ -1,9 +1,12 @@
-//! Experiment E12: the resource-competitiveness summary table.
+//! Experiment E12: the resource-competitiveness summary table. Runs on the
+//! campaign engine — three cells (T = 0, T = lo, T = hi) per protocol,
+//! aggregated streamingly.
 
-use super::header;
+use super::{campaign, header};
 use crate::scale::Scale;
+use rcb_campaign::CellSpec;
 use rcb_core::AdvParams;
-use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+use rcb_harness::{AdversaryKind, ProtocolKind};
 use rcb_stats::Table;
 
 /// E12 — Definition 3.1 across the whole protocol line-up.
@@ -98,23 +101,34 @@ pub fn e12_competitiveness(scale: Scale) -> String {
             _ => ("1.0 (Θ(T))", false),
         }
     };
-    for proto in lineup {
-        let mean_at = |adv: AdversaryKind, base: u64| -> (f64, f64) {
-            let specs: Vec<TrialSpec> = (0..seeds)
-                .map(|s| TrialSpec::new(proto.clone(), adv.clone(), base + s))
-                .collect();
-            let rs = run_trials(&specs, 0);
-            for r in &rs {
-                assert!(r.completed, "E12 {} incomplete: {r:?}", proto.name());
-                assert_eq!(r.safety_violations, 0);
-            }
-            let cost = rs.iter().map(|r| r.max_cost as f64).sum::<f64>() / rs.len() as f64;
-            let eve = rs.iter().map(|r| r.eve_spent as f64).sum::<f64>() / rs.len() as f64;
-            (cost, eve)
-        };
-        let (tau, _) = mean_at(AdversaryKind::Silent, 405_000);
-        let (c_lo, e_lo) = mean_at(jammer_for(&proto, t_lo), 406_000);
-        let (c_hi, e_hi) = mean_at(jammer_for(&proto, t_hi), 407_000);
+    // Three campaign cells per protocol: the T = 0 floor, the low budget,
+    // and the high budget, in that order.
+    let cells: Vec<CellSpec> = lineup
+        .iter()
+        .flat_map(|proto| {
+            [
+                AdversaryKind::Silent,
+                jammer_for(proto, t_lo),
+                jammer_for(proto, t_hi),
+            ]
+            .into_iter()
+            .map(|adv| CellSpec::new(proto.clone(), adv).with_max_slots(2_000_000_000))
+        })
+        .collect();
+    let reports = campaign("e12-competitiveness", cells, seeds, 405_000);
+
+    for (k, proto) in lineup.iter().enumerate() {
+        let chunk = &reports[3 * k..3 * k + 3];
+        for c in chunk {
+            assert!(
+                c.completed == c.trials && c.safety_violations == 0,
+                "E12 {} cell failed: {c:?}",
+                proto.name()
+            );
+        }
+        let tau = chunk[0].max_node_cost.mean;
+        let (c_lo, e_lo) = (chunk[1].max_node_cost.mean, chunk[1].eve_spent.mean);
+        let (c_hi, e_hi) = (chunk[2].max_node_cost.mean, chunk[2].eve_spent.mean);
         // Exponent of the jamming-induced cost (subtract the τ floor so the
         // T = 0 term of the theorem does not flatten the slope) vs spend.
         let excess_lo = (c_lo - tau).max(1.0);

@@ -1,6 +1,7 @@
 //! The experiment registry: every theorem/lemma of the paper mapped to a
-//! regenerable table. See DESIGN.md §4 for the index and EXPERIMENTS.md for
-//! recorded paper-vs-measured results.
+//! regenerable table (`repro --list` prints the index). Every experiment
+//! runs on the campaign engine — cells in, streaming per-cell reports out —
+//! so no code path here re-materializes per-trial result vectors.
 
 mod exp_adv;
 mod exp_core;

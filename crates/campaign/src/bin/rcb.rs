@@ -21,7 +21,8 @@
 //! `--threshold` — together they are the perf-trajectory regression gate.
 
 use rcb_campaign::{
-    diff, find, jsonin, registry, run_bench, run_campaign, BenchConfig, CampaignConfig,
+    describe_campaign, diff, find, jsonin, registry, run_bench, run_campaign, BenchConfig,
+    CampaignConfig,
 };
 use std::io::Write as _;
 use std::time::Instant;
@@ -89,20 +90,7 @@ fn cmd_describe(name: &str) {
         eprintln!("unknown scenario: {name}");
         usage()
     };
-    let spec = (s.build)();
-    println!("# {} — {}\n\n{}\n", spec.name, s.summary, spec.description);
-    println!("{} cells:", spec.cells.len());
-    for (i, c) in spec.cells.iter().enumerate() {
-        println!(
-            "  [{i:>2}] {:<16} vs {:<20} on {:<17} n = {:<6} T = {:<10} cap = {}",
-            c.protocol.name(),
-            c.adversary.name(),
-            c.topology.name(),
-            c.protocol.n(),
-            c.adversary.budget(),
-            c.max_slots,
-        );
-    }
+    print!("{}", describe_campaign(&(s.build)(), s.summary));
 }
 
 fn cmd_run(name: &str, rest: &[String]) {

@@ -3,8 +3,8 @@
 //! Executes every cell of a [`CampaignSpec`] for `trials_per_cell` seeds,
 //! sharding trials across worker threads, and aggregates **streamingly**:
 //! no `TrialResult` vector is ever materialized. Workers distill each trial
-//! into a ~100-byte [`TrialMetrics`] and send it to the aggregator thread,
-//! which feeds per-cell accumulators ([`CellAccumulator`]) built from
+//! into a ~100-byte `TrialMetrics` and send it to the aggregator thread,
+//! which feeds per-cell accumulators (`CellAccumulator`) built from
 //! `rcb-stats` streaming moments and quantile sketches. Memory is
 //! `O(cells · sketch)` + a small reorder buffer, independent of the trial
 //! count.

@@ -19,11 +19,11 @@
 //!
 //! Performance tooling rides on the same catalog:
 //!
-//! * [`bench`] — `rcb bench`: single-threaded engine-throughput
+//! * [`bench`](mod@bench) — `rcb bench`: single-threaded engine-throughput
 //!   measurement per scenario cell (slots/sec, wall time, fast-forward
 //!   speedup vs the slot-by-slot reference), emitted as a schema-versioned
 //!   `BENCH_*.json` artifact — the repo's perf trajectory.
-//! * [`diff`] + [`jsonin`] — `rcb diff a.json b.json`: structural
+//! * [`diff`](mod@diff) + [`jsonin`] — `rcb diff a.json b.json`: structural
 //!   comparison of two artifacts with per-leaf relative deltas and a
 //!   threshold gate (the perf/behavior regression gate in CI).
 //!
@@ -50,4 +50,4 @@ pub use diff::{diff, DiffKind, DiffOutput, DiffRow};
 pub use engine::{run_campaign, CampaignConfig};
 pub use json::Json;
 pub use report::{CampaignReport, CellReport, HelperPhaseCount, MetricReport, SCHEMA_VERSION};
-pub use scenario::{find, registry, CampaignSpec, CellSpec, Scenario};
+pub use scenario::{describe_campaign, find, registry, CampaignSpec, CellSpec, Scenario};

@@ -1,14 +1,50 @@
 //! # rcb-harness — parallel Monte-Carlo experiment runner
 //!
 //! Describes trials as plain data ([`TrialSpec`] = protocol × adversary ×
-//! topology × seed), runs them — in parallel across CPU cores via crossbeam scoped
-//! threads — and aggregates [`TrialResult`]s into the series and tables the
-//! experiments in EXPERIMENTS.md report.
+//! topology × seed), runs them in parallel across CPU cores (std scoped
+//! threads; work-stealing over an atomic cursor), and distills each run
+//! into a [`TrialResult`].
 //!
-//! The data-description layer exists so that sweeps are declarative: an
-//! experiment is a list of `TrialSpec`s, and every trial is reproducible
-//! from its spec alone (the spec carries the master seed; all randomness
-//! derives from it).
+//! The data-description layer exists so that sweeps are declarative: a
+//! workload is a list of `TrialSpec`s, and every trial is reproducible from
+//! its spec alone — the spec carries the master seed, and node streams,
+//! engine sampling, adversary randomness, and topology generation all
+//! derive from it (see `rcb_sim::derive_seed`). [`ProtocolKind`],
+//! [`AdversaryKind`], and [`TopologyKind`] are `Clone + Send` enums, so
+//! grids can be built with ordinary iterator code and shipped across
+//! threads; [`AdversaryKind::is_adaptive`] marks the execution-observing
+//! strategies, which [`run_trial`] dispatches to the engine's adaptive
+//! entry points automatically.
+//!
+//! Worker-count resolution is shared by every CLI through
+//! [`resolve_threads`]: an explicit `--threads K` wins, otherwise the
+//! `RCB_THREADS` environment variable, otherwise one worker per available
+//! core.
+//!
+//! ```
+//! use rcb_harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
+//!
+//! // A 2-cell sweep: MultiCast vs the classic reactive jammer and its
+//! // windowed generalization, one seed each.
+//! let specs: Vec<TrialSpec> = [
+//!     AdversaryKind::Reactive { t: 5_000, max_channels: 8 },
+//!     AdversaryKind::ReactiveWindow { t: 5_000, window: 4, max_channels: 8, threshold: 2 },
+//! ]
+//! .into_iter()
+//! .map(|adv| TrialSpec::new(
+//!     ProtocolKind::MultiCast { n: 16, params: Default::default() },
+//!     adv,
+//!     11,
+//! ))
+//! .collect();
+//! for r in run_trials(&specs, 0) {
+//!     assert!(r.completed && r.safety_violations == 0);
+//! }
+//! ```
+//!
+//! The campaign layer (`rcb-campaign`) builds on this crate for streaming
+//! aggregation over many seeds; use the harness directly when you need
+//! per-trial results or a custom observer.
 
 pub mod report;
 pub mod runner;

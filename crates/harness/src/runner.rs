@@ -156,6 +156,17 @@ fn build_adversary(kind: &AdversaryKind, master_seed: u64) -> BuiltAdversary {
         AdversaryKind::Reactive { t, max_channels } => {
             Adaptive(Box::new(ReactiveJammer::new(t, max_channels)))
         }
+        AdversaryKind::ReactiveWindow {
+            t,
+            window,
+            max_channels,
+            threshold,
+        } => Adaptive(Box::new(ReactiveJammer::with_params(
+            t,
+            window,
+            max_channels,
+            threshold,
+        ))),
         AdversaryKind::Hotspot { t, k, decay } => {
             Adaptive(Box::new(HotspotJammer::new(t, k, decay, seed)))
         }

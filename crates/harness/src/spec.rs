@@ -69,6 +69,34 @@ impl ProtocolKind {
         }
     }
 
+    /// Full parameter rendering for `rcb describe`: the structural knobs
+    /// that distinguish cells within a scenario (protocol-internal tuning
+    /// parameters keep their defaults unless a variant carries them).
+    pub fn detail(&self) -> String {
+        match self {
+            ProtocolKind::Core { n, t, .. } => format!("MultiCastCore{{n={n}, T={t}}}"),
+            ProtocolKind::MultiCast { n, .. } => format!("MultiCast{{n={n}}}"),
+            ProtocolKind::MultiCastC { n, c, .. } => format!("MultiCast(C){{n={n}, C={c}}}"),
+            ProtocolKind::Adv { n, params } => match params.channel_cap {
+                Some(c) => format!("MultiCastAdv(C){{n={n}, C={c}, alpha={}}}", params.alpha),
+                None => format!("MultiCastAdv{{n={n}, alpha={}}}", params.alpha),
+            },
+            ProtocolKind::Naive { n, act_prob } => {
+                format!("NaiveEpidemic{{n={n}, act_prob={act_prob}}}")
+            }
+            ProtocolKind::NaiveConfig {
+                n,
+                channels,
+                act_prob,
+            } => format!("NaiveEpidemic{{n={n}, channels={channels}, act_prob={act_prob}}}"),
+            ProtocolKind::SingleChannel { n, .. } => format!("SingleChannelRcb{{n={n}}}"),
+            ProtocolKind::Decay { n } => format!("Decay{{n={n}}}"),
+            ProtocolKind::MultiHop { n, channels, p } => {
+                format!("MultiHopCast{{n={n}, channels={channels}, p={p}}}")
+            }
+        }
+    }
+
     /// Protocols without termination detection are run until all nodes are
     /// informed rather than until all halt.
     pub fn never_halts(&self) -> bool {
@@ -124,6 +152,22 @@ impl TopologyKind {
     /// Is this the single-hop model?
     pub fn is_complete(&self) -> bool {
         matches!(self, TopologyKind::Complete)
+    }
+
+    /// Full parameter rendering for `rcb describe` (generator knobs
+    /// included, recursively for [`Dynamic`](Self::Dynamic)).
+    pub fn detail(&self) -> String {
+        match self {
+            TopologyKind::Complete => "complete".into(),
+            TopologyKind::Line => "line".into(),
+            TopologyKind::Grid { cols } => format!("grid{{cols={cols}}}"),
+            TopologyKind::RandomGeometric { radius } => {
+                format!("random-geometric{{radius={radius:.4}}}")
+            }
+            TopologyKind::Dynamic { base, p_down } => {
+                format!("dynamic{{base={}, p_down={p_down}}}", base.detail())
+            }
+        }
     }
 
     /// Realize the engine-level [`rcb_sim::Topology`], deriving generator
@@ -200,6 +244,18 @@ pub enum AdversaryKind {
     /// **Adaptive** (Section 8 model): jam every channel that carried a
     /// transmission in the previous slot, up to `max_channels`.
     Reactive { t: u64, max_channels: u64 },
+    /// **Adaptive**: the parameterized reactive family of the
+    /// adaptive-adversary follow-up work (arXiv:2001.03936) — jam channels
+    /// busy within the last `window` observed slots, up to `max_channels`
+    /// per slot, triggering only once the window holds at least `threshold`
+    /// distinct busy channels. `window = 1, threshold = 1` is
+    /// [`Reactive`](Self::Reactive).
+    ReactiveWindow {
+        t: u64,
+        window: u64,
+        max_channels: u64,
+        threshold: u64,
+    },
     /// **Adaptive**: decay-scored hotspot tracker jamming the `k` hottest
     /// channels each slot.
     Hotspot { t: u64, k: u64, decay: f64 },
@@ -219,6 +275,7 @@ impl AdversaryKind {
             | AdversaryKind::TargetAdvPhase { t, .. }
             | AdversaryKind::TargetMcIterations { t, .. }
             | AdversaryKind::Reactive { t, .. }
+            | AdversaryKind::ReactiveWindow { t, .. }
             | AdversaryKind::Hotspot { t, .. } => t,
         }
     }
@@ -227,7 +284,9 @@ impl AdversaryKind {
     pub fn is_adaptive(&self) -> bool {
         matches!(
             self,
-            AdversaryKind::Reactive { .. } | AdversaryKind::Hotspot { .. }
+            AdversaryKind::Reactive { .. }
+                | AdversaryKind::ReactiveWindow { .. }
+                | AdversaryKind::Hotspot { .. }
         )
     }
 
@@ -244,7 +303,61 @@ impl AdversaryKind {
             AdversaryKind::TargetAdvPhase { .. } => "target-adv-phase",
             AdversaryKind::TargetMcIterations { .. } => "target-mc-iter",
             AdversaryKind::Reactive { .. } => "reactive (adaptive)",
+            AdversaryKind::ReactiveWindow { .. } => "reactive-window (adaptive)",
             AdversaryKind::Hotspot { .. } => "hotspot (adaptive)",
+        }
+    }
+
+    /// Full parameter rendering for `rcb describe` and report headers —
+    /// unlike [`name`](Self::name), every knob that changes the strategy's
+    /// behaviour appears here.
+    pub fn detail(&self) -> String {
+        match self {
+            AdversaryKind::Silent => "silent".into(),
+            AdversaryKind::Uniform { t, frac } => format!("uniform{{T={t}, frac={frac}}}"),
+            AdversaryKind::Burst { t, start } => format!("burst{{T={t}, start={start}}}"),
+            AdversaryKind::Pulse {
+                t,
+                period,
+                duty,
+                frac,
+            } => format!("pulse{{T={t}, period={period}, duty={duty}, frac={frac}}}"),
+            AdversaryKind::Sweep { t, width, step } => {
+                format!("sweep{{T={t}, width={width}, step={step}}}")
+            }
+            AdversaryKind::RandomSubset { t, k } => format!("random-subset{{T={t}, k={k}}}"),
+            AdversaryKind::GilbertElliott {
+                t,
+                p_gb,
+                p_bg,
+                frac,
+            } => format!("gilbert-elliott{{T={t}, p_gb={p_gb}, p_bg={p_bg}, frac={frac}}}"),
+            AdversaryKind::TargetAdvPhase {
+                t,
+                frac,
+                phase,
+                from_epoch,
+                ..
+            } => format!(
+                "target-adv-phase{{T={t}, frac={frac}, phase={phase}, from_epoch={from_epoch}}}"
+            ),
+            AdversaryKind::TargetMcIterations {
+                t, frac, n, count, ..
+            } => format!("target-mc-iter{{T={t}, frac={frac}, n={n}, count={count}}}"),
+            AdversaryKind::Reactive { t, max_channels } => {
+                format!("reactive{{T={t}, cap={max_channels}}}")
+            }
+            AdversaryKind::ReactiveWindow {
+                t,
+                window,
+                max_channels,
+                threshold,
+            } => format!(
+                "reactive-window{{T={t}, w={window}, cap={max_channels}, threshold={threshold}}}"
+            ),
+            AdversaryKind::Hotspot { t, k, decay } => {
+                format!("hotspot{{T={t}, k={k}, decay={decay}}}")
+            }
         }
     }
 }

@@ -21,7 +21,7 @@
 //!   outcomes any listener could observe.
 
 use crate::jamset::JamSet;
-use crate::protocol::Adversary;
+use crate::protocol::{Adversary, SpanCharge};
 
 /// What a full-band sensor saw in one slot. (Eve's own jamming is not
 /// included: she knows her own actions and can remember them herself.)
@@ -73,6 +73,53 @@ pub trait AdaptiveAdversary {
     /// Eve's total energy budget `T`.
     fn budget(&self) -> u64;
 
+    /// Batched counterpart of [`jam`](AdaptiveAdversary::jam) for a span of
+    /// `len` consecutive slots starting at `start` in which **no node acts**
+    /// — the adaptive leg of the engine's idle-round fast-forward (see
+    /// [`Adversary::jam_span`] for the oblivious contract this mirrors).
+    ///
+    /// Batching is sound for an adaptive Eve precisely because the span is
+    /// silent: she observes nothing new while nobody transmits. Slot `start`
+    /// sees `first_prev` (the observation of the last executed slot, exactly
+    /// as the per-slot path would deliver it); every later slot of the span
+    /// sees the silent observation (`busy` empty, same channel count). The
+    /// call must return the same total charge, and leave the strategy in the
+    /// same externally observable state, as the per-slot budget rule over
+    /// those observations: charge `min(jam(slot).count(channels), remaining)`
+    /// per slot and stop calling `jam` once `remaining` hits zero. The
+    /// default implementation *is* that loop, so every adaptive strategy is
+    /// span-correct out of the box; structured reactive strategies override
+    /// it with closed forms (their reaction window drains after finitely many
+    /// silent observations — see `rcb-adversary`'s `ReactiveJammer`).
+    fn jam_span(
+        &mut self,
+        start: u64,
+        len: u64,
+        channels: u64,
+        budget: u64,
+        first_prev: &BandObservation,
+    ) -> SpanCharge {
+        let silent = BandObservation {
+            channels,
+            busy: Vec::new(),
+        };
+        let mut remaining = budget;
+        let mut spent = 0u64;
+        for slot in start..start.saturating_add(len) {
+            if remaining == 0 {
+                break;
+            }
+            let prev = if slot == start { first_prev } else { &silent };
+            let take = self
+                .jam(slot, channels, prev)
+                .count(channels)
+                .min(remaining);
+            remaining -= take;
+            spent += take;
+        }
+        SpanCharge { spent }
+    }
+
     /// Does this strategy actually read its observations? Adapters over
     /// oblivious strategies return `false`, letting the engine skip the
     /// per-slot `busy_channels` collection and observation swap entirely.
@@ -97,6 +144,18 @@ impl<A: Adversary + ?Sized> AdaptiveAdversary for ObliviousAsAdaptive<'_, A> {
 
     fn budget(&self) -> u64 {
         self.0.budget()
+    }
+
+    fn jam_span(
+        &mut self,
+        start: u64,
+        len: u64,
+        channels: u64,
+        budget: u64,
+        _first_prev: &BandObservation,
+    ) -> SpanCharge {
+        // Observations are ignored, so the oblivious closed form applies.
+        self.0.jam_span(start, len, channels, budget)
     }
 
     fn needs_observations(&self) -> bool {
@@ -145,6 +204,82 @@ mod tests {
             }
         }
         assert!(Echo.needs_observations());
+    }
+
+    /// The default `jam_span` must deliver `first_prev` to the span's first
+    /// slot and the silent observation to every later one.
+    #[test]
+    fn default_jam_span_feeds_first_prev_then_silence() {
+        struct Echo {
+            calls: Vec<(u64, Vec<u64>)>,
+        }
+        impl AdaptiveAdversary for Echo {
+            fn jam(&mut self, slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+                self.calls.push((slot, prev.busy.clone()));
+                JamSet::from_channels(
+                    prev.busy
+                        .iter()
+                        .copied()
+                        .filter(|&c| c < channels)
+                        .collect(),
+                )
+            }
+            fn budget(&self) -> u64 {
+                100
+            }
+        }
+        let mut eve = Echo { calls: Vec::new() };
+        let first = BandObservation {
+            channels: 8,
+            busy: vec![1, 5],
+        };
+        let charge = eve.jam_span(10, 4, 8, 100, &first);
+        // Slot 10 jams {1, 5}; slots 11..14 see silence and jam nothing.
+        assert_eq!(charge.spent, 2);
+        assert_eq!(eve.calls.len(), 4);
+        assert_eq!(eve.calls[0], (10, vec![1, 5]));
+        assert!(eve.calls[1..].iter().all(|(_, busy)| busy.is_empty()));
+    }
+
+    /// The default `jam_span` must mirror the engine's budget rule,
+    /// including bankruptcy mid-span.
+    #[test]
+    fn default_jam_span_stops_at_bankruptcy() {
+        struct AlwaysAll;
+        impl AdaptiveAdversary for AlwaysAll {
+            fn jam(&mut self, _s: u64, _c: u64, _p: &BandObservation) -> JamSet {
+                JamSet::All
+            }
+            fn budget(&self) -> u64 {
+                20
+            }
+        }
+        let quiet = BandObservation::default();
+        // 10 slots × 8 channels would cost 80, but only 20 remain.
+        assert_eq!(AlwaysAll.jam_span(0, 10, 8, 20, &quiet).spent, 20);
+        assert_eq!(AlwaysAll.jam_span(0, 10, 8, 100, &quiet).spent, 80);
+        assert_eq!(AlwaysAll.jam_span(0, 0, 8, 100, &quiet).spent, 0);
+    }
+
+    #[test]
+    fn oblivious_adapter_span_uses_the_oblivious_closed_form() {
+        struct Prefix2;
+        impl Adversary for Prefix2 {
+            fn jam(&mut self, _s: u64, _c: u64) -> JamSet {
+                JamSet::Prefix(2)
+            }
+            fn budget(&self) -> u64 {
+                1_000
+            }
+        }
+        let mut inner = Prefix2;
+        let mut adapted = ObliviousAsAdaptive(&mut inner);
+        let busy = BandObservation {
+            channels: 8,
+            busy: vec![0, 1, 2],
+        };
+        // The observation must be ignored: 2 channels per slot, 5 slots.
+        assert_eq!(adapted.jam_span(0, 5, 8, 1_000, &busy).spent, 10);
     }
 
     #[test]

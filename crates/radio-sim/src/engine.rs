@@ -29,9 +29,9 @@
 //! segment's actor sampling as one geometric-skip process carried across
 //! rounds ([`TwoClassRoundStream`]): an empty round consumes no randomness,
 //! and the length of a run of consecutive empty rounds is known from the
-//! carried skip in O(1). When a round comes up empty (and the adversary is
-//! oblivious, and [`EngineConfig::fast_forward`] is on), the engine jumps
-//! over the whole run of empty rounds at once:
+//! carried skip in O(1). When a round comes up empty (and
+//! [`EngineConfig::fast_forward`] is on), the engine jumps over the whole
+//! run of empty rounds at once:
 //!
 //! * Eve's budget is charged **exactly** via the span-batched
 //!   [`Adversary::jam_span`] API — by contract equivalent to per-slot `jam`
@@ -40,12 +40,20 @@
 //! * No channel board, feedback, or per-slot observer work happens;
 //!   observers get a single [`Observer::on_idle_span`] event.
 //!
+//! The fast-forward is sound for **adaptive** adversaries too: a span is
+//! skipped only when provably no node acts in it, so the band is silent and
+//! Eve observes nothing she could react to. [`AdaptiveAdversary::jam_span`]
+//! receives the observation of the last *executed* slot for the span's
+//! first slot and the silent observation for the rest, which is exactly the
+//! observation stream the per-slot path would deliver; after the span the
+//! engine records the silent band as the previous-slot observation.
+//!
 //! For adversaries whose `jam_span` is exact (everything in `rcb-adversary`
 //! except the Markov-state `GilbertElliott`), a fast-forwarded run produces a
 //! [`RunOutcome`] byte-identical to the slot-by-slot path
 //! (`fast_forward: false`), including RNG stream states — enforced by the
-//! `fast_forward` integration test matrix. Adaptive adversaries and
-//! [`Sampling::DensePerNode`] always take the slot-by-slot path.
+//! `fast_forward` and `adaptive_fast_forward` integration test matrices.
+//! [`Sampling::DensePerNode`] always takes the slot-by-slot path.
 //!
 //! # Multi-hop topologies
 //!
@@ -110,7 +118,9 @@ pub struct EngineConfig {
     /// Fast-forward runs of idle rounds (see the module docs). On by
     /// default; turn off to force the slot-by-slot reference path, e.g. for
     /// cross-validation or per-slot observer traces. Only effective with
-    /// [`Sampling::Sparse`] and an oblivious adversary.
+    /// [`Sampling::Sparse`]; covers both oblivious and adaptive adversaries
+    /// (a skipped span is provably silent, so an adaptive Eve observes
+    /// nothing in it).
     pub fast_forward: bool,
 }
 
@@ -169,6 +179,57 @@ pub fn run_with_observer<P: Protocol>(
 /// Run over a connectivity [`Topology`]: listeners only hear adjacent
 /// broadcasters, and completion means every *reachable* node is informed.
 /// With [`Topology::Complete`] this is byte-identical to [`run`].
+///
+/// ```
+/// use rcb_sim::{
+///     run_topo, Action, BoundaryDecision, Coin, EngineConfig, Feedback, NoAdversary,
+///     Payload, Protocol, ProtocolNode, SlotProfile, Topology, Xoshiro256,
+/// };
+///
+/// // A minimal relay protocol: informed nodes broadcast, uninformed nodes
+/// // listen, all on a random channel; nobody ever halts.
+/// struct Relay { n: u32 }
+/// struct Node { informed: bool }
+///
+/// impl Protocol for Relay {
+///     type Node = Node;
+///     fn num_nodes(&self) -> u32 { self.n }
+///     fn segment(&mut self, _start: u64) -> SlotProfile {
+///         SlotProfile {
+///             p1: 0.5, p2: 0.5, channels: 2, virt_channels: 2, round_len: 1,
+///             seg_len: 1 << 40, seg_major: 0, seg_minor: 0, step: 0,
+///         }
+///     }
+///     fn make_node(&self, _id: u32, is_source: bool) -> Node {
+///         Node { informed: is_source }
+///     }
+/// }
+///
+/// impl ProtocolNode for Node {
+///     fn on_selected(&mut self, p: &SlotProfile, coin: Coin, rng: &mut Xoshiro256) -> Action {
+///         let ch = rng.gen_range(p.virt_channels);
+///         match coin {
+///             Coin::One if !self.informed => Action::Listen { ch },
+///             Coin::Two if self.informed => Action::Broadcast { ch, payload: Payload::Data },
+///             _ => Action::Idle,
+///         }
+///     }
+///     fn on_feedback(&mut self, _p: &SlotProfile, fb: Feedback) {
+///         if fb == Feedback::Message(Payload::Data) { self.informed = true; }
+///     }
+///     fn on_boundary(&mut self, _p: &SlotProfile) -> BoundaryDecision {
+///         BoundaryDecision::Continue
+///     }
+///     fn is_informed(&self) -> bool { self.informed }
+/// }
+///
+/// // On the 8-node line the message travels hop by hop; completion means
+/// // the source's whole reachable component (here: everyone) is informed.
+/// let cfg = EngineConfig { stop_when_all_informed: true, ..EngineConfig::capped(1_000_000) };
+/// let out = run_topo(&mut Relay { n: 8 }, &mut NoAdversary, &Topology::Line, 7, &cfg);
+/// assert!(out.all_informed);
+/// assert_eq!(out.reachable, 8);
+/// ```
 pub fn run_topo<P: Protocol>(
     protocol: &mut P,
     adversary: &mut dyn Adversary,
@@ -186,7 +247,8 @@ pub fn run_topo<P: Protocol>(
     )
 }
 
-/// [`run_topo`] with an event observer.
+/// [`run_topo`] with an event observer (see [`run_topo`] for a worked
+/// end-to-end example).
 pub fn run_topo_with_observer<P: Protocol>(
     protocol: &mut P,
     adversary: &mut dyn Adversary,
@@ -205,7 +267,9 @@ pub fn run_topo_with_observer<P: Protocol>(
     )
 }
 
-/// [`run_adaptive`] over a connectivity [`Topology`].
+/// [`run_adaptive`] over a connectivity [`Topology`]: combines the
+/// adjacency-gated delivery of [`run_topo`] (see its example) with the
+/// band-observing Eve of [`run_adaptive`].
 pub fn run_topo_adaptive<P: Protocol>(
     protocol: &mut P,
     adversary: &mut dyn AdaptiveAdversary,
@@ -273,8 +337,9 @@ pub fn run_adaptive_with_observer<P: Protocol>(
 }
 
 /// The engine's internal adversary handle: either the paper's oblivious
-/// model (span-batchable, fast-forward eligible) or the Section 8 adaptive
-/// extension (needs per-slot dispatch; may need band observations).
+/// model or the Section 8 adaptive extension (may need band observations).
+/// Both are span-batchable — an adaptive Eve observes nothing during a
+/// provably silent span — so both are fast-forward eligible.
 enum Eve<'a> {
     Oblivious(&'a mut dyn Adversary),
     Adaptive(&'a mut dyn AdaptiveAdversary),
@@ -296,17 +361,22 @@ impl Eve<'_> {
         }
     }
 
-    fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
+    /// Span-batched budget charge over an idle span. `prev` is the band
+    /// observation of the slot before the span; it reaches only an adaptive
+    /// Eve (and only her first span slot — the rest of the span is provably
+    /// silent, so she observes nothing further).
+    fn jam_span(
+        &mut self,
+        start: u64,
+        len: u64,
+        channels: u64,
+        budget: u64,
+        prev: &BandObservation,
+    ) -> SpanCharge {
         match self {
             Eve::Oblivious(a) => a.jam_span(start, len, channels, budget),
-            Eve::Adaptive(_) => unreachable!("fast-forward is oblivious-only"),
+            Eve::Adaptive(a) => a.jam_span(start, len, channels, budget, prev),
         }
-    }
-
-    /// Fast-forward requires the span-batched charge API, which only the
-    /// oblivious trait carries.
-    fn supports_span(&self) -> bool {
-        matches!(self, Eve::Oblivious(_))
     }
 
     /// Whether the engine must collect per-slot band observations.
@@ -376,7 +446,7 @@ fn run_inner<P: Protocol>(
     let mut prev_obs = BandObservation::default();
     let mut next_obs = BandObservation::default();
 
-    let fast_forward = cfg.fast_forward && cfg.sampling == Sampling::Sparse && eve.supports_span();
+    let fast_forward = cfg.fast_forward && cfg.sampling == Sampling::Sparse;
     // The channel board is read for listener outcomes on the single-hop
     // path and for band observations when the adversary senses; on a
     // topology run with an oblivious adversary nothing ever reads it.
@@ -420,7 +490,8 @@ fn run_inner<P: Protocol>(
                         whole_rounds = span / round_len;
                     }
                     let spent = if eve_remaining > 0 {
-                        let charge = eve.jam_span(slot, span, prof.channels, eve_remaining);
+                        let charge =
+                            eve.jam_span(slot, span, prof.channels, eve_remaining, &prev_obs);
                         debug_assert!(charge.spent <= eve_remaining, "jam_span overspent");
                         // Clamp in release too: a buggy closed-form override
                         // must bankrupt Eve, not underflow her into riches.
@@ -432,6 +503,13 @@ fn run_inner<P: Protocol>(
                     } else {
                         0
                     };
+                    // The span's slots are silent, so after it the previous
+                    // slot's observation is the empty band — exactly what the
+                    // per-slot path would have recorded for every span slot.
+                    if observes {
+                        prev_obs.clear();
+                        prev_obs.channels = prof.channels;
+                    }
                     s.skip_rounds(whole_rounds);
                     observer.on_idle_span(slot, span, spent);
                     slot += span;

@@ -17,7 +17,9 @@
 //!   of energy per channel-slot, up to a total budget `T`. She is
 //!   **oblivious**: the [`Adversary`] trait only ever receives the slot index
 //!   and the (publicly known) channel count for that slot — never any
-//!   execution state.
+//!   execution state. The Section 8 extension is [`AdaptiveAdversary`]
+//!   ([`adaptive`]): Eve additionally observes, each slot, which channels
+//!   carried transmissions in the previous slot.
 //!
 //! ## Engine design
 //!
@@ -27,7 +29,11 @@
 //! coin differing by node status. The [`engine`] exploits this: it samples the
 //! acting subset exactly (geometric-skip Bernoulli thinning, `O(#actors)` per
 //! slot rather than `O(n)`), asks only the selected nodes for their concrete
-//! action, and resolves channel outcomes from a sparse broadcast board. See
+//! action, and resolves channel outcomes from a sparse broadcast board. Runs
+//! of provably empty rounds are **fast-forwarded** in O(1) with Eve's budget
+//! charged exactly through the span-batched `jam_span` APIs — byte-identical
+//! to slot-by-slot execution for both oblivious and adaptive adversaries
+//! (see the [`engine`] module docs for the soundness argument). See
 //! [`protocol`] for the trait contract and [`sampler`] for the exactness
 //! argument and tests.
 //!

@@ -199,6 +199,27 @@ pub trait Adversary {
     /// `rcb-adversary`). Strategies whose override is equivalent only *in
     /// distribution* (not per-seed) must say so in their docs — the engine's
     /// fast path then changes per-seed outcomes but not statistics.
+    ///
+    /// ```
+    /// use rcb_sim::{Adversary, JamSet, SpanCharge};
+    ///
+    /// /// Jams a 3-channel prefix on even slots.
+    /// struct EvenSlots;
+    /// impl Adversary for EvenSlots {
+    ///     fn jam(&mut self, slot: u64, _channels: u64) -> JamSet {
+    ///         if slot % 2 == 0 { JamSet::Prefix(3) } else { JamSet::Empty }
+    ///     }
+    ///     fn budget(&self) -> u64 { 10 }
+    /// }
+    ///
+    /// // The default implementation replays the engine's per-slot budget
+    /// // rule: the even slots of [0, 8) want 3 channels each (12 total),
+    /// // but the remaining budget truncates the last request to 1.
+    /// let mut eve = EvenSlots;
+    /// assert_eq!(eve.jam_span(0, 8, 8, 10), SpanCharge { spent: 10 });
+    /// // With budget to spare, the span charges exactly the per-slot sum.
+    /// assert_eq!(eve.jam_span(1, 2, 8, 100), SpanCharge { spent: 3 });
+    /// ```
     fn jam_span(&mut self, start: u64, len: u64, channels: u64, budget: u64) -> SpanCharge {
         let mut remaining = budget;
         let mut spent = 0u64;

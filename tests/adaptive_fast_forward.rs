@@ -1,0 +1,207 @@
+//! Adaptive-adversary idle fast-forward equivalence: `run_adaptive` with the
+//! span-batched fast path (`EngineConfig { fast_forward: true }`) must be
+//! **byte-identical** to the slot-by-slot reference — outcomes *and* full
+//! event traces.
+//!
+//! The soundness argument being gated: a span is skipped only when provably
+//! no node acts in it, so the band is silent and an adaptive Eve observes
+//! nothing she could react to. [`AdaptiveAdversary::jam_span`] receives the
+//! pre-span observation for the span's first slot and the silent observation
+//! for the rest — exactly the observation stream the per-slot path delivers
+//! — so an exact implementation (the default loop, or the reactive family's
+//! window-drain closed form) reproduces both Eve's spend and her state.
+//!
+//! Matrix: 4 reactive parameterizations (windows 1/4/16, caps 2–8,
+//! thresholds 1–3) + the stateful hotspot tracker (exercising the default
+//! per-slot `jam_span` loop), × 3 protocols × 3 seeds. This file runs as a
+//! CI gate in the bench-smoke job alongside `fast_forward.rs` (oblivious)
+//! and `topology_equivalence.rs`.
+
+use rcb::adversary::{HotspotJammer, ReactiveJammer};
+use rcb::core::{MultiCast, MultiCastAdv, MultiCastCore};
+use rcb::sim::{
+    run_adaptive_with_observer, AdaptiveAdversary, EngineConfig, Observer, Protocol, RunOutcome,
+    SlotProfile, SlotStats, TraceEvent,
+};
+
+/// Records the full informational trace plus slot/span coverage counters.
+#[derive(Default)]
+struct FullTrace {
+    /// Informed/halted/boundary events — must match the reference exactly.
+    events: Vec<TraceEvent>,
+    executed_slots: u64,
+    spans: u64,
+    span_slots: u64,
+    span_jammed: u64,
+}
+
+impl Observer for FullTrace {
+    fn on_informed(&mut self, node: u32, slot: u64) {
+        self.events.push(TraceEvent::Informed { node, slot });
+    }
+    fn on_halted(&mut self, node: u32, slot: u64) {
+        self.events.push(TraceEvent::Halted { node, slot });
+    }
+    fn on_boundary(&mut self, slot: u64, profile: &SlotProfile, active: u32, informed: u32) {
+        self.events.push(TraceEvent::Boundary {
+            slot,
+            seg_major: profile.seg_major,
+            seg_minor: profile.seg_minor,
+            step: profile.step,
+            active,
+            informed,
+        });
+    }
+    fn on_slot(&mut self, _slot: u64, _stats: &SlotStats) {
+        self.executed_slots += 1;
+    }
+    fn on_idle_span(&mut self, _slot: u64, len: u64, jammed: u64) {
+        self.spans += 1;
+        self.span_slots += len;
+        self.span_jammed += jammed;
+    }
+}
+
+const PROTOS: [&str; 3] = ["MultiCastCore", "MultiCast", "MultiCastAdv"];
+const ADVS: [&str; 5] = [
+    "reactive w=1 cap=8",
+    "reactive w=4 cap=4",
+    "reactive w=16 cap=8 threshold=3",
+    "reactive w=8 cap=2 threshold=2",
+    "hotspot (default-loop jam_span)",
+];
+const T: u64 = 40_000;
+
+fn adversary(adv: usize, seed: u64) -> Box<dyn AdaptiveAdversary> {
+    match adv {
+        0 => Box::new(ReactiveJammer::new(T, 8)),
+        1 => Box::new(ReactiveJammer::with_params(T, 4, 4, 1)),
+        2 => Box::new(ReactiveJammer::with_params(T, 16, 8, 3)),
+        3 => Box::new(ReactiveJammer::with_params(T, 8, 2, 2)),
+        4 => Box::new(HotspotJammer::new(T, 4, 0.9, seed + 500)),
+        _ => unreachable!(),
+    }
+}
+
+fn run_combo(proto: usize, adv: usize, seed: u64, fast_forward: bool) -> (RunOutcome, FullTrace) {
+    let cfg = EngineConfig {
+        fast_forward,
+        ..EngineConfig::capped(400_000)
+    };
+    let mut eve = adversary(adv, seed);
+    let mut trace = FullTrace::default();
+    fn go<P: Protocol>(
+        mut p: P,
+        eve: &mut dyn AdaptiveAdversary,
+        seed: u64,
+        cfg: &EngineConfig,
+        trace: &mut FullTrace,
+    ) -> RunOutcome {
+        run_adaptive_with_observer(&mut p, eve, seed, cfg, trace)
+    }
+    let n = 16u64;
+    let out = match proto {
+        0 => go(
+            MultiCastCore::new(n, T),
+            eve.as_mut(),
+            seed,
+            &cfg,
+            &mut trace,
+        ),
+        1 => go(MultiCast::new(n), eve.as_mut(), seed, &cfg, &mut trace),
+        2 => go(MultiCastAdv::new(n), eve.as_mut(), seed, &cfg, &mut trace),
+        _ => unreachable!(),
+    };
+    (out, trace)
+}
+
+/// The acceptance matrix: outcomes field-for-field, traces event-for-event,
+/// and coverage accounting (executed + skipped slots partition the run).
+#[test]
+fn adaptive_fast_forward_equals_reference_across_matrix() {
+    let mut total_span_slots = 0u64;
+    for (pi, pname) in PROTOS.iter().enumerate() {
+        for (ai, aname) in ADVS.iter().enumerate() {
+            for seed in [21u64, 22, 23] {
+                let (fast_out, fast_tr) = run_combo(pi, ai, seed, true);
+                let (slow_out, slow_tr) = run_combo(pi, ai, seed, false);
+                assert_eq!(
+                    fast_out, slow_out,
+                    "{pname} vs {aname} at seed {seed}: outcome diverged"
+                );
+                assert_eq!(
+                    fast_tr.events, slow_tr.events,
+                    "{pname} vs {aname} at seed {seed}: trace diverged"
+                );
+                // The reference executes every slot and never emits spans;
+                // the fast path's executed + skipped slots must cover the
+                // run exactly, with span jamming accounted in the outcome.
+                assert_eq!(slow_tr.span_slots, 0);
+                assert_eq!(slow_tr.executed_slots, slow_out.slots);
+                assert_eq!(
+                    fast_tr.executed_slots + fast_tr.span_slots,
+                    fast_out.slots,
+                    "{pname} vs {aname} at seed {seed}: coverage gap"
+                );
+                assert_eq!(fast_out.safety_violations(), 0);
+                total_span_slots += fast_tr.span_slots;
+            }
+        }
+    }
+    assert!(
+        total_span_slots > 0,
+        "the matrix must actually exercise the adaptive fast path"
+    );
+}
+
+/// A big-budget hotspot jammer drives `MultiCast` into its sparse late
+/// iterations — the signature fast-forward workload — so adaptive runs must
+/// visibly engage the span path, not just match by never fast-forwarding.
+#[test]
+fn adaptive_runs_fast_forward_meaningfully() {
+    let mut span_slots = 0u64;
+    let mut slots = 0u64;
+    for seed in [31u64, 32, 33] {
+        let (out, tr) = {
+            let cfg = EngineConfig::capped(20_000_000);
+            let mut eve = HotspotJammer::new(1_000_000, 7, 0.9, seed);
+            let mut trace = FullTrace::default();
+            let mut p = MultiCast::new(16);
+            let out = run_adaptive_with_observer(&mut p, &mut eve, seed, &cfg, &mut trace);
+            (out, trace)
+        };
+        assert!(out.all_halted && out.all_informed, "seed {seed}");
+        assert_eq!(out.eve_spent, 1_000_000, "she must exhaust her budget");
+        span_slots += tr.span_slots;
+        slots += out.slots;
+    }
+    assert!(
+        span_slots * 5 > slots,
+        "expected >20% of slots skipped, got {span_slots} of {slots}"
+    );
+}
+
+/// Bankruptcy inside a span: a hotspot jammer burning k channels every slot
+/// goes broke mid-run; the fast path must charge exactly to zero and stay
+/// byte-identical through and past the bankruptcy point.
+#[test]
+fn adaptive_fast_forward_survives_mid_span_bankruptcy() {
+    for seed in [41u64, 42] {
+        let run_mode = |fast_forward: bool| {
+            let cfg = EngineConfig {
+                fast_forward,
+                ..EngineConfig::capped(2_000_000)
+            };
+            let mut eve = HotspotJammer::new(5_000, 4, 0.8, seed);
+            let mut p = MultiCast::new(16);
+            let mut trace = FullTrace::default();
+            let out = run_adaptive_with_observer(&mut p, &mut eve, seed, &cfg, &mut trace);
+            (out, trace)
+        };
+        let (fast_out, fast_tr) = run_mode(true);
+        let (slow_out, slow_tr) = run_mode(false);
+        assert_eq!(fast_out, slow_out, "seed {seed}");
+        assert_eq!(fast_tr.events, slow_tr.events, "seed {seed}");
+        assert_eq!(fast_out.eve_spent, 5_000, "she must go bankrupt");
+    }
+}
