@@ -111,12 +111,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
                         ..Default::default()
                     },
                 );
-                let out = run(
-                    &mut proto,
-                    &mut NoAdversary,
-                    7,
-                    &EngineConfig::capped(slots),
-                );
+                let out = Simulation::new(&mut proto).config(EngineConfig::capped(slots)).run(7);
                 black_box(out.slots)
             });
         });

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rcb_adversary::UniformFraction;
 use rcb_core::baseline::{Decay, NaiveEpidemic, SingleChannelRcb};
 use rcb_core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
-use rcb_sim::{run, EngineConfig, NoAdversary};
+use rcb_sim::{EngineConfig, Simulation};
 
 const SLOTS: u64 = 50_000;
 
@@ -20,19 +20,19 @@ fn bench_protocol_kernels(c: &mut Criterion) {
     g.bench_function("multicast_core", |b| {
         b.iter(|| {
             let mut p = MultiCastCore::new(n, 100_000);
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("multicast", |b| {
         b.iter(|| {
             let mut p = MultiCast::new(n);
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("multicast_c8", |b| {
         b.iter(|| {
             let mut p = MultiCastC::new(n, 8);
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("multicast_adv", |b| {
@@ -44,26 +44,26 @@ fn bench_protocol_kernels(c: &mut Criterion) {
                     ..Default::default()
                 },
             );
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("single_channel", |b| {
         b.iter(|| {
             let mut p = SingleChannelRcb::new(n);
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("naive_epidemic_sparse", |b| {
         b.iter(|| {
             let mut p = NaiveEpidemic::with_act_prob(n, 1.0 / 64.0);
-            black_box(run(&mut p, &mut NoAdversary, 1, &cfg).slots)
+            black_box(Simulation::new(&mut p).config(cfg).run(1).slots)
         });
     });
     g.bench_function("decay", |b| {
         b.iter(|| {
             let mut p = Decay::new(n);
             // Decay's dense per-slot sampling is the slow path; cap lower.
-            black_box(run(&mut p, &mut NoAdversary, 1, &EngineConfig::capped(5_000)).slots)
+            black_box(Simulation::new(&mut p).config(EngineConfig::capped(5_000)).run(1).slots)
         });
     });
     g.finish();
@@ -81,10 +81,10 @@ fn bench_adversary_overhead(c: &mut Criterion) {
             b.iter(|| {
                 let mut p = MultiCast::new(n);
                 if frac == 0.0 {
-                    black_box(run(&mut p, &mut NoAdversary, 2, &cfg).slots)
+                    black_box(Simulation::new(&mut p).config(cfg).run(2).slots)
                 } else {
                     let mut eve = UniformFraction::new(u64::MAX / 2, frac, 3);
-                    black_box(run(&mut p, &mut eve, 2, &cfg).slots)
+                    black_box(Simulation::new(&mut p).adversary(&mut eve).config(cfg).run(2).slots)
                 }
             });
         });

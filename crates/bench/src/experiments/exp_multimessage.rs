@@ -1,0 +1,111 @@
+//! Experiment E18: multi-message broadcast (extension).
+//!
+//! The paper broadcasts a single message `m`; the multi-message model
+//! (Ahmadi & Kuhn, arXiv:1610.02931) carries `k` concurrent payloads.
+//! `MultiMessageCast` multiplexes them through one relay schedule — every
+//! partial holder re-broadcasts a uniformly random message it knows — and
+//! the engine's per-message tracking gives each payload its own completion
+//! slot. This experiment measures how completion time scales with `k` at
+//! fixed `n`, and that jamming delays but does not break the multiplexed
+//! flood. It is the first experiment whose protocol was written once
+//! against the unified `Simulation` core (no per-entry-point code).
+
+use super::{campaign, ci95_of, header};
+use crate::scale::Scale;
+use rcb_campaign::CellSpec;
+use rcb_harness::{AdversaryKind, ProtocolKind};
+use rcb_stats::Table;
+
+/// E18 — completion time grows with the payload count `k`; the multiplexed
+/// flood survives jamming.
+pub fn e18_multimessage(scale: Scale) -> String {
+    let seeds = scale.seeds();
+    let mm = |k: u32| ProtocolKind::MultiMessage {
+        n: 32,
+        k,
+        channels: 16,
+        p: 0.25,
+    };
+
+    let mut out = header(
+        "E18",
+        "Multi-message broadcast",
+        "Extension of the single-message model: k concurrent payloads \
+         multiplexed through one relay schedule (Ahmadi-Kuhn multi-message \
+         broadcast). Each additional payload dilutes every broadcast slot \
+         k ways, so completion time grows with k — roughly the \
+         coupon-collector factor — while a budget-limited jammer still only \
+         delays completion.",
+        &format!(
+            "MultiMessageCast at n = 32 on 16 channels (p = 0.25, any holder \
+             relays a random known message) for k in {{1, 2, 4, 8, 16}}, plus \
+             a half-band-jammed k = 4 cell (T = 20k); {seeds} seeds per cell \
+             via the campaign engine."
+        ),
+    );
+
+    let ks = [1u32, 2, 4, 8, 16];
+    let mut cells: Vec<CellSpec> = ks
+        .iter()
+        .map(|&k| CellSpec::new(mm(k), AdversaryKind::Silent).with_max_slots(20_000_000))
+        .collect();
+    cells.push(
+        CellSpec::new(
+            mm(4),
+            AdversaryKind::Uniform {
+                t: 20_000,
+                frac: 0.5,
+            },
+        )
+        .with_max_slots(20_000_000),
+    );
+    let reports = campaign("e18-multimessage", cells, seeds, 180_000);
+
+    let base = reports[0].completion_slots.mean;
+    let mut table = Table::new(&["k", "adversary", "ok", "time (slots)", "± ci95", "vs k=1"]);
+    for (label, c) in ks
+        .iter()
+        .map(|k| k.to_string())
+        .chain(std::iter::once("4 (jammed)".into()))
+        .zip(&reports)
+    {
+        assert_eq!(
+            c.completed, c.trials,
+            "E18 k={label}: every payload must reach everyone: {c:?}"
+        );
+        assert_eq!(c.safety_violations, 0, "E18 k={label}: safety violation");
+        table.row(&[
+            label,
+            c.adversary.clone(),
+            format!("{}/{}", c.completed, c.trials),
+            format!("{:.0}", c.completion_slots.mean),
+            format!("{:.0}", ci95_of(&c.completion_slots)),
+            format!("{:.2}x", c.completion_slots.mean / base),
+        ]);
+    }
+    out.push_str(&table.markdown());
+
+    let k16 = reports[4].completion_slots.mean;
+    let jammed = reports[5].completion_slots.mean;
+    let clean_k4 = reports[2].completion_slots.mean;
+    assert!(
+        k16 > base,
+        "16 payloads must take longer than one: {k16} vs {base}"
+    );
+    assert!(
+        jammed >= clean_k4,
+        "jamming cannot speed the flood up: {jammed} vs {clean_k4}"
+    );
+    out.push_str(&format!(
+        "\n**Result.** Sixteen concurrent payloads take {:.1}x the \
+         single-message time — the k-way broadcast dilution times the \
+         coupon-collector tail (~k ln k), since the slowest payload gets only \
+         1/k of the relay slots and must still reach every node. The \
+         half-band jammer stretches the k = 4 cell by {:.2}x but every trial \
+         still completes: multiplexing inherits the single-message model's \
+         jamming resilience unchanged.\n",
+        k16 / base,
+        jammed / clean_k4,
+    ));
+    out
+}

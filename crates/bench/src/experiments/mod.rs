@@ -8,6 +8,7 @@ mod exp_core;
 mod exp_extension;
 mod exp_multicast;
 mod exp_multihop;
+mod exp_multimessage;
 mod exp_summary;
 
 use crate::scale::Scale;
@@ -146,6 +147,15 @@ pub fn all_experiments() -> Vec<Experiment> {
                     never strands reachable nodes",
             run: exp_multihop::e17_multihop,
         },
+        Experiment {
+            id: "e18",
+            title: "Multi-message broadcast (extension)",
+            claim: "Ahmadi-Kuhn multi-message model: k concurrent payloads \
+                    multiplexed through one relay schedule complete in \
+                    ~k ln k of the single-message time, and jamming only \
+                    delays them",
+            run: exp_multimessage::e18_multimessage,
+        },
     ]
 }
 
@@ -195,7 +205,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 17, "12 paper experiments + 5 extensions");
+        assert_eq!(exps.len(), 18, "12 paper experiments + 6 extensions");
         for (k, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", k + 1));
             assert!(!e.title.is_empty());

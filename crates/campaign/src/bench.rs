@@ -23,7 +23,7 @@
 
 use crate::json::Json;
 use crate::scenario::Scenario;
-use rcb_harness::{run_trial_with_engine, TrialSpec};
+use rcb_harness::{run_trial_opts, TrialOptions, TrialSpec};
 use rcb_sim::{derive_seed, EngineConfig};
 use rcb_stats::Table;
 use std::time::Instant;
@@ -234,7 +234,7 @@ fn time_cell(specs: &[TrialSpec], engine: &EngineConfig) -> (u64, f64) {
     let start = Instant::now();
     let mut slots_total = 0u64;
     for spec in specs {
-        slots_total += run_trial_with_engine(spec, engine).slots;
+        slots_total += run_trial_opts(spec, TrialOptions::with_engine(*engine)).slots;
     }
     (slots_total, start.elapsed().as_secs_f64())
 }

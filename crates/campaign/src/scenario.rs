@@ -162,6 +162,11 @@ pub fn registry() -> Vec<Scenario> {
                 "MultiHopCast over line/grid/geometric/dynamic topologies, with and without jamming",
             build: multi_hop,
         },
+        Scenario {
+            name: "multi-message",
+            summary: "MultiMessageCast k-payload ladder, jammed and over a grid (arXiv:1610.02931)",
+            build: multi_message,
+        },
     ]
 }
 
@@ -658,6 +663,51 @@ fn multi_hop() -> CampaignSpec {
     }
 }
 
+fn multi_message() -> CampaignSpec {
+    let mm = |n: u64, k: u32, channels: u64| ProtocolKind::MultiMessage {
+        n,
+        k,
+        channels,
+        p: 0.25,
+    };
+    let mut cells: Vec<CellSpec> = [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&k| CellSpec::new(mm(32, k, 16), AdversaryKind::Silent).with_max_slots(20_000_000))
+        .collect();
+    // Half-band jamming against the k = 4 ladder point.
+    cells.push(
+        CellSpec::new(
+            mm(32, 4, 16),
+            AdversaryKind::Uniform {
+                t: 20_000,
+                frac: 0.5,
+            },
+        )
+        .with_max_slots(20_000_000),
+    );
+    // The same protocol, unchanged, over an 8x8 grid: the unified
+    // Simulation core means the new workload composes with the topology
+    // axis for free.
+    cells.push(
+        CellSpec::new(mm(64, 4, 8), AdversaryKind::Silent)
+            .with_topology(TopologyKind::Grid { cols: 8 })
+            .with_max_slots(20_000_000),
+    );
+    CampaignSpec {
+        name: "multi-message".into(),
+        description: "MultiMessageCast (k concurrent payloads, partial holders \
+                      relay a uniformly random known message, p = 0.25): a k \
+                      ladder 1..16 at n = 32 on 16 channels, a half-band-jammed \
+                      k = 4 cell, and k = 4 relayed across an 8x8 grid. \
+                      Completion means every reachable node holds all k \
+                      messages (multi-message broadcast, Ahmadi-Kuhn \
+                      arXiv:1610.02931); completion time should grow roughly \
+                      like the coupon-collector factor in k."
+            .into(),
+        cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,6 +822,29 @@ mod tests {
     }
 
     #[test]
+    fn multi_message_covers_the_k_axis() {
+        let spec = (find("multi-message").expect("registered").build)();
+        assert!(spec.cells.len() >= 7, "k ladder + jammed + grid cells");
+        let mut ks = std::collections::BTreeSet::new();
+        for cell in &spec.cells {
+            let ProtocolKind::MultiMessage { k, .. } = cell.protocol else {
+                panic!("multi-message must run MultiMessageCast");
+            };
+            ks.insert(k);
+            assert!(cell.protocol.never_halts());
+        }
+        assert!(ks.len() >= 4, "k axis too small: {ks:?}");
+        assert!(
+            spec.cells.iter().any(|c| c.adversary.budget() > 0),
+            "a jammed cell must be present"
+        );
+        assert!(
+            spec.cells.iter().any(|c| !c.topology.is_complete()),
+            "a multi-hop cell must be present"
+        );
+    }
+
+    #[test]
     fn multi_hop_covers_the_topology_family() {
         let spec = (find("multi-hop").expect("registered").build)();
         assert!(spec.cells.len() >= 5);
@@ -786,9 +859,10 @@ mod tests {
             spec.cells.iter().all(|c| c.protocol.never_halts()),
             "multi-hop cells must run under stop_when_all_informed"
         );
-        // Every other scenario stays on the single-hop default.
+        // Every other scenario stays on the single-hop default (except
+        // multi-message, whose grid cell demonstrates the unified core).
         for s in registry() {
-            if s.name != "multi-hop" {
+            if s.name != "multi-hop" && s.name != "multi-message" {
                 assert!((s.build)().cells.iter().all(|c| c.topology.is_complete()));
             }
         }

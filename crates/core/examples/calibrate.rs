@@ -12,7 +12,7 @@
 
 use rcb_core::baseline::NaiveEpidemic;
 use rcb_core::{AdvParams, MultiCastAdv};
-use rcb_sim::{run, EngineConfig, NoAdversary};
+use rcb_sim::{EngineConfig, Simulation};
 
 fn epidemic_times() {
     println!("== epidemic completion at p = 1/64 (anchors CoreParams.a / McParams.a) ==");
@@ -26,7 +26,7 @@ fn epidemic_times() {
                 stop_when_all_informed: true,
                 ..EngineConfig::capped(100_000_000)
             };
-            let out = run(&mut proto, &mut NoAdversary, seed, &cfg);
+            let out = Simulation::new(&mut proto).config(cfg).run(seed);
             assert!(out.all_informed);
             worst = worst.max(out.slots);
             sum += out.slots;
@@ -49,12 +49,9 @@ fn adv_lifecycle() {
         };
         let mut proto = MultiCastAdv::with_params(n, params);
         let start = std::time::Instant::now();
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            1,
-            &EngineConfig::capped(2_000_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(2_000_000_000))
+            .run(1);
         let elapsed = start.elapsed();
         let helper_epochs: Vec<f64> = out
             .nodes

@@ -115,7 +115,7 @@ impl ProtocolNode for DecayNode {
 mod tests {
     use super::*;
     use rcb_adversary::FullBandBurst;
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     fn informed_cfg(cap: u64) -> EngineConfig {
         EngineConfig {
@@ -129,7 +129,9 @@ mod tests {
         // Slot 0 has broadcast probability 2^0 = 1 and a single informed
         // node — a clean transmission to all listeners.
         let mut proto = Decay::new(16);
-        let out = run(&mut proto, &mut NoAdversary, 1, &informed_cfg(10_000));
+        let out = Simulation::new(&mut proto)
+            .config(informed_cfg(10_000))
+            .run(1);
         assert!(out.all_informed);
         assert_eq!(out.slots, 1);
     }
@@ -142,7 +144,10 @@ mod tests {
         let t = 5_000u64;
         let mut proto = Decay::new(16);
         let mut eve = FullBandBurst::front_loaded(t);
-        let out = run(&mut proto, &mut eve, 2, &informed_cfg(100_000));
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(informed_cfg(100_000))
+            .run(2);
         assert!(out.all_informed);
         assert!(out.slots >= t, "broadcast blocked until Eve is bankrupt");
         let max_uninformed_cost = out

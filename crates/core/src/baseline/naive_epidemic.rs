@@ -124,7 +124,7 @@ impl ProtocolNode for NaiveNode {
 mod tests {
     use super::*;
     use rcb_adversary::UniformFraction;
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     fn informed_cfg() -> EngineConfig {
         EngineConfig {
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn informs_everyone_in_logarithmic_time() {
         let mut proto = NaiveEpidemic::new(64);
-        let out = run(&mut proto, &mut NoAdversary, 1, &informed_cfg());
+        let out = Simulation::new(&mut proto).config(informed_cfg()).run(1);
         assert!(out.all_informed);
         // Geometric growth: wildly less than n slots.
         assert!(out.slots < 200, "took {} slots", out.slots);
@@ -148,7 +148,10 @@ mod tests {
         // the epidemic still completes quickly (experiment E1).
         let mut proto = NaiveEpidemic::new(64);
         let mut eve = UniformFraction::new(u64::MAX, 0.9, 3);
-        let out = run(&mut proto, &mut eve, 2, &informed_cfg());
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(informed_cfg())
+            .run(2);
         assert!(out.all_informed, "jamming 90% must not stop the epidemic");
         assert!(out.slots < 2_000, "took {} slots", out.slots);
     }
@@ -161,7 +164,10 @@ mod tests {
             stop_when_all_informed: true,
             ..EngineConfig::capped(2_000)
         };
-        let out = run(&mut proto, &mut eve, 3, &cfg);
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(cfg)
+            .run(3);
         assert!(!out.all_informed);
         assert_eq!(out.informed_count(), 1, "only the source knows m");
     }
@@ -169,9 +175,9 @@ mod tests {
     #[test]
     fn sparse_variant_is_slower_but_cheaper_per_slot() {
         let mut dense = NaiveEpidemic::new(32);
-        let dense_out = run(&mut dense, &mut NoAdversary, 5, &informed_cfg());
+        let dense_out = Simulation::new(&mut dense).config(informed_cfg()).run(5);
         let mut sparse = NaiveEpidemic::with_act_prob(32, 0.25);
-        let sparse_out = run(&mut sparse, &mut NoAdversary, 5, &informed_cfg());
+        let sparse_out = Simulation::new(&mut sparse).config(informed_cfg()).run(5);
         assert!(dense_out.all_informed && sparse_out.all_informed);
         assert!(sparse_out.slots > dense_out.slots);
         let dense_rate = dense_out.mean_cost() / dense_out.slots as f64;
@@ -191,7 +197,7 @@ mod tests {
             stop_when_all_informed: true,
             ..EngineConfig::capped(2_000)
         };
-        let narrow_out = run(&mut narrow, &mut NoAdversary, 9, &cfg);
+        let narrow_out = Simulation::new(&mut narrow).config(cfg).run(9);
         assert!(
             !narrow_out.all_informed,
             "2 always-busy channels should deadlock on collisions"
@@ -201,14 +207,16 @@ mod tests {
             "slot 0 still informs some listeners"
         );
         let mut wide = NaiveEpidemic::with_config(32, 16, 1.0);
-        let wide_out = run(&mut wide, &mut NoAdversary, 9, &informed_cfg());
+        let wide_out = Simulation::new(&mut wide).config(informed_cfg()).run(9);
         assert!(wide_out.all_informed);
     }
 
     #[test]
     fn nodes_never_halt() {
         let mut proto = NaiveEpidemic::new(16);
-        let out = run(&mut proto, &mut NoAdversary, 6, &EngineConfig::capped(500));
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(500))
+            .run(6);
         assert!(!out.all_halted);
         assert!(out.nodes.iter().all(|n| n.halted_at.is_none()));
     }

@@ -57,7 +57,7 @@ impl Protocol for SingleChannelRcb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     #[test]
     fn uses_exactly_one_channel() {
@@ -71,12 +71,9 @@ mod tests {
     #[test]
     fn completes_on_a_single_channel() {
         let mut proto = SingleChannelRcb::new(32);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            1,
-            &EngineConfig::capped(100_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000_000))
+            .run(1);
         assert!(out.all_informed && out.all_halted);
         assert_eq!(out.safety_violations(), 0);
     }
@@ -86,18 +83,12 @@ mod tests {
         let params = McParams::default();
         let mut single = SingleChannelRcb::with_params(32, params);
         let mut multi = crate::multicast::MultiCast::with_params(32, params);
-        let s = run(
-            &mut single,
-            &mut NoAdversary,
-            2,
-            &EngineConfig::capped(100_000_000),
-        );
-        let m = run(
-            &mut multi,
-            &mut NoAdversary,
-            2,
-            &EngineConfig::capped(100_000_000),
-        );
+        let s = Simulation::new(&mut single)
+            .config(EngineConfig::capped(100_000_000))
+            .run(2);
+        let m = Simulation::new(&mut multi)
+            .config(EngineConfig::capped(100_000_000))
+            .run(2);
         assert!(s.all_halted && m.all_halted);
         // At T = 0 both halt at their first boundary; the single-channel
         // boundary is n/2 = 16x later in physical slots.

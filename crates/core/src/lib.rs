@@ -17,7 +17,10 @@
 //! [`MultiHopCast`] extends the line-up beyond the paper: a relay-capable
 //! variant for multi-hop topologies (`rcb_sim::Topology`), where informed
 //! nodes re-run the sender schedule until the source's whole reachable
-//! component knows the message.
+//! component knows the message. [`MultiMessageCast`] extends it again to
+//! `k` concurrent payloads (multi-message broadcast, arXiv:1610.02931):
+//! partial holders relay a random message they know, and the engine tracks
+//! each message's own completion (`rcb_sim::RunOutcome::messages`).
 //!
 //! Baselines live in [`baseline`]: the naive multi-channel epidemic from the
 //! paper's introduction, a single-channel resource-competitive comparator
@@ -29,13 +32,13 @@
 //! ```
 //! use rcb_core::MultiCast;
 //! use rcb_adversary::UniformFraction;
-//! use rcb_sim::{run, EngineConfig};
+//! use rcb_sim::Simulation;
 //!
 //! let n = 64;            // nodes (power of two); the protocol uses n/2 channels
 //! let t = 20_000;        // Eve's energy budget
 //! let mut protocol = MultiCast::new(n);
 //! let mut eve = UniformFraction::new(t, 0.5, 7);
-//! let outcome = run(&mut protocol, &mut eve, 42, &EngineConfig::default());
+//! let outcome = Simulation::new(&mut protocol).adversary(&mut eve).run(42);
 //! assert!(outcome.all_informed && outcome.all_halted);
 //! // Resource competitiveness: every node spent far less than Eve.
 //! assert!(outcome.max_cost() < outcome.eve_spent / 2);
@@ -47,6 +50,7 @@ pub mod multicast;
 pub mod multicast_adv;
 pub mod multicast_core;
 pub mod multihop;
+pub mod multimessage;
 pub mod params;
 pub mod theory;
 
@@ -55,4 +59,5 @@ pub use multicast::{McNode, MultiCast};
 pub use multicast_adv::{AdvNode, AdvScheduleIter, AdvSegment, AdvStatus, MultiCastAdv};
 pub use multicast_core::MultiCastCore;
 pub use multihop::{MultiHopCast, MultiHopNode};
+pub use multimessage::{MultiMessageCast, MultiMessageNode};
 pub use params::{AdvParams, CoreParams, McParams};

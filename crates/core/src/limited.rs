@@ -27,13 +27,13 @@ use rcb_sim::{Protocol, SlotProfile};
 ///
 /// ```
 /// use rcb_core::MultiCastC;
-/// use rcb_sim::{run, EngineConfig, NoAdversary};
+/// use rcb_sim::Simulation;
 ///
 /// // Only 4 physical channels: each virtual MultiCast slot is simulated by
 /// // a round of n/(2·4) = 4 physical slots.
 /// let mut limited = MultiCastC::new(32, 4);
 /// assert_eq!(limited.round_len(), 4);
-/// let outcome = run(&mut limited, &mut NoAdversary, 7, &EngineConfig::default());
+/// let outcome = Simulation::new(&mut limited).run(7);
 /// assert!(outcome.all_informed && outcome.all_halted);
 /// ```
 #[derive(Clone, Debug)]
@@ -118,7 +118,7 @@ impl Protocol for MultiCastC {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_sim::{run, EngineConfig, NoAdversary, ProtocolNode};
+    use rcb_sim::{EngineConfig, ProtocolNode, Simulation};
 
     fn quick() -> McParams {
         McParams::default()
@@ -158,12 +158,9 @@ mod tests {
     fn completes_with_limited_channels() {
         for c in [1u64, 4, 16] {
             let mut proto = MultiCastC::with_params(32, c, quick());
-            let out = run(
-                &mut proto,
-                &mut NoAdversary,
-                c,
-                &EngineConfig::capped(100_000_000),
-            );
+            let out = Simulation::new(&mut proto)
+                .config(EngineConfig::capped(100_000_000))
+                .run(c);
             assert!(out.all_informed, "C = {c}");
             assert!(out.all_halted, "C = {c}");
             assert_eq!(out.safety_violations(), 0, "C = {c}");
@@ -174,12 +171,9 @@ mod tests {
     fn time_scales_inversely_with_channels_but_cost_does_not() {
         let run_c = |c: u64, seed: u64| {
             let mut proto = MultiCastC::with_params(32, c, quick());
-            let out = run(
-                &mut proto,
-                &mut NoAdversary,
-                seed,
-                &EngineConfig::capped(100_000_000),
-            );
+            let out = Simulation::new(&mut proto)
+                .config(EngineConfig::capped(100_000_000))
+                .run(seed);
             assert!(out.all_halted);
             (out.slots, out.mean_cost())
         };

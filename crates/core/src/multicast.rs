@@ -184,7 +184,7 @@ impl ProtocolNode for McNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     fn quick_params() -> McParams {
         McParams::default()
@@ -193,12 +193,9 @@ mod tests {
     #[test]
     fn completes_and_halts_without_adversary() {
         let mut proto = MultiCast::with_params(64, quick_params());
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            1,
-            &EngineConfig::capped(10_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(10_000_000))
+            .run(1);
         assert!(out.all_informed, "all nodes must learn m");
         assert!(out.all_halted, "all nodes must terminate");
         assert_eq!(out.safety_violations(), 0);
@@ -208,12 +205,9 @@ mod tests {
     fn without_jamming_terminates_in_first_iteration() {
         let mut proto = MultiCast::with_params(64, quick_params());
         let r6 = proto.iteration_rounds(6);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            2,
-            &EngineConfig::capped(10_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(10_000_000))
+            .run(2);
         assert_eq!(out.slots, r6, "T = 0 should finish at the first boundary");
     }
 
@@ -222,12 +216,9 @@ mod tests {
         let mut proto = MultiCast::with_params(64, quick_params());
         let r6 = proto.iteration_rounds(6);
         let expected = 2.0 * r6 as f64 / 64.0; // 2·R·p
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            3,
-            &EngineConfig::capped(10_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(10_000_000))
+            .run(3);
         let mean = out.mean_cost();
         assert!(
             (mean - expected).abs() / expected < 0.25,

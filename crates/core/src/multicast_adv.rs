@@ -114,12 +114,12 @@ impl Iterator for AdvScheduleIter {
 ///
 /// ```
 /// use rcb_core::{AdvParams, MultiCastAdv};
-/// use rcb_sim::{run, EngineConfig, NoAdversary};
+/// use rcb_sim::Simulation;
 ///
 /// // Knows neither n nor T; α ∈ (0, 1/4) trades exponent for constants.
 /// let params = AdvParams { alpha: 0.24, ..AdvParams::default() };
 /// let mut protocol = MultiCastAdv::with_params(16, params);
-/// let outcome = run(&mut protocol, &mut NoAdversary, 7, &EngineConfig::default());
+/// let outcome = Simulation::new(&mut protocol).run(7);
 /// assert!(outcome.all_informed && outcome.all_halted);
 /// // Every node discovered lg n implicitly: helpers form at j = lg n − 1.
 /// for node in &outcome.nodes {
@@ -305,6 +305,9 @@ impl ProtocolNode for AdvNode {
                     self.nm_prime += 1;
                 }
                 Feedback::Message(Payload::Beacon) => self.nm_prime += 1,
+                // Foreign multi-message payloads count like the beacon: a
+                // decodable transmission that is not m itself.
+                Feedback::Message(Payload::Msg(_)) => self.nm_prime += 1,
                 Feedback::Noise => self.nn += 1,
                 Feedback::Silence => self.ns += 1,
             }
@@ -390,7 +393,7 @@ impl ProtocolNode for AdvNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     #[test]
     fn schedule_iterates_epochs_phases_steps() {
@@ -657,12 +660,9 @@ mod tests {
     #[test]
     fn completes_without_adversary_n16() {
         let mut proto = MultiCastAdv::new(16);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            7,
-            &EngineConfig::capped(500_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(500_000_000))
+            .run(7);
         assert!(out.all_informed, "informed: {}/16", out.informed_count());
         assert!(
             out.all_halted,

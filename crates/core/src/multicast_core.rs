@@ -23,11 +23,11 @@ use rcb_sim::{Protocol, SlotProfile};
 ///
 /// ```
 /// use rcb_core::MultiCastCore;
-/// use rcb_sim::{run, EngineConfig, NoAdversary};
+/// use rcb_sim::Simulation;
 ///
 /// // Knows both n and Eve's budget T up front.
 /// let mut protocol = MultiCastCore::new(64, 10_000);
-/// let outcome = run(&mut protocol, &mut NoAdversary, 7, &EngineConfig::default());
+/// let outcome = Simulation::new(&mut protocol).run(7);
 /// assert!(outcome.all_informed && outcome.all_halted);
 /// // With no actual jamming, everything ends at the first iteration boundary.
 /// assert_eq!(outcome.slots, protocol.iteration_len());
@@ -101,7 +101,7 @@ impl Protocol for MultiCastCore {
 mod tests {
     use super::*;
     use rcb_adversary::{FullBandBurst, UniformFraction};
-    use rcb_sim::{run, EngineConfig, NoAdversary};
+    use rcb_sim::{EngineConfig, Simulation};
 
     #[test]
     fn iteration_length_formula() {
@@ -118,12 +118,9 @@ mod tests {
     fn completes_in_one_iteration_without_adversary() {
         let mut proto = MultiCastCore::new(64, 0);
         let r = proto.iteration_len();
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            1,
-            &EngineConfig::capped(50_000_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(50_000_000))
+            .run(1);
         assert!(out.all_informed && out.all_halted);
         assert_eq!(out.slots, r, "T = 0 finishes at the first boundary");
         assert_eq!(out.safety_violations(), 0);
@@ -135,7 +132,10 @@ mod tests {
         let t = 50_000;
         let mut proto = MultiCastCore::new(n, t);
         let mut eve = UniformFraction::new(t, 0.5, 99);
-        let out = run(&mut proto, &mut eve, 2, &EngineConfig::capped(50_000_000));
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(EngineConfig::capped(50_000_000))
+            .run(2);
         assert!(
             out.all_informed,
             "jamming half the band cannot stop the epidemic"
@@ -162,7 +162,10 @@ mod tests {
         let mut proto = MultiCastCore::new(n, t);
         let r = proto.iteration_len();
         let mut eve = UniformFraction::new(t, 0.95, 5);
-        let out = run(&mut proto, &mut eve, 3, &EngineConfig::capped(50_000_000));
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(EngineConfig::capped(50_000_000))
+            .run(3);
         assert!(out.all_halted);
         assert_eq!(out.safety_violations(), 0);
         // She can sustain 95%-band jamming for t / (0.95·32) ≈ 197k slots,
@@ -185,7 +188,10 @@ mod tests {
         let r = proto.iteration_len();
         let mut eve = FullBandBurst::front_loaded(t);
         let jam_slots = t / (n / 2); // full band affordable this long
-        let out = run(&mut proto, &mut eve, 4, &EngineConfig::capped(50_000_000));
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(EngineConfig::capped(50_000_000))
+            .run(4);
         assert!(out.all_halted);
         assert!(out.all_informed);
         let end = out.last_halt().expect("all halted") + 1;
@@ -204,12 +210,10 @@ mod tests {
         for seed in 0..10 {
             let mut proto = MultiCastCore::new(32, 10_000);
             let mut eve = UniformFraction::new(10_000, 0.8, seed * 7 + 1);
-            let out = run(
-                &mut proto,
-                &mut eve,
-                seed,
-                &EngineConfig::capped(50_000_000),
-            );
+            let out = Simulation::new(&mut proto)
+                .adversary(&mut eve)
+                .config(EngineConfig::capped(50_000_000))
+                .run(seed);
             assert_eq!(out.safety_violations(), 0, "seed {seed}");
             assert!(out.all_informed, "seed {seed}");
         }

@@ -123,7 +123,7 @@ impl ProtocolNode for MultiHopNode {
 mod tests {
     use super::*;
     use rcb_adversary::UniformFraction;
-    use rcb_sim::{run, run_topo, EngineConfig, NoAdversary, Topology};
+    use rcb_sim::{EngineConfig, Simulation, Topology};
 
     fn informed_cfg() -> EngineConfig {
         EngineConfig {
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn single_hop_completes_like_an_epidemic() {
         let mut proto = MultiHopCast::new(32);
-        let out = run(&mut proto, &mut NoAdversary, 1, &informed_cfg());
+        let out = Simulation::new(&mut proto).config(informed_cfg()).run(1);
         assert!(out.all_informed, "{out:?}");
         assert_eq!(out.safety_violations(), 0);
     }
@@ -143,13 +143,10 @@ mod tests {
     #[test]
     fn relays_carry_the_message_down_a_line() {
         let mut proto = MultiHopCast::with_config(16, 4, 0.25);
-        let out = run_topo(
-            &mut proto,
-            &mut NoAdversary,
-            &Topology::Line,
-            2,
-            &informed_cfg(),
-        );
+        let out = Simulation::new(&mut proto)
+            .topology(&Topology::Line)
+            .config(informed_cfg())
+            .run(2);
         assert!(out.all_informed, "{out:?}");
         // Every non-source node was informed strictly after the source, and
         // someone beyond the source's only neighbor got informed — i.e. a
@@ -164,13 +161,10 @@ mod tests {
             let mut slots = 0u64;
             for seed in 0..5 {
                 let mut proto = MultiHopCast::with_config(n, 4, 0.25);
-                let out = run_topo(
-                    &mut proto,
-                    &mut NoAdversary,
-                    &Topology::Line,
-                    100 + seed,
-                    &informed_cfg(),
-                );
+                let out = Simulation::new(&mut proto)
+                    .topology(&Topology::Line)
+                    .config(informed_cfg())
+                    .run(100 + seed);
                 assert!(out.all_informed);
                 slots += out.slots;
             }
@@ -186,13 +180,11 @@ mod tests {
     fn survives_jamming_on_a_grid() {
         let mut proto = MultiHopCast::with_config(16, 8, 0.25);
         let mut eve = UniformFraction::new(5_000, 0.5, 3);
-        let out = run_topo(
-            &mut proto,
-            &mut eve,
-            &Topology::Grid { cols: 4 },
-            4,
-            &informed_cfg(),
-        );
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .topology(&Topology::Grid { cols: 4 })
+            .config(informed_cfg())
+            .run(4);
         assert!(out.all_informed, "{out:?}");
         assert!(out.eve_spent > 0);
     }
@@ -200,7 +192,9 @@ mod tests {
     #[test]
     fn never_halts() {
         let mut proto = MultiHopCast::new(16);
-        let out = run(&mut proto, &mut NoAdversary, 5, &EngineConfig::capped(500));
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(500))
+            .run(5);
         assert!(!out.all_halted);
         assert!(out.nodes.iter().all(|n| n.halted_at.is_none()));
     }

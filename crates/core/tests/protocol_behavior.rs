@@ -2,7 +2,7 @@
 
 use rcb_adversary::UniformFraction;
 use rcb_core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
-use rcb_sim::{run, EngineConfig, NoAdversary, Sampling};
+use rcb_sim::{EngineConfig, Sampling, Simulation};
 
 /// `MultiCast` completes at the first iteration boundary for every network
 /// size in the calibrated range when Eve is absent.
@@ -11,7 +11,7 @@ fn multicast_first_boundary_across_network_sizes() {
     for n in [16u64, 32, 64, 128] {
         let mut proto = MultiCast::new(n);
         let r6 = proto.iteration_rounds(6);
-        let out = run(&mut proto, &mut NoAdversary, n, &EngineConfig::default());
+        let out = Simulation::new(&mut proto).run(n);
         assert!(out.all_informed, "n = {n}");
         assert!(out.all_halted, "n = {n}");
         assert_eq!(out.slots, r6, "n = {n}: should end at the first boundary");
@@ -25,12 +25,7 @@ fn multicast_c_all_channel_counts() {
     let n = 16u64;
     for c in [1u64, 2, 4, 8] {
         let mut proto = MultiCastC::new(n, c);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            c + 100,
-            &EngineConfig::default(),
-        );
+        let out = Simulation::new(&mut proto).run(c + 100);
         assert!(out.all_informed && out.all_halted, "C = {c}");
         assert_eq!(out.safety_violations(), 0, "C = {c}");
         assert_eq!(
@@ -53,7 +48,7 @@ fn core_with_underestimated_budget_stays_safe() {
     let actual_t = 1_000_000u64;
     let mut proto = MultiCastCore::new(n, declared_t);
     let mut eve = UniformFraction::new(actual_t, 0.9, 5);
-    let out = run(&mut proto, &mut eve, 3, &EngineConfig::default());
+    let out = Simulation::new(&mut proto).adversary(&mut eve).run(3);
     assert!(out.all_informed);
     assert!(out.all_halted);
     assert_eq!(out.safety_violations(), 0);
@@ -76,7 +71,7 @@ fn adv_dense_and_sparse_sampling_agree() {
             sampling,
             ..EngineConfig::default()
         };
-        let out = run(&mut proto, &mut NoAdversary, seed, &cfg);
+        let out = Simulation::new(&mut proto).config(cfg).run(seed);
         assert!(out.all_halted && out.all_informed);
         for node in &out.nodes {
             assert_eq!(node.extra.get("helper_phase"), Some(3.0));
@@ -104,10 +99,10 @@ fn multicast_cost_is_monotone_in_adversary_strength() {
     for (t, frac) in [(0u64, 0.0), (400_000u64, 0.9), (1_600_000u64, 0.9)] {
         let mut proto = MultiCast::new(n);
         let out = if t == 0 {
-            run(&mut proto, &mut NoAdversary, 9, &EngineConfig::default())
+            Simulation::new(&mut proto).run(9)
         } else {
             let mut eve = UniformFraction::new(t, frac, 11);
-            run(&mut proto, &mut eve, 9, &EngineConfig::default())
+            Simulation::new(&mut proto).adversary(&mut eve).run(9)
         };
         assert!(out.all_halted);
         costs.push(out.max_cost());
@@ -123,7 +118,7 @@ fn multicast_cost_is_monotone_in_adversary_strength() {
 fn broadcast_burden_is_shared() {
     let n = 64u64;
     let mut proto = MultiCast::new(n);
-    let out = run(&mut proto, &mut NoAdversary, 13, &EngineConfig::default());
+    let out = Simulation::new(&mut proto).run(13);
     assert!(out.all_halted);
     let source = out.nodes[0].cost() as f64;
     let mean = out.mean_cost();
@@ -141,7 +136,7 @@ fn per_node_costs_concentrate() {
     let n = 64u64;
     let mut proto = MultiCast::new(n);
     let mut eve = UniformFraction::new(200_000, 0.7, 17);
-    let out = run(&mut proto, &mut eve, 15, &EngineConfig::default());
+    let out = Simulation::new(&mut proto).adversary(&mut eve).run(15);
     assert!(out.all_halted);
     let ratio = out.max_cost() as f64 / out.mean_cost();
     assert!(
@@ -162,7 +157,7 @@ fn adv_parameter_grid() {
             ..AdvParams::default()
         };
         let mut proto = MultiCastAdv::with_params(16, params);
-        let out = run(&mut proto, &mut NoAdversary, 21, &EngineConfig::default());
+        let out = Simulation::new(&mut proto).run(21);
         assert!(out.all_informed && out.all_halted, "alpha={alpha} b={b}");
         assert_eq!(out.safety_violations(), 0);
         for node in &out.nodes {

@@ -13,8 +13,11 @@
 //! [`AdversaryKind`], and [`TopologyKind`] are `Clone + Send` enums, so
 //! grids can be built with ordinary iterator code and shipped across
 //! threads; [`AdversaryKind::is_adaptive`] marks the execution-observing
-//! strategies, which [`run_trial`] dispatches to the engine's adaptive
-//! entry points automatically.
+//! strategies, which [`run_trial`] mounts into the adaptive seat of the
+//! engine's unified `Eve` enum automatically — every trial is one
+//! `rcb_sim::Simulation` build. Per-trial knobs beyond the spec (a base
+//! engine config, an observer) go through [`TrialOptions`] and
+//! [`run_trial_opts`].
 //!
 //! Worker-count resolution is shared by every CLI through
 //! [`resolve_threads`]: an explicit `--threads K` wins, otherwise the
@@ -51,5 +54,7 @@ pub mod runner;
 pub mod spec;
 
 pub use report::{sweep_by, SweepPoint};
-pub use runner::{resolve_threads, run_trial, run_trial_with_engine, run_trials, TrialResult};
+pub use runner::{
+    resolve_threads, run_trial, run_trial_opts, run_trials, TrialOptions, TrialResult,
+};
 pub use spec::{AdversaryKind, ProtocolKind, TopologyKind, TrialSpec};

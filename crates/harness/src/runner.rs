@@ -7,11 +7,12 @@ use rcb_adversary::{
     ReactiveJammer, Silent, SpanJammer, Sweep, UniformFraction,
 };
 use rcb_core::baseline::{Decay, NaiveEpidemic, SingleChannelRcb};
-use rcb_core::{AdvScheduleIter, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore, MultiHopCast};
+use rcb_core::{
+    AdvScheduleIter, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore, MultiHopCast,
+    MultiMessageCast,
+};
 use rcb_sim::{
-    derive_seed, run_adaptive_with_observer, run_topo_adaptive_with_observer,
-    run_topo_with_observer, run_with_observer, AdaptiveAdversary, Adversary, EngineConfig,
-    Observer, RunOutcome, Topology,
+    derive_seed, AdaptiveAdversary, Adversary, EngineConfig, Eve, Observer, RunOutcome, Simulation,
 };
 
 /// The distilled result of one trial — everything the experiment reports
@@ -91,10 +92,20 @@ impl TrialResult {
 }
 
 /// A built adversary: either oblivious (the paper's model) or adaptive
-/// (the Section 8 extension), dispatched to the matching engine entry point.
+/// (the Section 8 extension); [`BuiltAdversary::as_eve`] mounts it into the
+/// engine's unified [`Eve`] seat.
 enum BuiltAdversary {
     Oblivious(Box<dyn Adversary + Send>),
     Adaptive(Box<dyn AdaptiveAdversary + Send>),
+}
+
+impl BuiltAdversary {
+    fn as_eve(&mut self) -> Eve<'_> {
+        match self {
+            BuiltAdversary::Oblivious(a) => Eve::Oblivious(a.as_mut()),
+            BuiltAdversary::Adaptive(a) => Eve::Adaptive(a.as_mut()),
+        }
+    }
 }
 
 /// Build the adversary described by `kind`. The strategy's private stream is
@@ -176,89 +187,97 @@ fn build_adversary(kind: &AdversaryKind, master_seed: u64) -> BuiltAdversary {
 struct Noop;
 impl Observer for Noop {}
 
-/// Dispatch a built adversary (oblivious or adaptive) to the matching
-/// engine entry point, over a topology when one is requested. The
-/// single-hop `Complete` default takes the topology-free path (the
-/// topology-aware path is byte-identical for it — see
-/// `tests/topology_equivalence.rs` — so this is an optimization, not a
-/// behavioural switch).
-fn dispatch<P: rcb_sim::Protocol>(
-    protocol: &mut P,
-    adversary: &mut BuiltAdversary,
-    topology: Option<&Topology>,
-    seed: u64,
-    cfg: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> RunOutcome {
-    match (adversary, topology) {
-        (BuiltAdversary::Oblivious(a), None) => {
-            run_with_observer(protocol, a.as_mut(), seed, cfg, observer)
+/// Per-trial knobs beyond the declarative [`TrialSpec`] itself. The single
+/// options struct behind every trial entry point: `rcb bench` overrides
+/// `engine` to time the slot-by-slot reference, experiments mount an
+/// `observer` to capture growth curves.
+#[derive(Default)]
+pub struct TrialOptions<'a> {
+    /// Base engine configuration. The spec's slot cap and the protocol's
+    /// stop rule still override the matching fields.
+    pub engine: EngineConfig,
+    /// Stream engine events into this observer.
+    pub observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> TrialOptions<'a> {
+    /// Options with a caller-supplied base [`EngineConfig`] (used by
+    /// `rcb bench` to compare the fast-forward engine against the
+    /// slot-by-slot reference on identical workloads).
+    pub fn with_engine(engine: EngineConfig) -> Self {
+        Self {
+            engine,
+            observer: None,
         }
-        (BuiltAdversary::Oblivious(a), Some(t)) => {
-            run_topo_with_observer(protocol, a.as_mut(), t, seed, cfg, observer)
-        }
-        (BuiltAdversary::Adaptive(a), None) => {
-            run_adaptive_with_observer(protocol, a.as_mut(), seed, cfg, observer)
-        }
-        (BuiltAdversary::Adaptive(a), Some(t)) => {
-            run_topo_adaptive_with_observer(protocol, a.as_mut(), t, seed, cfg, observer)
+    }
+
+    /// Options streaming engine events into `observer` (used by the
+    /// epidemic-growth experiment to capture informed-count curves).
+    pub fn with_observer(observer: &'a mut dyn Observer) -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            observer: Some(observer),
         }
     }
 }
 
-/// Run a single trial.
-pub fn run_trial(spec: &TrialSpec) -> TrialResult {
-    run_trial_with_observer(spec, &mut Noop)
-}
-
-/// Run a single trial under a caller-supplied base [`EngineConfig`] (the
-/// spec's slot cap and the protocol's stop rule still override the base).
-/// Used by `rcb bench` to compare the fast-forward engine against the
-/// slot-by-slot reference on identical workloads.
-pub fn run_trial_with_engine(spec: &TrialSpec, base: &EngineConfig) -> TrialResult {
-    run_trial_inner(spec, base, &mut Noop)
-}
-
-/// Run a single trial, streaming engine events into `observer` (used by the
-/// epidemic-growth experiment to capture informed-count curves).
-pub fn run_trial_with_observer(spec: &TrialSpec, observer: &mut dyn Observer) -> TrialResult {
-    run_trial_inner(spec, &EngineConfig::default(), observer)
-}
-
-fn run_trial_inner(
+/// Build the [`Simulation`] described by the spec and run it — the one
+/// place the harness touches the engine. The single-hop `Complete` default
+/// skips topology construction (the topology-aware path is byte-identical
+/// for it — see `tests/topology_equivalence.rs` — so this is an
+/// optimization, not a behavioural switch).
+fn simulate<P: rcb_sim::Protocol>(
+    protocol: &mut P,
     spec: &TrialSpec,
-    base: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> TrialResult {
+    opts: &mut TrialOptions<'_>,
+) -> RunOutcome {
     let cfg = EngineConfig {
         max_slots: spec.max_slots,
         stop_when_all_informed: spec.protocol.never_halts(),
-        ..*base
+        ..opts.engine
     };
     let mut adversary = build_adversary(&spec.adversary, spec.seed);
-    // `Complete` takes the (byte-identical) topology-free path.
     let topology = (!spec.topology.is_complete()).then(|| spec.topology.build(spec.seed));
-    let topo = topology.as_ref();
+    let mut noop = Noop;
+    Simulation::new(protocol)
+        .eve(adversary.as_eve())
+        .topology(topology.as_ref())
+        .config(cfg)
+        .observer(match opts.observer.as_deref_mut() {
+            Some(obs) => obs,
+            None => &mut noop,
+        })
+        .run(spec.seed)
+}
+
+/// Run a single trial with default options.
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    run_trial_opts(spec, TrialOptions::default())
+}
+
+/// Run a single trial under explicit [`TrialOptions`].
+pub fn run_trial_opts(spec: &TrialSpec, mut opts: TrialOptions<'_>) -> TrialResult {
+    let opts = &mut opts;
     let out = match spec.protocol.clone() {
         ProtocolKind::Core { n, t, params } => {
             let mut p = MultiCastCore::with_params(n, t, params);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::MultiCast { n, params } => {
             let mut p = MultiCast::with_params(n, params);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::MultiCastC { n, c, params } => {
             let mut p = MultiCastC::with_params(n, c, params);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::Adv { n, params } => {
             let mut p = MultiCastAdv::with_params(n, params);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::Naive { n, act_prob } => {
             let mut p = NaiveEpidemic::with_act_prob(n, act_prob);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::NaiveConfig {
             n,
@@ -266,19 +285,23 @@ fn run_trial_inner(
             act_prob,
         } => {
             let mut p = NaiveEpidemic::with_config(n, channels, act_prob);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::SingleChannel { n, params } => {
             let mut p = SingleChannelRcb::with_params(n, params);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::Decay { n } => {
             let mut p = Decay::new(n);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
         }
         ProtocolKind::MultiHop { n, channels, p } => {
             let mut p = MultiHopCast::with_config(n, channels, p);
-            dispatch(&mut p, &mut adversary, topo, spec.seed, &cfg, observer)
+            simulate(&mut p, spec, opts)
+        }
+        ProtocolKind::MultiMessage { n, k, channels, p } => {
+            let mut p = MultiMessageCast::with_config(n, k, channels, p);
+            simulate(&mut p, spec, opts)
         }
     };
     TrialResult::from_outcome(spec, &out)
@@ -474,6 +497,26 @@ mod tests {
         assert!(r.completed, "{r:?}");
         assert!(r.all_informed);
         assert_eq!(r.protocol, "MultiHopCast");
+        assert_eq!(r.safety_violations, 0);
+    }
+
+    #[test]
+    fn multimessage_trial_tracks_every_payload() {
+        let spec = TrialSpec::new(
+            ProtocolKind::MultiMessage {
+                n: 16,
+                k: 4,
+                channels: 8,
+                p: 0.25,
+            },
+            AdversaryKind::Silent,
+            13,
+        )
+        .with_max_slots(5_000_000);
+        let r = run_trial(&spec);
+        assert!(r.completed, "{r:?}");
+        assert!(r.all_informed);
+        assert_eq!(r.protocol, "MultiMessageCast");
         assert_eq!(r.safety_violations, 0);
     }
 

@@ -31,6 +31,15 @@ pub enum ProtocolKind {
     /// Relay-capable multi-hop broadcast (informed nodes re-run the sender
     /// schedule; never halts — run until all reachable nodes are informed).
     MultiHop { n: u64, channels: u64, p: f64 },
+    /// Multi-message broadcast: `k` concurrent payloads, partial holders
+    /// relay a random known message (never halts — run until all reachable
+    /// nodes hold all `k` messages).
+    MultiMessage {
+        n: u64,
+        k: u32,
+        channels: u64,
+        p: f64,
+    },
 }
 
 impl ProtocolKind {
@@ -45,7 +54,8 @@ impl ProtocolKind {
             | ProtocolKind::NaiveConfig { n, .. }
             | ProtocolKind::SingleChannel { n, .. }
             | ProtocolKind::Decay { n }
-            | ProtocolKind::MultiHop { n, .. } => n,
+            | ProtocolKind::MultiHop { n, .. }
+            | ProtocolKind::MultiMessage { n, .. } => n,
         }
     }
 
@@ -66,6 +76,7 @@ impl ProtocolKind {
             ProtocolKind::SingleChannel { .. } => "SingleChannelRcb",
             ProtocolKind::Decay { .. } => "Decay",
             ProtocolKind::MultiHop { .. } => "MultiHopCast",
+            ProtocolKind::MultiMessage { .. } => "MultiMessageCast",
         }
     }
 
@@ -94,6 +105,9 @@ impl ProtocolKind {
             ProtocolKind::MultiHop { n, channels, p } => {
                 format!("MultiHopCast{{n={n}, channels={channels}, p={p}}}")
             }
+            ProtocolKind::MultiMessage { n, k, channels, p } => {
+                format!("MultiMessageCast{{n={n}, k={k}, channels={channels}, p={p}}}")
+            }
         }
     }
 
@@ -106,6 +120,7 @@ impl ProtocolKind {
                 | ProtocolKind::NaiveConfig { .. }
                 | ProtocolKind::Decay { .. }
                 | ProtocolKind::MultiHop { .. }
+                | ProtocolKind::MultiMessage { .. }
         )
     }
 }
@@ -472,6 +487,23 @@ mod tests {
         assert_eq!(p.name(), "MultiHopCast");
         assert_eq!(p.n(), 32);
         assert!(p.never_halts(), "no termination detection yet");
+    }
+
+    #[test]
+    fn multimessage_protocol_kind() {
+        let p = ProtocolKind::MultiMessage {
+            n: 32,
+            k: 8,
+            channels: 16,
+            p: 0.25,
+        };
+        assert_eq!(p.name(), "MultiMessageCast");
+        assert_eq!(p.n(), 32);
+        assert!(p.never_halts(), "no termination detection");
+        assert_eq!(
+            p.detail(),
+            "MultiMessageCast{n=32, k=8, channels=16, p=0.25}"
+        );
     }
 
     #[test]

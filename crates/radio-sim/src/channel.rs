@@ -27,6 +27,10 @@ pub enum Payload {
     Data,
     /// The `±` beacon of `MultiCastAdv` step two.
     Beacon,
+    /// Message `j` of a multi-message (`k > 1`) protocol: concurrent
+    /// payloads are multiplexed by identity, so a listener learns exactly
+    /// the message it decoded (`crate::Protocol::num_messages`).
+    Msg(u16),
 }
 
 /// What a listening node hears on its channel.

@@ -1,4 +1,26 @@
-//! The simulation engine: executes a [`Protocol`] against an [`Adversary`].
+//! The simulation engine: executes a [`Protocol`] against an [`Eve`]
+//! adversary through the [`Simulation`] builder.
+//!
+//! # One entry point
+//!
+//! Every run — oblivious or adaptive adversary, single-hop or over a
+//! connectivity topology, with or without an observer — goes through the
+//! same builder and the same core loop:
+//!
+//! ```text
+//! Simulation::new(&mut protocol)
+//!     .eve(Eve::Oblivious(&mut adversary))   // or .adversary(..) / .adaptive(..)
+//!     .topology(&topology)                   // optional; None = single-hop
+//!     .config(cfg)                           // optional; EngineConfig::default()
+//!     .observer(&mut observer)               // optional; no-op otherwise
+//!     .run(master_seed)
+//! ```
+//!
+//! There is exactly one simulation loop; the axes that used to be separate
+//! `run*` entry points (adversary model × topology × observation) are now
+//! configuration of that loop. [`Eve`] unifies the [`Adversary`] /
+//! [`AdaptiveAdversary`] split behind one span-dispatching interface, so
+//! both models share the idle fast-forward below.
 //!
 //! # Slot loop
 //!
@@ -57,16 +79,27 @@
 //!
 //! # Multi-hop topologies
 //!
-//! The `run_topo*` entry points thread a [`Topology`] through the run: the
-//! delivery step only lets a listener hear broadcasters **adjacent** to it
-//! in the current round ([`TopologyView::connected`]), informed nodes act
-//! as relay sources, and "everyone informed" means every node *reachable*
-//! from the source. [`Topology::Complete`] reproduces the single-hop model
-//! byte-for-byte — same RNG draws, same traces, same fast-forward spans as
-//! the topology-free entry points (enforced by
+//! Mounting a [`Topology`] with [`Simulation::topology`] threads it through
+//! the run: the delivery step only lets a listener hear broadcasters
+//! **adjacent** to it in the current round ([`TopologyView::connected`]),
+//! informed nodes act as relay sources, and "everyone informed" means every
+//! node *reachable* from the source. [`Topology::Complete`] reproduces the
+//! single-hop model byte-for-byte — same RNG draws, same traces, same
+//! fast-forward spans as a topology-free run (enforced by
 //! `tests/topology_equivalence.rs`): the per-listener adjacency resolution
 //! degenerates to the channel-board semantics, and topology construction
 //! draws only from the topology's own seeds.
+//!
+//! # Multi-message broadcast
+//!
+//! A protocol may carry `k > 1` concurrent payloads
+//! ([`Protocol::num_messages`], payload-multiplexed via
+//! [`crate::Payload::Msg`]). The engine then tracks, per message, how many
+//! nodes know it and the slot by which every reachable node knew it
+//! ([`RunOutcome::messages`]); nodes report their knowledge as a bitmask
+//! ([`crate::ProtocolNode::informed_mask`]). For `k = 1` the per-message
+//! record is synthesized from the run-level counters, so the single-message
+//! hot path is unchanged.
 //!
 //! # Determinism
 //!
@@ -79,7 +112,7 @@
 use crate::adaptive::{AdaptiveAdversary, BandObservation};
 use crate::channel::{ChannelBoard, Feedback, Payload};
 use crate::jamset::JamSet;
-use crate::metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
+use crate::metrics::{MessageOutcome, NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 use crate::protocol::{
     Action, Adversary, BoundaryDecision, Coin, Protocol, ProtocolNode, SlotProfile, SpanCharge,
 };
@@ -148,42 +181,102 @@ impl EngineConfig {
 struct NoopObserver;
 impl Observer for NoopObserver {}
 
-/// Run `protocol` against `adversary` with the given master seed.
-pub fn run<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn Adversary,
-    master_seed: u64,
-    cfg: &EngineConfig,
-) -> RunOutcome {
-    run_with_observer(protocol, adversary, master_seed, cfg, &mut NoopObserver)
+/// The adversary seat of a [`Simulation`]: nobody, the paper's oblivious
+/// model, or the Section 8 adaptive extension.
+///
+/// `Eve` absorbs the old `Adversary` / `AdaptiveAdversary` dispatch split
+/// behind one span-dispatching interface: the engine talks to whichever
+/// model is mounted through the same [`jam`](Eve::jam) /
+/// [`jam_span`](Eve::jam_span) calls, so both share the slot loop *and* the
+/// idle fast-forward (a skipped span is provably silent, so an adaptive Eve
+/// observes nothing in it — see the module docs for the soundness
+/// argument).
+///
+/// ```
+/// use rcb_sim::{BandObservation, Eve, JamSet, NoAdversary};
+///
+/// // Both adversary models fit the same seat.
+/// let mut quiet = NoAdversary;
+/// let mut eve = Eve::Oblivious(&mut quiet);
+/// assert_eq!(eve.budget(), 0);
+/// assert_eq!(eve.jam(0, 8, &BandObservation::default()), JamSet::Empty);
+/// // Oblivious strategies never read the band, so the engine can skip
+/// // collecting observations entirely.
+/// assert!(!eve.observes());
+/// assert_eq!(Eve::Silent.budget(), 0);
+/// ```
+#[derive(Default)]
+pub enum Eve<'a> {
+    /// No jamming at all (a zero-budget Eve). The default seat.
+    #[default]
+    Silent,
+    /// The paper's model: Eve sees only the slot index and channel count.
+    Oblivious(&'a mut dyn Adversary),
+    /// The Section 8 extension: Eve additionally observes, each slot, which
+    /// channels carried transmissions in the previous slot.
+    Adaptive(&'a mut dyn AdaptiveAdversary),
 }
 
-/// Like [`run`], but streams events into `observer`.
-pub fn run_with_observer<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn Adversary,
-    master_seed: u64,
-    cfg: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> RunOutcome {
-    run_inner(
-        protocol,
-        Eve::Oblivious(adversary),
-        None,
-        master_seed,
-        cfg,
-        observer,
-    )
+impl Eve<'_> {
+    /// Eve's total energy budget `T`.
+    pub fn budget(&self) -> u64 {
+        match self {
+            Eve::Silent => 0,
+            Eve::Oblivious(a) => a.budget(),
+            Eve::Adaptive(a) => a.budget(),
+        }
+    }
+
+    /// The jam set for `slot`. `prev` is the previous slot's band
+    /// observation; it reaches only an adaptive Eve.
+    #[inline]
+    pub fn jam(&mut self, slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
+        match self {
+            Eve::Silent => JamSet::Empty,
+            Eve::Oblivious(a) => a.jam(slot, channels),
+            Eve::Adaptive(a) => a.jam(slot, channels, prev),
+        }
+    }
+
+    /// Span-batched budget charge over an idle span. `prev` is the band
+    /// observation of the slot before the span; it reaches only an adaptive
+    /// Eve (and only her first span slot — the rest of the span is provably
+    /// silent, so she observes nothing further).
+    pub fn jam_span(
+        &mut self,
+        start: u64,
+        len: u64,
+        channels: u64,
+        budget: u64,
+        prev: &BandObservation,
+    ) -> SpanCharge {
+        match self {
+            Eve::Silent => SpanCharge::default(),
+            Eve::Oblivious(a) => a.jam_span(start, len, channels, budget),
+            Eve::Adaptive(a) => a.jam_span(start, len, channels, budget, prev),
+        }
+    }
+
+    /// Whether the engine must collect per-slot band observations.
+    pub fn observes(&self) -> bool {
+        match self {
+            Eve::Silent | Eve::Oblivious(_) => false,
+            Eve::Adaptive(a) => a.needs_observations(),
+        }
+    }
 }
 
-/// Run over a connectivity [`Topology`]: listeners only hear adjacent
-/// broadcasters, and completion means every *reachable* node is informed.
-/// With [`Topology::Complete`] this is byte-identical to [`run`].
+/// Builder for one engine run — the crate's single simulation entry point.
+///
+/// Mount what the run needs (adversary seat, topology, config, observer)
+/// and call [`run`](Simulation::run). Unset axes take their defaults: a
+/// [`Eve::Silent`] seat, single-hop delivery, [`EngineConfig::default`],
+/// and no observer.
 ///
 /// ```
 /// use rcb_sim::{
-///     run_topo, Action, BoundaryDecision, Coin, EngineConfig, Feedback, NoAdversary,
-///     Payload, Protocol, ProtocolNode, SlotProfile, Topology, Xoshiro256,
+///     Action, BoundaryDecision, Coin, EngineConfig, Eve, Feedback, NoAdversary,
+///     Payload, Protocol, ProtocolNode, Simulation, SlotProfile, Topology, Xoshiro256,
 /// };
 ///
 /// // A minimal relay protocol: informed nodes broadcast, uninformed nodes
@@ -226,169 +319,106 @@ pub fn run_with_observer<P: Protocol>(
 /// // On the 8-node line the message travels hop by hop; completion means
 /// // the source's whole reachable component (here: everyone) is informed.
 /// let cfg = EngineConfig { stop_when_all_informed: true, ..EngineConfig::capped(1_000_000) };
-/// let out = run_topo(&mut Relay { n: 8 }, &mut NoAdversary, &Topology::Line, 7, &cfg);
+/// let out = Simulation::new(&mut Relay { n: 8 })
+///     .topology(&Topology::Line)
+///     .config(cfg)
+///     .run(7);
 /// assert!(out.all_informed);
 /// assert_eq!(out.reachable, 8);
+///
+/// // The same run spelled with an explicit (zero-budget) adversary seat is
+/// // byte-identical: NoAdversary and Eve::Silent never draw randomness.
+/// let out2 = Simulation::new(&mut Relay { n: 8 })
+///     .eve(Eve::Oblivious(&mut NoAdversary))
+///     .topology(&Topology::Line)
+///     .config(cfg)
+///     .run(7);
+/// assert_eq!(out, out2);
 /// ```
-pub fn run_topo<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn Adversary,
-    topology: &Topology,
-    master_seed: u64,
-    cfg: &EngineConfig,
-) -> RunOutcome {
-    run_topo_with_observer(
-        protocol,
-        adversary,
-        topology,
-        master_seed,
-        cfg,
-        &mut NoopObserver,
-    )
+pub struct Simulation<'a, P: Protocol> {
+    protocol: &'a mut P,
+    eve: Eve<'a>,
+    topology: Option<&'a Topology>,
+    config: EngineConfig,
+    observer: Option<&'a mut dyn Observer>,
 }
 
-/// [`run_topo`] with an event observer (see [`run_topo`] for a worked
-/// end-to-end example).
-pub fn run_topo_with_observer<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn Adversary,
-    topology: &Topology,
-    master_seed: u64,
-    cfg: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> RunOutcome {
-    run_inner(
-        protocol,
-        Eve::Oblivious(adversary),
-        Some(topology),
-        master_seed,
-        cfg,
-        observer,
-    )
-}
-
-/// [`run_adaptive`] over a connectivity [`Topology`]: combines the
-/// adjacency-gated delivery of [`run_topo`] (see its example) with the
-/// band-observing Eve of [`run_adaptive`].
-pub fn run_topo_adaptive<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn AdaptiveAdversary,
-    topology: &Topology,
-    master_seed: u64,
-    cfg: &EngineConfig,
-) -> RunOutcome {
-    run_topo_adaptive_with_observer(
-        protocol,
-        adversary,
-        topology,
-        master_seed,
-        cfg,
-        &mut NoopObserver,
-    )
-}
-
-/// [`run_topo_adaptive`] with an event observer.
-pub fn run_topo_adaptive_with_observer<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn AdaptiveAdversary,
-    topology: &Topology,
-    master_seed: u64,
-    cfg: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> RunOutcome {
-    run_inner(
-        protocol,
-        Eve::Adaptive(adversary),
-        Some(topology),
-        master_seed,
-        cfg,
-        observer,
-    )
-}
-
-/// Run against an [`AdaptiveAdversary`] (the Section 8 future-work model):
-/// Eve additionally observes, each slot, which channels carried
-/// transmissions in the previous slot.
-pub fn run_adaptive<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn AdaptiveAdversary,
-    master_seed: u64,
-    cfg: &EngineConfig,
-) -> RunOutcome {
-    run_adaptive_with_observer(protocol, adversary, master_seed, cfg, &mut NoopObserver)
-}
-
-/// [`run_adaptive`] with an event observer.
-pub fn run_adaptive_with_observer<P: Protocol>(
-    protocol: &mut P,
-    adversary: &mut dyn AdaptiveAdversary,
-    master_seed: u64,
-    cfg: &EngineConfig,
-    observer: &mut dyn Observer,
-) -> RunOutcome {
-    run_inner(
-        protocol,
-        Eve::Adaptive(adversary),
-        None,
-        master_seed,
-        cfg,
-        observer,
-    )
-}
-
-/// The engine's internal adversary handle: either the paper's oblivious
-/// model or the Section 8 adaptive extension (may need band observations).
-/// Both are span-batchable — an adaptive Eve observes nothing during a
-/// provably silent span — so both are fast-forward eligible.
-enum Eve<'a> {
-    Oblivious(&'a mut dyn Adversary),
-    Adaptive(&'a mut dyn AdaptiveAdversary),
-}
-
-impl Eve<'_> {
-    fn budget(&self) -> u64 {
-        match self {
-            Eve::Oblivious(a) => a.budget(),
-            Eve::Adaptive(a) => a.budget(),
+impl<'a, P: Protocol> Simulation<'a, P> {
+    /// Start a builder for a run of `protocol`.
+    pub fn new(protocol: &'a mut P) -> Self {
+        Self {
+            protocol,
+            eve: Eve::Silent,
+            topology: None,
+            config: EngineConfig::default(),
+            observer: None,
         }
     }
 
-    #[inline]
-    fn jam(&mut self, slot: u64, channels: u64, prev: &BandObservation) -> JamSet {
-        match self {
-            Eve::Oblivious(a) => a.jam(slot, channels),
-            Eve::Adaptive(a) => a.jam(slot, channels, prev),
-        }
+    /// Mount an adversary seat (any [`Eve`] variant).
+    pub fn eve(mut self, eve: Eve<'a>) -> Self {
+        self.eve = eve;
+        self
     }
 
-    /// Span-batched budget charge over an idle span. `prev` is the band
-    /// observation of the slot before the span; it reaches only an adaptive
-    /// Eve (and only her first span slot — the rest of the span is provably
-    /// silent, so she observes nothing further).
-    fn jam_span(
-        &mut self,
-        start: u64,
-        len: u64,
-        channels: u64,
-        budget: u64,
-        prev: &BandObservation,
-    ) -> SpanCharge {
-        match self {
-            Eve::Oblivious(a) => a.jam_span(start, len, channels, budget),
-            Eve::Adaptive(a) => a.jam_span(start, len, channels, budget, prev),
-        }
+    /// Mount an oblivious adversary — sugar for
+    /// `.eve(Eve::Oblivious(adversary))`.
+    pub fn adversary(self, adversary: &'a mut dyn Adversary) -> Self {
+        self.eve(Eve::Oblivious(adversary))
     }
 
-    /// Whether the engine must collect per-slot band observations.
-    fn observes(&self) -> bool {
-        match self {
-            Eve::Oblivious(_) => false,
-            Eve::Adaptive(a) => a.needs_observations(),
-        }
+    /// Mount an adaptive (band-observing) adversary — sugar for
+    /// `.eve(Eve::Adaptive(adversary))`.
+    pub fn adaptive(self, adversary: &'a mut dyn AdaptiveAdversary) -> Self {
+        self.eve(Eve::Adaptive(adversary))
+    }
+
+    /// Run over a connectivity [`Topology`]. Accepts `&Topology`,
+    /// `Some(&Topology)`, or `None` (the single-hop default, handy when a
+    /// caller threads an `Option` through). [`Topology::Complete`] is
+    /// byte-identical to not mounting a topology at all.
+    pub fn topology(mut self, topology: impl Into<Option<&'a Topology>>) -> Self {
+        self.topology = topology.into();
+        self
+    }
+
+    /// Replace the default [`EngineConfig`].
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Stream engine events into `observer`.
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Execute the run with the given master seed. A run is a pure function
+    /// of `(protocol, eve, topology, config, master_seed)` — see the module
+    /// docs' determinism section.
+    pub fn run(self, master_seed: u64) -> RunOutcome {
+        let Self {
+            protocol,
+            eve,
+            topology,
+            config,
+            observer,
+        } = self;
+        let mut noop = NoopObserver;
+        run_core(
+            protocol,
+            eve,
+            topology,
+            master_seed,
+            &config,
+            observer.unwrap_or(&mut noop),
+        )
     }
 }
 
-fn run_inner<P: Protocol>(
+/// The single simulation loop behind [`Simulation::run`].
+fn run_core<P: Protocol>(
     protocol: &mut P,
     mut eve: Eve<'_>,
     topology: Option<&Topology>,
@@ -423,6 +453,44 @@ fn run_inner<P: Protocol>(
     let mut listen_cost: Vec<u64> = vec![0; n as usize];
     let mut bcast_cost: Vec<u64> = vec![0; n as usize];
     let mut informed_count: u32 = 1;
+
+    // Per-message tracking (multi-message protocols only). The k = 1 hot
+    // path skips all of it and synthesizes its single MessageOutcome from
+    // the run-level counters at the end.
+    let k_msgs = protocol.num_messages();
+    assert!(
+        (1..=64).contains(&k_msgs),
+        "num_messages must be in 1..=64, got {k_msgs}"
+    );
+    let multi = k_msgs > 1;
+    let msg_all: u64 = if k_msgs == 64 {
+        u64::MAX
+    } else {
+        (1u64 << k_msgs) - 1
+    };
+    let tracked = if multi { k_msgs as usize } else { 0 };
+    let mut msg_mask: Vec<u64> = Vec::new();
+    let mut msg_informed_count: Vec<u32> = vec![0; tracked];
+    let mut msg_informed_at: Vec<Option<u64>> = vec![None; tracked];
+    let mut msg_halted_knowing: Vec<u32> = vec![0; tracked];
+    if multi {
+        msg_mask = nodes
+            .iter()
+            .map(|nd| nd.informed_mask() & msg_all)
+            .collect();
+        for &mask in &msg_mask {
+            let mut bits = mask;
+            while bits != 0 {
+                msg_informed_count[bits.trailing_zeros() as usize] += 1;
+                bits &= bits - 1;
+            }
+        }
+        for j in 0..tracked {
+            if msg_informed_count[j] >= informed_target {
+                msg_informed_at[j] = Some(0);
+            }
+        }
+    }
 
     let mut eve_remaining = eve.budget();
     let mut eve_spent: u64 = 0;
@@ -677,6 +745,17 @@ fn run_inner<P: Protocol>(
                     informed_count += 1;
                     observer.on_informed(nid, slot);
                 }
+                if multi {
+                    credit_mask_gains(
+                        nodes[nid as usize].informed_mask() & msg_all,
+                        nid,
+                        slot,
+                        informed_target,
+                        &mut msg_mask,
+                        &mut msg_informed_count,
+                        &mut msg_informed_at,
+                    );
+                }
             }
             totals.broadcasts += slot_stats.broadcasts;
             totals.listens += slot_stats.listens;
@@ -705,17 +784,36 @@ fn run_inner<P: Protocol>(
                 let node = &mut nodes[nid as usize];
                 let was_informed = node.is_informed();
                 let decision = node.on_boundary(&prof);
-                if !was_informed && node.is_informed() {
+                let now_informed = node.is_informed();
+                if !was_informed && now_informed {
                     // Deferred status change (MultiCastAdv step-two check).
                     informed_at[nid as usize] = Some(slot - 1);
                     informed_count += 1;
                     observer.on_informed(nid, slot - 1);
                 }
+                if multi {
+                    credit_mask_gains(
+                        nodes[nid as usize].informed_mask() & msg_all,
+                        nid,
+                        slot - 1,
+                        informed_target,
+                        &mut msg_mask,
+                        &mut msg_informed_count,
+                        &mut msg_informed_at,
+                    );
+                }
                 if decision == BoundaryDecision::Halt {
                     halted_at[nid as usize] = Some(slot - 1);
-                    halted_informed[nid as usize] = node.is_informed();
+                    halted_informed[nid as usize] = now_informed;
                     any_halt = true;
                     observer.on_halted(nid, slot - 1);
+                    if multi {
+                        let mut bits = msg_mask[nid as usize];
+                        while bits != 0 {
+                            msg_halted_knowing[bits.trailing_zeros() as usize] += 1;
+                            bits &= bits - 1;
+                        }
+                    }
                 }
             }
             if any_halt {
@@ -753,24 +851,71 @@ fn run_inner<P: Protocol>(
         .collect();
 
     let all_informed = informed_count >= informed_target;
+    let all_informed_at = if all_informed {
+        informed_at.iter().map(|x| x.unwrap_or(0)).max()
+    } else {
+        None
+    };
+    let messages: Vec<MessageOutcome> = if multi {
+        (0..tracked)
+            .map(|j| MessageOutcome {
+                msg: j as u32,
+                informed_count: msg_informed_count[j],
+                all_informed_at: msg_informed_at[j],
+                halted_knowing: msg_halted_knowing[j],
+            })
+            .collect()
+    } else {
+        // Single-message runs mirror the run-level counters.
+        vec![MessageOutcome {
+            msg: 0,
+            informed_count,
+            all_informed_at,
+            halted_knowing: halted_informed.iter().filter(|&&b| b).count() as u32,
+        }]
+    };
     RunOutcome {
         slots: slot,
         all_halted: active.is_empty(),
         all_informed,
-        all_informed_at: if all_informed {
-            informed_at.iter().map(|x| x.unwrap_or(0)).max()
-        } else {
-            None
-        },
+        all_informed_at,
         reachable: informed_target,
         eve_spent,
         totals,
+        messages,
         nodes: nodes_out,
     }
 }
 
 fn node_extra<N: ProtocolNode>(node: &N) -> NodeExtra {
     node.extra()
+}
+
+/// Fold a node's newly-learned message bits into the per-message counters
+/// (multi-message runs only).
+#[allow(clippy::too_many_arguments)]
+fn credit_mask_gains(
+    new_mask: u64,
+    nid: u32,
+    slot: u64,
+    informed_target: u32,
+    msg_mask: &mut [u64],
+    msg_informed_count: &mut [u32],
+    msg_informed_at: &mut [Option<u64>],
+) {
+    let mut gained = new_mask & !msg_mask[nid as usize];
+    if gained == 0 {
+        return;
+    }
+    msg_mask[nid as usize] |= gained;
+    while gained != 0 {
+        let j = gained.trailing_zeros() as usize;
+        msg_informed_count[j] += 1;
+        if msg_informed_count[j] >= informed_target && msg_informed_at[j].is_none() {
+            msg_informed_at[j] = Some(slot);
+        }
+        gained &= gained - 1;
+    }
 }
 
 /// Validate the protocol's segment contract once per segment.
@@ -902,27 +1047,57 @@ mod tests {
     #[test]
     fn toy_broadcast_completes_without_adversary() {
         let mut proto = toy(16);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            1,
-            &EngineConfig::capped(100_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000))
+            .run(1);
         assert!(out.all_informed, "everyone should learn m: {out:?}");
         assert!(out.all_halted);
         assert_eq!(out.safety_violations(), 0);
         assert_eq!(out.eve_spent, 0);
+        // Single-message protocols carry exactly one mirrored entry.
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].informed_count, 16);
+        assert_eq!(out.messages[0].all_informed_at, out.all_informed_at);
+        assert_eq!(out.messages[0].halted_knowing, 16);
+    }
+
+    /// The explicit adversary seats and the default are interchangeable
+    /// when Eve never spends: NoAdversary (oblivious), its adaptive
+    /// adapter, and Eve::Silent must be byte-identical.
+    #[test]
+    fn eve_seats_are_byte_identical_for_a_silent_adversary() {
+        use crate::adaptive::ObliviousAsAdaptive;
+        let base = {
+            let mut proto = toy(16);
+            Simulation::new(&mut proto)
+                .config(EngineConfig::capped(100_000))
+                .run(1)
+        };
+        let oblivious = {
+            let mut proto = toy(16);
+            Simulation::new(&mut proto)
+                .adversary(&mut NoAdversary)
+                .config(EngineConfig::capped(100_000))
+                .run(1)
+        };
+        let adaptive = {
+            let mut proto = toy(16);
+            let mut inner = NoAdversary;
+            Simulation::new(&mut proto)
+                .adaptive(&mut ObliviousAsAdaptive(&mut inner))
+                .config(EngineConfig::capped(100_000))
+                .run(1)
+        };
+        assert_eq!(base, oblivious);
+        assert_eq!(base, adaptive);
     }
 
     #[test]
     fn energy_ledger_matches_totals() {
         let mut proto = toy(16);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            2,
-            &EngineConfig::capped(100_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000))
+            .run(2);
         let listens: u64 = out.nodes.iter().map(|n| n.listen_cost).sum();
         let bcasts: u64 = out.nodes.iter().map(|n| n.broadcast_cost).sum();
         assert_eq!(listens, out.totals.listens);
@@ -938,12 +1113,9 @@ mod tests {
     fn runs_are_deterministic_per_seed() {
         let collect = |seed: u64| {
             let mut proto = toy(32);
-            let out = run(
-                &mut proto,
-                &mut NoAdversary,
-                seed,
-                &EngineConfig::capped(100_000),
-            );
+            let out = Simulation::new(&mut proto)
+                .config(EngineConfig::capped(100_000))
+                .run(seed);
             (out.slots, out.max_cost(), out.eve_spent, out.totals)
         };
         assert_eq!(collect(7), collect(7));
@@ -954,12 +1126,9 @@ mod tests {
     #[test]
     fn source_is_informed_from_slot_zero() {
         let mut proto = toy(8);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            3,
-            &EngineConfig::capped(100_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000))
+            .run(3);
         assert_eq!(out.nodes[0].informed_at, Some(0));
     }
 
@@ -981,12 +1150,10 @@ mod tests {
     fn full_jam_blocks_progress_and_is_charged() {
         let mut proto = toy(16);
         let cap = 1000;
-        let out = run(
-            &mut proto,
-            &mut JamAll { t: u64::MAX },
-            4,
-            &EngineConfig::capped(cap),
-        );
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut JamAll { t: u64::MAX })
+            .config(EngineConfig::capped(cap))
+            .run(4);
         assert!(
             !out.all_informed,
             "jamming every channel must block broadcast"
@@ -1001,12 +1168,10 @@ mod tests {
     fn eve_budget_is_enforced() {
         let mut proto = toy(16);
         let budget = 50;
-        let out = run(
-            &mut proto,
-            &mut JamAll { t: budget },
-            5,
-            &EngineConfig::capped(100_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut JamAll { t: budget })
+            .config(EngineConfig::capped(100_000))
+            .run(5);
         assert!(out.eve_spent <= budget);
         // Once she is bankrupt the toy protocol finishes.
         assert!(out.all_informed);
@@ -1023,7 +1188,7 @@ mod tests {
             stop_when_all_informed: true,
             ..EngineConfig::capped(1_000_000)
         };
-        let out = run(&mut proto, &mut NoAdversary, 6, &cfg);
+        let out = Simulation::new(&mut proto).config(cfg).run(6);
         assert!(out.all_informed);
         assert!(out.slots < 1_000_000, "should stop well before the cap");
         assert!(!out.all_halted, "nodes were still active when we stopped");
@@ -1033,13 +1198,10 @@ mod tests {
     fn observer_sees_informed_and_halt_events() {
         let mut proto = toy(8);
         let mut obs = RecordingObserver::new();
-        let out = run_with_observer(
-            &mut proto,
-            &mut NoAdversary,
-            9,
-            &EngineConfig::capped(100_000),
-            &mut obs,
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000))
+            .observer(&mut obs)
+            .run(9);
         assert_eq!(
             obs.informed_slots().len(),
             7,
@@ -1064,7 +1226,7 @@ mod tests {
                     sampling,
                     ..EngineConfig::capped(100_000)
                 };
-                let out = run(&mut proto, &mut NoAdversary, 1000 + seed, &cfg);
+                let out = Simulation::new(&mut proto).config(cfg).run(1000 + seed);
                 assert!(out.all_halted);
                 total += out.slots;
             }
@@ -1143,7 +1305,10 @@ mod tests {
                     fast_forward,
                     ..EngineConfig::capped(50_000)
                 };
-                run(&mut proto, &mut EveryThird { calls: 0 }, seed, &cfg)
+                Simulation::new(&mut proto)
+                    .adversary(&mut EveryThird { calls: 0 })
+                    .config(cfg)
+                    .run(seed)
             };
             let fast = run_mode(true);
             let slow = run_mode(false);
@@ -1179,13 +1344,10 @@ mod tests {
             span_slots: 0,
             slots: 0,
         };
-        let out = run_with_observer(
-            &mut proto,
-            &mut NoAdversary,
-            5,
-            &EngineConfig::capped(50_000),
-            &mut obs,
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(50_000))
+            .observer(&mut obs)
+            .run(5);
         assert!(obs.spans > 0, "sparse toy must fast-forward");
         assert_eq!(
             obs.slots + obs.span_slots,
@@ -1204,7 +1366,7 @@ mod tests {
     #[should_panic(expected = "at least a source and one receiver")]
     fn rejects_single_node_network() {
         let mut proto = toy(1);
-        run(&mut proto, &mut NoAdversary, 0, &EngineConfig::default());
+        Simulation::new(&mut proto).run(0);
     }
 
     /// A relay toy for multi-hop runs: like [`Toy`] but nodes never halt
@@ -1279,22 +1441,16 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let single = {
                 let mut proto = toy(16);
-                run(
-                    &mut proto,
-                    &mut NoAdversary,
-                    seed,
-                    &EngineConfig::capped(100_000),
-                )
+                Simulation::new(&mut proto)
+                    .config(EngineConfig::capped(100_000))
+                    .run(seed)
             };
             let topo = {
                 let mut proto = toy(16);
-                run_topo(
-                    &mut proto,
-                    &mut NoAdversary,
-                    &Topology::Complete,
-                    seed,
-                    &EngineConfig::capped(100_000),
-                )
+                Simulation::new(&mut proto)
+                    .topology(&Topology::Complete)
+                    .config(EngineConfig::capped(100_000))
+                    .run(seed)
             };
             assert_eq!(single, topo, "seed {seed}");
         }
@@ -1305,14 +1461,11 @@ mod tests {
         use crate::topology::Topology;
         let mut proto = RelayToy { n: 8, channels: 2 };
         let mut obs = RecordingObserver::new();
-        let out = run_topo_with_observer(
-            &mut proto,
-            &mut NoAdversary,
-            &Topology::Line,
-            7,
-            &informed_cfg(),
-            &mut obs,
-        );
+        let out = Simulation::new(&mut proto)
+            .topology(&Topology::Line)
+            .config(informed_cfg())
+            .observer(&mut obs)
+            .run(7);
         assert!(out.all_informed, "{out:?}");
         assert_eq!(out.reachable, 8);
         // On a line, node k can only be informed after node k-1 (its only
@@ -1345,7 +1498,10 @@ mod tests {
         let view = TopologyView::build(&topo, 16);
         assert!(view.reachable_count() < 16, "radius chosen to disconnect");
         let mut proto = RelayToy { n: 16, channels: 4 };
-        let out = run_topo(&mut proto, &mut NoAdversary, &topo, 5, &informed_cfg());
+        let out = Simulation::new(&mut proto)
+            .topology(&topo)
+            .config(informed_cfg())
+            .run(5);
         assert!(
             out.all_informed,
             "reachable component must complete: {out:?}"
@@ -1370,7 +1526,10 @@ mod tests {
             seed: 21,
         };
         let mut proto = RelayToy { n: 8, channels: 2 };
-        let out = run_topo(&mut proto, &mut NoAdversary, &topo, 9, &informed_cfg());
+        let out = Simulation::new(&mut proto)
+            .topology(&topo)
+            .config(informed_cfg())
+            .run(9);
         assert!(
             out.all_informed,
             "churned line must still complete: {out:?}"
@@ -1441,18 +1600,108 @@ mod tests {
         }
     }
 
+    /// A k = 3 multi-message toy: the source holds all three payloads and
+    /// broadcasts a uniformly random one; everyone else listens until it
+    /// holds all three. Exercises the engine's per-message tracking.
+    struct MsgToy {
+        n: u32,
+    }
+    struct MsgNode {
+        mask: u64,
+        is_source: bool,
+    }
+    impl Protocol for MsgToy {
+        type Node = MsgNode;
+        fn num_nodes(&self) -> u32 {
+            self.n
+        }
+        fn segment(&mut self, _s: u64) -> SlotProfile {
+            SlotProfile {
+                p1: 0.5,
+                p2: 0.5,
+                channels: 2,
+                virt_channels: 2,
+                round_len: 1,
+                seg_len: 1 << 40,
+                seg_major: 0,
+                seg_minor: 0,
+                step: 0,
+            }
+        }
+        fn make_node(&self, _id: u32, is_source: bool) -> MsgNode {
+            MsgNode {
+                mask: if is_source { 0b111 } else { 0 },
+                is_source,
+            }
+        }
+        fn num_messages(&self) -> u32 {
+            3
+        }
+    }
+    impl ProtocolNode for MsgNode {
+        fn on_selected(&mut self, prof: &SlotProfile, coin: Coin, rng: &mut Xoshiro256) -> Action {
+            let ch = rng.gen_range(prof.virt_channels);
+            match coin {
+                Coin::One if self.mask != 0b111 => Action::Listen { ch },
+                Coin::Two if self.is_source => Action::Broadcast {
+                    ch,
+                    payload: Payload::Msg(rng.gen_range(3) as u16),
+                },
+                _ => Action::Idle,
+            }
+        }
+        fn on_feedback(&mut self, _p: &SlotProfile, fb: Feedback) {
+            if let Feedback::Message(Payload::Msg(j)) = fb {
+                self.mask |= 1 << j;
+            }
+        }
+        fn on_boundary(&mut self, _p: &SlotProfile) -> BoundaryDecision {
+            BoundaryDecision::Continue
+        }
+        fn is_informed(&self) -> bool {
+            self.mask == 0b111
+        }
+        fn informed_mask(&self) -> u64 {
+            self.mask
+        }
+    }
+
+    #[test]
+    fn multi_message_tracking_records_per_message_completion() {
+        let mut proto = MsgToy { n: 8 };
+        let cfg = EngineConfig {
+            stop_when_all_informed: true,
+            ..EngineConfig::capped(1_000_000)
+        };
+        let out = Simulation::new(&mut proto).config(cfg).run(13);
+        assert!(out.all_informed, "{out:?}");
+        assert_eq!(out.messages.len(), 3);
+        for (j, m) in out.messages.iter().enumerate() {
+            assert_eq!(m.msg, j as u32);
+            assert_eq!(m.informed_count, 8, "message {j} must reach everyone");
+            assert!(m.all_informed_at.is_some());
+            assert_eq!(m.halted_knowing, 0, "nobody ever halts");
+        }
+        // The run completes exactly when the last message completes.
+        let last = out
+            .messages
+            .iter()
+            .map(|m| m.all_informed_at.unwrap())
+            .max();
+        assert_eq!(last, out.all_informed_at);
+        // A node's informed_at is when it learned its *last* message.
+        assert!(out.nodes.iter().all(|n| n.informed_at.is_some()));
+    }
+
     #[test]
     fn round_simulation_delivers_messages() {
         // With 8 virtual channels over 2 physical channels and 4-slot rounds,
         // source and listener meet when they pick the same virtual channel
         // (prob 1/8 per round) — should happen quickly.
         let mut proto = RoundToy;
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            11,
-            &EngineConfig::capped(100_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(100_000))
+            .run(11);
         assert!(
             out.all_informed,
             "round-mapped rendezvous must succeed: {out:?}"

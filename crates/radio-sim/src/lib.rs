@@ -37,6 +37,10 @@
 //! [`protocol`] for the trait contract and [`sampler`] for the exactness
 //! argument and tests.
 //!
+//! Every run goes through one builder, [`Simulation`]: mount an [`Eve`]
+//! adversary seat (oblivious or adaptive), optionally a [`Topology`], an
+//! [`EngineConfig`], and an [`Observer`], then `.run(seed)`.
+//!
 //! The [`topology`] module generalizes the model to **multi-hop** networks:
 //! a connectivity graph gates who hears whom, informed nodes relay, and
 //! completion means the source's whole reachable component is informed.
@@ -55,13 +59,9 @@ pub mod trace;
 
 pub use adaptive::{AdaptiveAdversary, BandObservation, ObliviousAsAdaptive};
 pub use channel::{ChannelBoard, Feedback, Payload};
-pub use engine::{
-    run, run_adaptive, run_adaptive_with_observer, run_topo, run_topo_adaptive,
-    run_topo_adaptive_with_observer, run_topo_with_observer, run_with_observer, EngineConfig,
-    Sampling,
-};
+pub use engine::{EngineConfig, Eve, Sampling, Simulation};
 pub use jamset::JamSet;
-pub use metrics::{NodeExtra, NodeOutcome, RunOutcome, SlotStats};
+pub use metrics::{MessageOutcome, NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 pub use protocol::{
     Action, Adversary, BoundaryDecision, Coin, NoAdversary, NodeId, Protocol, ProtocolNode,
     SlotProfile, SpanCharge,

@@ -62,6 +62,22 @@ pub struct SlotStats {
     pub jammed: u64,
 }
 
+/// Per-message result of a run — the multi-message broadcast tracking of
+/// [`crate::Protocol::num_messages`]. Single-message runs carry exactly one
+/// entry mirroring the run-level fields, synthesized off the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageOutcome {
+    /// Message id `j` (bit `j` of a node's informed mask).
+    pub msg: u32,
+    /// Nodes that knew this message when the run ended.
+    pub informed_count: u32,
+    /// Slot at the end of which every *reachable* node knew this message,
+    /// if that happened.
+    pub all_informed_at: Option<u64>,
+    /// Nodes that halted while knowing this message.
+    pub halted_knowing: u32,
+}
+
 /// Result of one engine run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
@@ -81,6 +97,10 @@ pub struct RunOutcome {
     pub eve_spent: u64,
     /// Aggregate listener statistics.
     pub totals: SlotStats,
+    /// Per-message tracking, indexed by message id (length =
+    /// `Protocol::num_messages()`; a single entry for the paper's
+    /// single-message protocols).
+    pub messages: Vec<MessageOutcome>,
     /// Per-node outcomes, indexed by node id.
     pub nodes: Vec<NodeOutcome>,
 }
@@ -153,6 +173,7 @@ mod tests {
             reachable: 2,
             eve_spent: 10,
             totals: SlotStats::default(),
+            messages: Vec::new(),
             nodes,
         }
     }

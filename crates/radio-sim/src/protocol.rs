@@ -119,8 +119,21 @@ pub trait Protocol {
     fn segment(&mut self, start_slot: u64) -> SlotProfile;
 
     /// Construct the state of node `id`. `is_source` is true for node 0,
-    /// which starts informed (it knows the message `m`).
+    /// which starts informed (it knows the message `m` — all `k` of them
+    /// for a multi-message protocol).
     fn make_node(&self, id: NodeId, is_source: bool) -> Self::Node;
+
+    /// Number of concurrent broadcast payloads `k` this protocol carries
+    /// (the multi-message broadcast model of Ahmadi & Kuhn,
+    /// arXiv:1610.02931). Single-message protocols — everything in the
+    /// paper — keep the default of 1. Must lie in `1..=64` (message
+    /// identities fit one bitmask word). Multi-message protocols multiplex
+    /// payloads via [`Payload::Msg`] and report per-node knowledge through
+    /// [`ProtocolNode::informed_mask`]; the engine then fills
+    /// [`crate::RunOutcome::messages`] with per-message tracking.
+    fn num_messages(&self) -> u32 {
+        1
+    }
 }
 
 /// Per-node protocol state.
@@ -138,8 +151,19 @@ pub trait ProtocolNode {
     /// checks. `profile` is the profile of the segment that just finished.
     fn on_boundary(&mut self, profile: &SlotProfile) -> BoundaryDecision;
 
-    /// Does this node currently know the message `m`?
+    /// Does this node currently know the message `m`? For multi-message
+    /// protocols: does it know **all** `k` messages?
     fn is_informed(&self) -> bool;
+
+    /// Bitmask of the messages this node currently knows (bit `j` set =
+    /// message `j` known). The engine reads it for the per-message tracking
+    /// of multi-message runs ([`crate::RunOutcome::messages`]). The default
+    /// — bit 0 mirrors [`is_informed`](ProtocolNode::is_informed) — is
+    /// always right for single-message protocols, and the engine never
+    /// calls it on the `k = 1` hot path.
+    fn informed_mask(&self) -> u64 {
+        self.is_informed() as u64
+    }
 
     /// Protocol-specific metrics for experiment reports (e.g. the `(iˆ, jˆ)`
     /// helper phase of `MultiCastAdv`).

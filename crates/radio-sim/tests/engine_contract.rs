@@ -2,8 +2,8 @@
 //! clear panic, not corrupt a simulation.
 
 use rcb_sim::{
-    run, Action, BoundaryDecision, Coin, EngineConfig, Feedback, NoAdversary, Protocol,
-    ProtocolNode, SlotProfile, Xoshiro256,
+    Action, BoundaryDecision, Coin, EngineConfig, Feedback, Protocol, ProtocolNode, Simulation,
+    SlotProfile, Xoshiro256,
 };
 
 /// A protocol whose profile is whatever the test says.
@@ -55,7 +55,9 @@ fn base_profile() -> SlotProfile {
 
 fn run_fixed(profile: SlotProfile) {
     let mut proto = Fixed { profile };
-    run(&mut proto, &mut NoAdversary, 1, &EngineConfig::capped(100));
+    Simulation::new(&mut proto)
+        .config(EngineConfig::capped(100))
+        .run(1);
 }
 
 #[test]
@@ -152,7 +154,9 @@ fn slot_cap_is_exact() {
             ..base_profile()
         },
     };
-    let out = run(&mut proto, &mut NoAdversary, 2, &EngineConfig::capped(137));
+    let out = Simulation::new(&mut proto)
+        .config(EngineConfig::capped(137))
+        .run(2);
     assert_eq!(out.slots, 137);
     assert!(!out.all_halted);
 }
@@ -168,6 +172,8 @@ fn slot_cap_mid_round_is_safe() {
             ..base_profile()
         },
     };
-    let out = run(&mut proto, &mut NoAdversary, 3, &EngineConfig::capped(15));
+    let out = Simulation::new(&mut proto)
+        .config(EngineConfig::capped(15))
+        .run(3);
     assert_eq!(out.slots, 15, "cap mid-round");
 }

@@ -7,8 +7,8 @@
 //! configuration draws. Case count matches the original config (64).
 
 use rcb_sim::{
-    run, Action, Adversary, BoundaryDecision, Coin, EngineConfig, Feedback, JamSet, Payload,
-    Protocol, ProtocolNode, SlotProfile, Xoshiro256,
+    Action, Adversary, BoundaryDecision, Coin, EngineConfig, Feedback, JamSet, Payload, Protocol,
+    ProtocolNode, Simulation, SlotProfile, Xoshiro256,
 };
 
 /// A randomized-but-valid protocol: fixed profile, status-based toy nodes.
@@ -151,7 +151,10 @@ fn engine_invariants_hold_under_fuzz() {
                 mode,
                 rng: Xoshiro256::seeded(seed),
             };
-            run(&mut proto, &mut adv, seed, &EngineConfig::capped(cap))
+            Simulation::new(&mut proto)
+                .adversary(&mut adv)
+                .config(EngineConfig::capped(cap))
+                .run(seed)
         };
         let out = run_once();
 

@@ -66,4 +66,26 @@ fn main() {
         "campaigns are thread-count invariant"
     );
     println!("verified: parallel and serial runs produced byte-identical artifacts");
+
+    // The newest catalog entry: multi-message broadcast. The k ladder shows
+    // completion time growing with the payload count, the last cells show
+    // the same protocol jammed and relayed across a grid — all through the
+    // same unified Simulation core.
+    let scenario = find("multi-message").expect("registered");
+    let spec = (scenario.build)();
+    println!(
+        "\nrunning `{}` — {} cells x 5 trials …\n",
+        spec.name,
+        spec.cells.len()
+    );
+    let report = run_campaign(
+        &spec,
+        &CampaignConfig {
+            seed: 42,
+            trials_per_cell: 5,
+            threads: 0,
+            ..Default::default()
+        },
+    );
+    println!("{}", report.to_table());
 }

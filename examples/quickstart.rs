@@ -11,7 +11,7 @@
 
 use rcb::adversary::UniformFraction;
 use rcb::core::MultiCast;
-use rcb::sim::{run_with_observer, EngineConfig, RecordingObserver};
+use rcb::sim::{RecordingObserver, Simulation};
 
 fn main() {
     let n: u64 = 64; // power of two; the protocol uses n/2 = 32 channels
@@ -27,13 +27,10 @@ fn main() {
     let mut protocol = MultiCast::new(n);
     let mut eve = UniformFraction::new(t, 0.6, seed);
     let mut trace = RecordingObserver::new();
-    let outcome = run_with_observer(
-        &mut protocol,
-        &mut eve,
-        seed,
-        &EngineConfig::default(),
-        &mut trace,
-    );
+    let outcome = Simulation::new(&mut protocol)
+        .adversary(&mut eve)
+        .observer(&mut trace)
+        .run(seed);
 
     // --- Message dissemination -------------------------------------------
     let informed = trace.informed_slots();

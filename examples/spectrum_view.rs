@@ -12,8 +12,8 @@
 
 use rcb::adversary::PeriodicPulse;
 use rcb::core::MultiCast;
-use rcb::sim::{run_adaptive_with_observer, ObliviousAsAdaptive};
-use rcb::sim::{EngineConfig, Observer, SlotStats};
+use rcb::sim::{ObliviousAsAdaptive, Simulation};
+use rcb::sim::{Observer, SlotStats};
 
 /// Collects per-slot activity counters for later bucketed rendering.
 #[derive(Default)]
@@ -64,13 +64,10 @@ fn main() {
     let mut eve = PeriodicPulse::new(t, 1024, 256, 0.9, 99);
     let mut eve = ObliviousAsAdaptive(&mut eve);
     let mut rec = SpectrumRecorder::default();
-    let outcome = run_adaptive_with_observer(
-        &mut protocol,
-        &mut eve,
-        2026,
-        &EngineConfig::default(),
-        &mut rec,
-    );
+    let outcome = Simulation::new(&mut protocol)
+        .adaptive(&mut eve)
+        .observer(&mut rec)
+        .run(2026);
 
     let width = 96;
     println!(

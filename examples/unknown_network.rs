@@ -14,7 +14,7 @@
 //! ```
 
 use rcb::core::{AdvParams, MultiCastAdv};
-use rcb::sim::{run_with_observer, EngineConfig, NoAdversary, Observer, SlotProfile};
+use rcb::sim::{Observer, Simulation, SlotProfile};
 
 /// Observer that prints one line per epoch and flags status milestones.
 #[derive(Default)]
@@ -67,13 +67,9 @@ fn main() {
 
     let mut protocol = MultiCastAdv::with_params(n, params);
     let mut narrator = Narrator::default();
-    let outcome = run_with_observer(
-        &mut protocol,
-        &mut NoAdversary,
-        2024,
-        &EngineConfig::default(),
-        &mut narrator,
-    );
+    let outcome = Simulation::new(&mut protocol)
+        .observer(&mut narrator)
+        .run(2024);
 
     println!("\noutcome:");
     println!(

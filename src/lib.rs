@@ -36,13 +36,13 @@
 //! ```
 //! use rcb::core::MultiCast;
 //! use rcb::adversary::UniformFraction;
-//! use rcb::sim::{run, EngineConfig};
+//! use rcb::sim::Simulation;
 //!
 //! // 64 nodes (the protocol uses n/2 = 32 channels); Eve holds 20k energy
 //! // and jams half the band every slot until she is broke.
 //! let mut protocol = MultiCast::new(64);
 //! let mut eve = UniformFraction::new(20_000, 0.5, 7);
-//! let outcome = run(&mut protocol, &mut eve, 42, &EngineConfig::default());
+//! let outcome = Simulation::new(&mut protocol).adversary(&mut eve).run(42);
 //!
 //! assert!(outcome.all_informed && outcome.all_halted);
 //! assert_eq!(outcome.safety_violations(), 0);

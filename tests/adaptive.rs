@@ -3,7 +3,7 @@
 use rcb::adversary::{HotspotJammer, ReactiveJammer, UniformFraction};
 use rcb::core::MultiCast;
 use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb::sim::{run, run_adaptive, EngineConfig};
+use rcb::sim::Simulation;
 
 #[test]
 fn protocols_remain_safe_under_adaptive_jamming() {
@@ -69,14 +69,18 @@ fn adaptive_jamming_is_no_stronger_than_spend_matched_oblivious() {
     for seed in 0..seeds {
         let mut p1 = MultiCast::new(n);
         let mut hotspot = HotspotJammer::new(t, 8, 0.8, seed);
-        let a = run_adaptive(&mut p1, &mut hotspot, 40 + seed, &EngineConfig::default());
+        let a = Simulation::new(&mut p1)
+            .adaptive(&mut hotspot)
+            .run(40 + seed);
         assert!(a.all_halted && a.all_informed);
         assert_eq!(a.safety_violations(), 0);
         adaptive_cost += a.max_cost() as f64;
 
         let mut p2 = MultiCast::new(n);
         let mut uniform = UniformFraction::new(t, 0.5, seed); // 8 of 16 channels
-        let o = run(&mut p2, &mut uniform, 40 + seed, &EngineConfig::default());
+        let o = Simulation::new(&mut p2)
+            .adversary(&mut uniform)
+            .run(40 + seed);
         assert!(o.all_halted && o.all_informed);
         oblivious_cost += o.max_cost() as f64;
     }
@@ -97,7 +101,7 @@ fn reactive_jammer_cannot_spend_its_budget() {
     let t = 1_000_000u64;
     let mut proto = MultiCast::new(n);
     let mut eve = ReactiveJammer::new(t, 64);
-    let out = run_adaptive(&mut proto, &mut eve, 77, &EngineConfig::default());
+    let out = Simulation::new(&mut proto).adaptive(&mut eve).run(77);
     assert!(out.all_halted && out.all_informed);
     // Expected busy channels per slot ≈ n·p = 0.5; over the ~first-iteration
     // run she can burn only a tiny sliver of a million-unit budget.

@@ -20,8 +20,8 @@
 use rcb::adversary::{HotspotJammer, ReactiveJammer};
 use rcb::core::{MultiCast, MultiCastAdv, MultiCastCore};
 use rcb::sim::{
-    run_adaptive_with_observer, AdaptiveAdversary, EngineConfig, Observer, Protocol, RunOutcome,
-    SlotProfile, SlotStats, TraceEvent,
+    AdaptiveAdversary, EngineConfig, Observer, Protocol, RunOutcome, Simulation, SlotProfile,
+    SlotStats, TraceEvent,
 };
 
 /// Records the full informational trace plus slot/span coverage counters.
@@ -97,7 +97,11 @@ fn run_combo(proto: usize, adv: usize, seed: u64, fast_forward: bool) -> (RunOut
         cfg: &EngineConfig,
         trace: &mut FullTrace,
     ) -> RunOutcome {
-        run_adaptive_with_observer(&mut p, eve, seed, cfg, trace)
+        Simulation::new(&mut p)
+            .adaptive(eve)
+            .config(*(cfg))
+            .observer(trace)
+            .run(seed)
     }
     let n = 16u64;
     let out = match proto {
@@ -167,7 +171,11 @@ fn adaptive_runs_fast_forward_meaningfully() {
             let mut eve = HotspotJammer::new(1_000_000, 7, 0.9, seed);
             let mut trace = FullTrace::default();
             let mut p = MultiCast::new(16);
-            let out = run_adaptive_with_observer(&mut p, &mut eve, seed, &cfg, &mut trace);
+            let out = Simulation::new(&mut p)
+                .adaptive(&mut eve)
+                .config(cfg)
+                .observer(&mut trace)
+                .run(seed);
             (out, trace)
         };
         assert!(out.all_halted && out.all_informed, "seed {seed}");
@@ -195,7 +203,11 @@ fn adaptive_fast_forward_survives_mid_span_bankruptcy() {
             let mut eve = HotspotJammer::new(5_000, 4, 0.8, seed);
             let mut p = MultiCast::new(16);
             let mut trace = FullTrace::default();
-            let out = run_adaptive_with_observer(&mut p, &mut eve, seed, &cfg, &mut trace);
+            let out = Simulation::new(&mut p)
+                .adaptive(&mut eve)
+                .config(cfg)
+                .observer(&mut trace)
+                .run(seed);
             (out, trace)
         };
         let (fast_out, fast_tr) = run_mode(true);

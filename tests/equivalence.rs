@@ -8,15 +8,15 @@
 //!   statistically with the dense per-node reference sampling.
 
 use rcb::core::{McParams, MultiCast, MultiCastC};
-use rcb::sim::{run, EngineConfig, NoAdversary, Sampling};
+use rcb::sim::{EngineConfig, Sampling, Simulation};
 
 #[test]
 fn multicast_c_at_half_n_has_identical_schedule_shape() {
     let n = 32u64;
     let mut full = MultiCast::new(n);
     let mut limited = MultiCastC::new(n, n / 2);
-    let out_full = run(&mut full, &mut NoAdversary, 11, &EngineConfig::default());
-    let out_lim = run(&mut limited, &mut NoAdversary, 11, &EngineConfig::default());
+    let out_full = Simulation::new(&mut full).run(11);
+    let out_lim = Simulation::new(&mut limited).run(11);
     assert!(out_full.all_halted && out_lim.all_halted);
     // Identical seed, identical schedule (round_len == 1) — identical runs.
     assert_eq!(out_full.slots, out_lim.slots);
@@ -34,18 +34,13 @@ fn round_simulation_stretches_time_but_preserves_rounds_and_energy() {
     let mut cost_c4 = Vec::new();
     for seed in seeds {
         let mut full = MultiCast::new(n);
-        let of = run(&mut full, &mut NoAdversary, seed, &EngineConfig::default());
+        let of = Simulation::new(&mut full).run(seed);
         assert!(of.all_halted);
         virt_slots_full.push(of.slots as f64);
         cost_full.push(of.mean_cost());
 
         let mut limited = MultiCastC::new(n, 4);
-        let ol = run(
-            &mut limited,
-            &mut NoAdversary,
-            seed,
-            &EngineConfig::default(),
-        );
+        let ol = Simulation::new(&mut limited).run(seed);
         assert!(ol.all_halted);
         // 4 physical slots per round (n/2 = 16 virtual channels / 4).
         assert_eq!(ol.slots % 4, 0);
@@ -81,7 +76,7 @@ fn sparse_and_dense_sampling_agree_on_protocol_outcomes() {
                 sampling,
                 ..EngineConfig::default()
             };
-            let out = run(&mut proto, &mut NoAdversary, 300 + seed, &cfg);
+            let out = Simulation::new(&mut proto).config(cfg).run(300 + seed);
             assert!(out.all_halted && out.all_informed);
             slots += out.slots as f64;
             cost += out.mean_cost();

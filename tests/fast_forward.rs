@@ -19,7 +19,7 @@ use rcb::adversary::{
     UniformFraction,
 };
 use rcb::core::{AdvParams, MultiCast, MultiCastAdv, MultiCastC, MultiCastCore};
-use rcb::sim::{run, Adversary, EngineConfig, Protocol, RunOutcome, Xoshiro256};
+use rcb::sim::{Adversary, EngineConfig, Protocol, RunOutcome, Simulation, Xoshiro256};
 
 /// Run protocol `p` (by index) against adversary `a` (by index) in the
 /// given engine mode. Indices rather than closures so each combination
@@ -52,7 +52,10 @@ fn run_combo(proto: usize, adv: usize, seed: u64, fast_forward: bool) -> RunOutc
         seed: u64,
         cfg: &EngineConfig,
     ) -> RunOutcome {
-        run(&mut p, a, seed, cfg)
+        Simulation::new(&mut p)
+            .adversary(a)
+            .config(*(cfg))
+            .run(seed)
     }
     let n = 16u64;
     match proto {
@@ -116,7 +119,10 @@ fn fast_forward_preserves_complete_runs() {
                 fast_forward,
                 ..EngineConfig::default()
             };
-            run(&mut proto, &mut eve, seed, &cfg)
+            Simulation::new(&mut proto)
+                .adversary(&mut eve)
+                .config(cfg)
+                .run(seed)
         };
         let fast = run_mode(true);
         assert_eq!(fast, run_mode(false), "seed {seed}");
@@ -217,7 +223,7 @@ fn gilbert_elliott_fast_forward_smoke() {
     for seed in [4u64, 5] {
         let mut proto = MultiCast::new(16);
         let mut eve = GilbertElliott::new(20_000, 0.05, 0.2, 0.6, 9);
-        let out = run(&mut proto, &mut eve, seed, &EngineConfig::default());
+        let out = Simulation::new(&mut proto).adversary(&mut eve).run(seed);
         assert!(out.all_halted && out.all_informed, "seed {seed}: {out:?}");
         assert_eq!(out.safety_violations(), 0);
         assert!(out.eve_spent <= 20_000);

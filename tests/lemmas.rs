@@ -4,7 +4,7 @@
 use rcb::adversary::UniformFraction;
 use rcb::core::{AdvParams, MultiCastAdv, MultiCastCore};
 use rcb::harness::{run_trials, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb::sim::{run, run_with_observer, EngineConfig, RecordingObserver};
+use rcb::sim::{EngineConfig, RecordingObserver, Simulation};
 
 /// Lemma 4.1: if for at least ten percent of an iteration's slots Eve jams
 /// at most ninety percent of the channels, the epidemic completes within
@@ -25,7 +25,11 @@ fn lemma_4_1_epidemic_completes_inside_one_iteration_under_90pct_jam() {
             stop_when_all_informed: true,
             ..EngineConfig::capped(2 * r)
         };
-        let out = run_with_observer(&mut proto, &mut eve, seed, &cfg, &mut trace);
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(cfg)
+            .observer(&mut trace)
+            .run(seed);
         assert!(out.all_informed, "seed {seed}: epidemic blocked");
         let done = out.all_informed_at.expect("informed");
         // The lemma's premise gives Eve only 90% of channels on 90% of
@@ -55,7 +59,10 @@ fn lemma_4_3_weak_jamming_cannot_prevent_halting() {
         let mut proto = MultiCastCore::new(n, 10_000_000);
         let r = proto.iteration_len();
         let mut eve = UniformFraction::new(u64::MAX / 2, 0.15, seed + 11);
-        let out = run(&mut proto, &mut eve, seed, &EngineConfig::capped(10 * r));
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut eve)
+            .config(EngineConfig::capped(10 * r))
+            .run(seed);
         assert!(
             out.all_halted,
             "seed {seed}: weak jamming should not block halting"
@@ -165,18 +172,12 @@ fn adv_with_loose_channel_cap_behaves_like_uncapped() {
     };
     let mut p1 = MultiCastAdv::with_params(n, uncapped);
     let mut p2 = MultiCastAdv::with_params(n, capped);
-    let o1 = run(
-        &mut p1,
-        &mut rcb::sim::NoAdversary,
-        9,
-        &EngineConfig::default(),
-    );
-    let o2 = run(
-        &mut p2,
-        &mut rcb::sim::NoAdversary,
-        9,
-        &EngineConfig::default(),
-    );
+    let o1 = Simulation::new(&mut p1)
+        .adversary(&mut rcb::sim::NoAdversary)
+        .run(9);
+    let o2 = Simulation::new(&mut p2)
+        .adversary(&mut rcb::sim::NoAdversary)
+        .run(9);
     assert!(o1.all_halted && o2.all_halted);
     for (a, b) in o1.nodes.iter().zip(&o2.nodes) {
         assert_eq!(

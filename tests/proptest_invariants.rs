@@ -12,8 +12,7 @@
 use rcb::core::{CoreParams, McParams, MultiCast, MultiCastC, MultiCastCore, MultiHopCast};
 use rcb::harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
 use rcb::sim::{
-    run, run_topo_with_observer, EngineConfig, NoAdversary, RecordingObserver, Topology,
-    TopologyView, TraceEvent, Xoshiro256,
+    EngineConfig, RecordingObserver, Simulation, Topology, TopologyView, TraceEvent, Xoshiro256,
 };
 
 const CASES: u64 = 48;
@@ -49,12 +48,9 @@ fn energy_ledger_balances() {
         let seed = draw.gen_range(5000);
         let cap = 500 + draw.gen_range(4_500);
         let mut proto = small_core(n, 1000);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            seed,
-            &EngineConfig::capped(cap),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(cap))
+            .run(seed);
         let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
         let bcasts: u64 = out.nodes.iter().map(|x| x.broadcast_cost).sum();
         assert_eq!(listens, out.totals.listens);
@@ -73,12 +69,9 @@ fn runs_are_deterministic() {
         let seed = draw.gen_range(5000);
         let run_once = |s: u64| {
             let mut proto = MultiCast::with_params(n, small_mc_params());
-            let out = run(
-                &mut proto,
-                &mut NoAdversary,
-                s,
-                &EngineConfig::capped(20_000),
-            );
+            let out = Simulation::new(&mut proto)
+                .config(EngineConfig::capped(20_000))
+                .run(s);
             (out.slots, out.max_cost(), out.totals)
         };
         assert_eq!(run_once(seed), run_once(seed));
@@ -122,12 +115,9 @@ fn outcome_fields_are_consistent() {
         let n = 1u64 << (2 + draw.gen_range(4));
         let seed = draw.gen_range(5000);
         let mut proto = small_core(n, 500);
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            seed,
-            &EngineConfig::capped(30_000),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(30_000))
+            .run(seed);
         assert_eq!(out.nodes[0].informed_at, Some(0));
         for node in &out.nodes {
             if let Some(h) = node.halted_at {
@@ -159,12 +149,9 @@ fn round_geometry_invariants() {
         let mut proto = MultiCastC::with_params(n, c, small_mc_params());
         let round_len = proto.round_len();
         let cap = 50_000 - (50_000 % round_len.max(1));
-        let out = run(
-            &mut proto,
-            &mut NoAdversary,
-            seed,
-            &EngineConfig::capped(cap),
-        );
+        let out = Simulation::new(&mut proto)
+            .config(EngineConfig::capped(cap))
+            .run(seed);
         let rounds = out.slots / round_len;
         assert_eq!(out.slots % round_len, 0, "partial rounds executed");
         for node in &out.nodes {
@@ -183,7 +170,7 @@ fn round_geometry_invariants() {
 #[test]
 fn ledger_balances_on_default_params() {
     let mut proto = MultiCastCore::new(32, 1_000);
-    let out = run(&mut proto, &mut NoAdversary, 99, &EngineConfig::default());
+    let out = Simulation::new(&mut proto).run(99);
     assert!(out.all_halted);
     let listens: u64 = out.nodes.iter().map(|x| x.listen_cost).sum();
     assert_eq!(listens, out.totals.listens);
@@ -315,7 +302,11 @@ fn multihop_informed_set_is_monotone_and_confined() {
             stop_when_all_informed: true,
             ..EngineConfig::capped(300_000)
         };
-        let out = run_topo_with_observer(&mut proto, &mut NoAdversary, &topo, seed, &cfg, &mut obs);
+        let out = Simulation::new(&mut proto)
+            .topology(&topo)
+            .config(cfg)
+            .observer(&mut obs)
+            .run(seed);
 
         // Monotone growth curve, strictly increasing in informed count.
         for w in obs.growth.windows(2) {

@@ -10,10 +10,11 @@
 //! Three layers:
 //!
 //! * A full-trace matrix over the five paper protocols (plus the new
-//!   `MultiHopCast` relay variant) × three adversaries × three seeds:
-//!   `run` vs `run_topo(Complete)` must agree on every observer event —
-//!   per-slot stats, idle spans, informed/halted/boundary — and on the
-//!   final [`RunOutcome`], field for field.
+//!   `MultiHopCast` relay variant) × three adversaries × three seeds: a
+//!   topology-free `Simulation` vs one with `.topology(Complete)` mounted
+//!   must agree on every observer event — per-slot stats, idle spans,
+//!   informed/halted/boundary — and on the final [`RunOutcome`], field for
+//!   field.
 //! * A campaign-artifact check: a cell pinned to `TopologyKind::Complete`
 //!   produces byte-identical schema-versioned JSON to the default
 //!   (topology-free) cell.
@@ -23,8 +24,8 @@
 use rcb::adversary::{FullBandBurst, RandomSubset, UniformFraction};
 use rcb::core::{MultiCast, MultiCastAdv, MultiCastC, MultiCastCore, MultiHopCast};
 use rcb::sim::{
-    run_topo_with_observer, run_with_observer, Adversary, EngineConfig, Observer, Protocol,
-    RunOutcome, SlotProfile, SlotStats, Topology,
+    Adversary, EngineConfig, Observer, Protocol, RunOutcome, Simulation, SlotProfile, SlotStats,
+    Topology,
 };
 
 /// Every observable engine event, recorded verbatim.
@@ -99,9 +100,18 @@ fn run_combo(proto: usize, adv: usize, seed: u64, complete_topo: bool) -> (RunOu
         obs: &mut FullTrace,
     ) -> RunOutcome {
         if complete_topo {
-            run_topo_with_observer(&mut p, a, &Topology::Complete, seed, cfg, obs)
+            Simulation::new(&mut p)
+                .adversary(a)
+                .topology(&Topology::Complete)
+                .config(*(cfg))
+                .observer(obs)
+                .run(seed)
         } else {
-            run_with_observer(&mut p, a, seed, cfg, obs)
+            Simulation::new(&mut p)
+                .adversary(a)
+                .config(*(cfg))
+                .observer(obs)
+                .run(seed)
         }
     }
     let n = 16u64;
@@ -194,16 +204,18 @@ fn complete_topology_preserves_fast_forward_spans() {
         let mut trace = FullTrace::default();
         let cfg = EngineConfig::default();
         let out = if complete_topo {
-            run_topo_with_observer(
-                &mut proto,
-                &mut eve,
-                &Topology::Complete,
-                3,
-                &cfg,
-                &mut trace,
-            )
+            Simulation::new(&mut proto)
+                .adversary(&mut eve)
+                .topology(&Topology::Complete)
+                .config(cfg)
+                .observer(&mut trace)
+                .run(3)
         } else {
-            run_with_observer(&mut proto, &mut eve, 3, &cfg, &mut trace)
+            Simulation::new(&mut proto)
+                .adversary(&mut eve)
+                .config(cfg)
+                .observer(&mut trace)
+                .run(3)
         };
         let spans: Vec<Ev> = trace
             .events
