@@ -187,6 +187,7 @@ pub(crate) fn campaign(
             threads: 0,
             max_slots: None,
             progress: false,
+            telemetry: false,
         },
     )
     .cells

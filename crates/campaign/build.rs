@@ -1,0 +1,22 @@
+//! Stamp the git revision into the binary as `RCB_CODE_VERSION`, so every
+//! campaign/bench artifact records which code produced it (the first field
+//! the ROADMAP's content-addressed artifact store needs). Falls back to
+//! `"unknown"` when git is unavailable (offline tarball builds).
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=RCB_CODE_VERSION={hash}");
+    // Re-stamp when HEAD moves (best-effort: the path may not exist in
+    // exported tarballs, which cargo tolerates).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -22,9 +22,10 @@
 //! scaling is the campaign engine's (already measured) job.
 
 use crate::json::Json;
+use crate::report::{code_version, CellPerf};
 use crate::scenario::Scenario;
-use rcb_harness::{run_trial_opts, TrialOptions, TrialSpec};
-use rcb_sim::{derive_seed, EngineConfig};
+use rcb_harness::{run_trial_telemetry, TrialOptions, TrialSpec};
+use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry};
 use rcb_stats::Table;
 use std::time::Instant;
 
@@ -34,7 +35,10 @@ use std::time::Instant;
 ///   deterministic slot totals and host-dependent throughput fields.
 /// * **2** — per-cell `topology` (the connectivity graph the cell's trials
 ///   run over; `"complete"` is the single-hop model).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * **3** — header `code_version` and per-cell `perf` block
+///   ([`CellPerf`]): telemetry counters merged over the fast-engine
+///   trials; its wall leaves mirror the cell's measured timing.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// How a bench run executes.
 #[derive(Clone, Debug)]
@@ -96,6 +100,11 @@ pub struct CellBench {
     pub ref_slots_per_sec: Option<f64>,
     /// `slots_per_sec / ref_slots_per_sec`.
     pub speedup: Option<f64>,
+    /// Engine telemetry merged over the fast-engine trials (schema v3).
+    /// Counter leaves are deterministic; the wall leaves repeat the cell's
+    /// measured `wall_s` / `slots_per_sec` (phase leaves stay zero — bench
+    /// does not enable per-phase timing, to keep the measured loop clean).
+    pub perf: CellPerf,
 }
 
 impl CellBench {
@@ -117,6 +126,7 @@ impl CellBench {
             fields.push(("ref_slots_per_sec", r.into()));
             fields.push(("speedup", s.into()));
         }
+        fields.push(("perf", self.perf.to_json()));
         Json::obj(fields)
     }
 }
@@ -131,6 +141,8 @@ pub struct ScenarioBench {
 /// The full bench artifact.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
+    /// Git revision of the producing binary (see [`code_version`]).
+    pub code_version: String,
     pub seed: u64,
     pub trials_per_cell: u64,
     pub max_slots: Option<u64>,
@@ -143,6 +155,7 @@ impl BenchReport {
         Json::obj(vec![
             ("schema_version", BENCH_SCHEMA_VERSION.into()),
             ("kind", "rcb-bench-report".into()),
+            ("code_version", self.code_version.as_str().into()),
             ("seed", self.seed.into()),
             ("trials_per_cell", self.trials_per_cell.into()),
             (
@@ -219,7 +232,7 @@ impl BenchReport {
 /// pure function of `(bench seed, scenario, cell index, trial)` — benching
 /// a subset of scenarios reproduces exactly the cells the full catalog run
 /// produced.
-fn name_stream(name: &str) -> u64 {
+pub(crate) fn name_stream(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
         h ^= b as u64;
@@ -228,15 +241,26 @@ fn name_stream(name: &str) -> u64 {
     h
 }
 
+/// The engine master seed bench uses for `trial` of cell `ci` of a named
+/// scenario. Shared with `rcb profile` so a profile reproduces exactly the
+/// trials a bench artifact measured.
+pub(crate) fn bench_trial_seed(bench_seed: u64, scenario_name: &str, ci: usize, trial: u64) -> u64 {
+    let scenario_seed = derive_seed(bench_seed, name_stream(scenario_name));
+    derive_seed(scenario_seed, ((ci as u64) << 32) | trial)
+}
+
 /// Time one engine configuration over a cell's trials; returns
-/// `(slots_total, wall_seconds)`.
-fn time_cell(specs: &[TrialSpec], engine: &EngineConfig) -> (u64, f64) {
+/// `(slots_total, wall_seconds, merged telemetry)`.
+fn time_cell(specs: &[TrialSpec], engine: &EngineConfig) -> (u64, f64, EngineTelemetry) {
     let start = Instant::now();
     let mut slots_total = 0u64;
+    let mut tel = EngineTelemetry::default();
     for spec in specs {
-        slots_total += run_trial_opts(spec, TrialOptions::with_engine(*engine)).slots;
+        let (r, t) = run_trial_telemetry(spec, TrialOptions::with_engine(*engine));
+        slots_total += r.slots;
+        tel.merge(&t);
     }
-    (slots_total, start.elapsed().as_secs_f64())
+    (slots_total, start.elapsed().as_secs_f64(), tel)
 }
 
 /// Run the bench over the given catalog entries.
@@ -254,20 +278,19 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
     let mut out = Vec::new();
     for scenario in scenarios {
         let spec = (scenario.build)();
-        let scenario_seed = derive_seed(cfg.seed, name_stream(&spec.name));
         let mut cells = Vec::new();
         for (ci, cell) in spec.cells.iter().enumerate() {
             let specs: Vec<TrialSpec> = (0..cfg.trials_per_cell)
                 .map(|trial| {
-                    let seed = derive_seed(scenario_seed, ((ci as u64) << 32) | trial);
+                    let seed = bench_trial_seed(cfg.seed, &spec.name, ci, trial);
                     TrialSpec::new(cell.protocol.clone(), cell.adversary.clone(), seed)
                         .with_topology(cell.topology.clone())
                         .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
                 })
                 .collect();
-            let (slots_total, wall_s) = time_cell(&specs, &fast);
+            let (slots_total, wall_s, tel) = time_cell(&specs, &fast);
             let (ref_slots, ref_wall) = if cfg.reference {
-                let (s, w) = time_cell(&specs, &reference);
+                let (s, w, _) = time_cell(&specs, &reference);
                 (Some(s), Some(w))
             } else {
                 (None, None)
@@ -299,6 +322,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
                 ref_wall_s: ref_wall,
                 ref_slots_per_sec,
                 speedup: ref_slots_per_sec.map(|r| slots_per_sec / r.max(1e-9)),
+                perf: CellPerf::from_telemetry(&tel, wall_s),
             });
         }
         out.push(ScenarioBench {
@@ -307,6 +331,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
         });
     }
     BenchReport {
+        code_version: code_version().to_string(),
         seed: cfg.seed,
         trials_per_cell: cfg.trials_per_cell,
         max_slots: cfg.max_slots,
@@ -341,6 +366,14 @@ mod tests {
             assert!(c.slots_per_sec > 0.0);
             assert!(c.ref_slots_per_sec.unwrap() > 0.0);
             assert!(c.speedup.unwrap() > 0.0);
+            // The perf counters must agree with the cell's own totals.
+            assert_eq!(c.perf.slots_total, c.slots_total, "{c:?}");
+            assert_eq!(
+                c.perf.slots_stepped + c.perf.slots_fast_forwarded,
+                c.slots_total
+            );
+            assert!(c.perf.wall_s > 0.0);
+            assert!(c.perf.slots_per_sec > 0.0);
         }
     }
 
@@ -398,11 +431,14 @@ mod tests {
     #[test]
     fn bench_artifact_parses_and_has_schema_markers() {
         let json = tiny_bench().to_json();
-        assert!(json.starts_with("{\n  \"schema_version\": 2,"));
+        assert!(json.starts_with("{\n  \"schema_version\": 3,"));
         assert!(json.contains("\"kind\": \"rcb-bench-report\""));
+        assert!(json.contains("\"code_version\""));
         assert!(json.contains("\"topology\": \"complete\""));
         assert!(json.contains("\"slots_per_sec\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"perf\""));
+        assert!(json.contains("\"span_len_hist\""));
         let parsed = crate::jsonin::parse(&json).expect("bench artifact parses");
         let Json::Object(fields) = parsed else {
             panic!("not an object")

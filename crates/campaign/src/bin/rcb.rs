@@ -4,25 +4,35 @@
 //! rcb list                                  # the scenario catalog
 //! rcb describe <scenario>                   # cells of one scenario
 //! rcb run <scenario> [--trials N] [--seed S] [--threads K]
-//!                    [--max-slots M] [--out FILE] [--quiet]
+//!                    [--max-slots M] [--out FILE] [--perf]
+//!                    [--trace-out FILE] [--quiet]
 //! rcb bench [scenario ...] [--quick] [--trials N] [--seed S]
 //!           [--max-slots M] [--no-reference] [--out FILE] [--quiet]
+//! rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]
 //! rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]
+//!          [--no-default-ignore]
 //! ```
 //!
 //! `run` prints a human summary table to stdout and, with `--out`, writes
-//! the schema-versioned JSON artifact. The artifact depends only on
-//! (scenario, seed, trials, max-slots): rerunning with the same seed gives
-//! byte-identical files at any `--threads` value.
+//! the schema-versioned JSON artifact. The artifact's deterministic leaves
+//! depend only on (scenario, seed, trials, max-slots): rerunning with the
+//! same seed gives byte-identical files at any `--threads` value. `--perf`
+//! additionally fills the wall-clock leaves of each cell's `perf` block
+//! (making the file host-dependent); `--trace-out` streams a JSONL event
+//! trace of every trial (forces single-threaded execution so line order is
+//! deterministic).
 //!
 //! `bench` measures single-threaded engine throughput (slots/sec, wall
-//! time, fast-forward speedup) per catalog cell; `diff` compares two
-//! artifacts and exits non-zero when any relative delta exceeds
+//! time, fast-forward speedup) per catalog cell; `profile` breaks one
+//! cell's time down by engine phase and telemetry counter; `diff` compares
+//! two artifacts and exits non-zero when any relative delta exceeds
 //! `--threshold` — together they are the perf-trajectory regression gate.
+//! `diff` ignores the build stamp and wall-clock leaves unless
+//! `--no-default-ignore` is given.
 
 use rcb_campaign::{
-    describe_campaign, diff, find, jsonin, registry, run_bench, run_campaign, BenchConfig,
-    CampaignConfig,
+    describe_campaign, diff, find, jsonin, profile_cell, registry, run_bench, run_campaign,
+    run_campaign_traced, BenchConfig, CampaignConfig, ProfileConfig, DEFAULT_IGNORES,
 };
 use std::io::Write as _;
 use std::time::Instant;
@@ -30,10 +40,13 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
-         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] [--quiet]\n  \
+         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] \
+         [--perf] [--trace-out FILE] [--quiet]\n  \
          rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
          [--no-reference] [--out FILE] [--quiet]\n  \
-         rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]\n\
+         rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]\n  \
+         rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...] \
+         [--no-default-ignore]\n\
          \nscenarios:\n{}",
         registry()
             .iter()
@@ -68,6 +81,10 @@ fn main() {
             None => usage(),
         },
         Some("bench") => cmd_bench(&args[1..]),
+        Some("profile") => match (args.get(1), args.get(2)) {
+            (Some(name), Some(cell)) => cmd_profile(name, cell, &args[3..]),
+            _ => usage(),
+        },
         Some("diff") => match (args.get(1), args.get(2)) {
             (Some(a), Some(b)) => cmd_diff(a, b, &args[3..]),
             _ => usage(),
@@ -104,6 +121,7 @@ fn cmd_run(name: &str, rest: &[String]) {
         ..CampaignConfig::default()
     };
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -112,6 +130,8 @@ fn cmd_run(name: &str, rest: &[String]) {
             "--threads" => cfg.threads = parse(arg, it.next()),
             "--max-slots" => cfg.max_slots = Some(parse(arg, it.next())),
             "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--perf" => cfg.telemetry = true,
             "--quiet" => cfg.progress = false,
             _ => {
                 eprintln!("unknown flag: {arg}");
@@ -126,30 +146,56 @@ fn cmd_run(name: &str, rest: &[String]) {
 
     // Open the artifact file before the (potentially long) run so a bad
     // path fails in milliseconds, not after the campaign.
-    let mut out_file = out_path.as_ref().map(|path| {
+    let create = |path: &String| {
         std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");
             std::process::exit(2)
         })
-    });
+    };
+    let mut out_file = out_path.as_ref().map(create);
+    let trace_file = trace_path.as_ref().map(create);
 
     let spec = (s.build)();
-    let threads_used = rcb_harness::resolve_threads(cfg.threads);
+    let threads_used = if trace_path.is_some() {
+        1 // deterministic trace line order needs a single writer
+    } else {
+        rcb_harness::resolve_threads(cfg.threads)
+    };
     if cfg.progress {
         eprintln!(
-            "[rcb] campaign {}: {} cells x {} trials = {} total, seed {}, {} threads",
+            "[rcb] campaign {}: {} cells x {} trials = {} total, seed {}, {} threads{}",
             spec.name,
             spec.cells.len(),
             cfg.trials_per_cell,
             spec.cells.len() as u64 * cfg.trials_per_cell,
             cfg.seed,
             threads_used,
+            if trace_path.is_some() {
+                " (trace export is single-threaded)"
+            } else {
+                ""
+            },
         );
     }
 
     let start = Instant::now();
-    let report = run_campaign(&spec, &cfg);
+    let report = match trace_file {
+        Some(f) => {
+            let mut sink = std::io::BufWriter::new(f);
+            run_campaign_traced(&spec, &cfg, &mut sink).unwrap_or_else(|e| {
+                eprintln!(
+                    "cannot write trace {}: {e}",
+                    trace_path.as_deref().unwrap_or("?")
+                );
+                std::process::exit(2)
+            })
+        }
+        None => run_campaign(&spec, &cfg),
+    };
     let elapsed = start.elapsed();
+    if let Some(path) = trace_path.as_ref() {
+        println!("trace written to {path}");
+    }
 
     println!("{}", report.to_table());
     eprintln!("[rcb] completed in {elapsed:.1?}");
@@ -244,19 +290,55 @@ fn cmd_bench(rest: &[String]) {
     }
 }
 
-fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
-    let mut threshold: Option<f64> = None;
-    let mut ignore: Vec<String> = Vec::new();
+fn cmd_profile(name: &str, cell: &str, rest: &[String]) {
+    let Some(s) = find(name) else {
+        eprintln!("unknown scenario: {name}");
+        usage()
+    };
+    let cell_index: usize = cell.parse().unwrap_or_else(|_| {
+        eprintln!("bad cell index: {cell} (see `rcb describe {name}`)");
+        usage()
+    });
+    let mut cfg = ProfileConfig::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--threshold" => threshold = Some(parse(arg, it.next())),
-            "--ignore" => ignore.push(it.next().cloned().unwrap_or_else(|| usage())),
+            "--trials" => cfg.trials = parse(arg, it.next()),
+            "--seed" => cfg.seed = parse(arg, it.next()),
+            "--max-slots" => cfg.max_slots = Some(parse(arg, it.next())),
             _ => {
                 eprintln!("unknown flag: {arg}");
                 usage()
             }
         }
+    }
+    match profile_cell(&s, cell_index, &cfg) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
+    let mut threshold: Option<f64> = None;
+    let mut ignore: Vec<String> = Vec::new();
+    let mut default_ignores = true;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => threshold = Some(parse(arg, it.next())),
+            "--ignore" => ignore.push(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-default-ignore" => default_ignores = false,
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+    if default_ignores {
+        ignore.extend(DEFAULT_IGNORES.iter().map(|k| k.to_string()));
     }
 
     let load = |path: &str| -> rcb_campaign::Json {

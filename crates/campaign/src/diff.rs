@@ -18,6 +18,24 @@
 
 use crate::json::Json;
 
+/// Keys `rcb diff` ignores by default: the build stamp and every
+/// wall-clock-derived leaf (schema v3 `perf` timing, bench cell timing).
+/// These are host- and run-dependent by construction, so comparing them
+/// across artifacts is noise; the deterministic counters around them stay
+/// tightly gated. Pass `--no-default-ignore` to compare everything.
+pub const DEFAULT_IGNORES: &[&str] = &[
+    "code_version",
+    "wall_s",
+    "ref_wall_s",
+    "slots_per_sec",
+    "ref_slots_per_sec",
+    "speedup",
+    "setup_s",
+    "slot_loop_s",
+    "fast_forward_s",
+    "finalize_s",
+];
+
 /// How a reported leaf relates the two artifacts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DiffKind {
@@ -82,8 +100,12 @@ impl DiffOutput {
 /// array vs leaf), or a non-numeric leaf mismatch.
 pub fn diff(a: &Json, b: &Json, ignore: &[String]) -> Result<DiffOutput, String> {
     // Kind and schema version must agree before any cell comparison makes
-    // sense.
+    // sense — unless the caller explicitly ignores one (e.g.
+    // `--ignore schema_version` for an acceptance diff across a bump).
     for key in ["kind", "schema_version"] {
+        if ignore.iter().any(|i| i == key) {
+            continue;
+        }
         let (va, vb) = (lookup(a, key), lookup(b, key));
         if va != vb {
             return Err(format!(
@@ -289,6 +311,27 @@ mod tests {
         let out = diff(&a, &b, &["wall_s".to_string()]).unwrap();
         assert!(out.rows.is_empty());
         assert_eq!(out.ignored, 1);
+    }
+
+    #[test]
+    fn ignoring_schema_version_allows_cross_version_diff() {
+        let a = parse(r#"{"schema_version": 2, "kind": "k", "x": 1}"#).unwrap();
+        let b = parse(r#"{"schema_version": 3, "kind": "k", "x": 1}"#).unwrap();
+        assert!(diff(&a, &b, &[]).is_err());
+        let out = diff(&a, &b, &["schema_version".to_string()]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.ignored, 1, "the version leaf itself is skipped too");
+    }
+
+    #[test]
+    fn default_ignores_cover_every_wall_clock_leaf() {
+        for key in ["wall_s", "slots_per_sec", "slot_loop_s", "code_version"] {
+            assert!(DEFAULT_IGNORES.contains(&key));
+        }
+        // But never the deterministic counters.
+        for key in ["slots_total", "ff_skip_ratio", "rng_engine_draws"] {
+            assert!(!DEFAULT_IGNORES.contains(&key));
+        }
     }
 
     #[test]

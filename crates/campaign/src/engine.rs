@@ -24,17 +24,21 @@
 //!    therefore fixed, so even the non-associative Welford updates produce
 //!    identical bits.
 
-use crate::report::{CampaignReport, CellReport, MetricReport};
+use crate::report::{code_version, CampaignReport, CellPerf, CellReport, MetricReport};
 use crate::scenario::{CampaignSpec, CellSpec};
-use rcb_harness::{run_trial, TrialResult, TrialSpec};
-use rcb_sim::derive_seed;
+use crate::tracefile::{TraceWriter, TrialTraceObserver};
+use rcb_harness::{run_trial_telemetry, TrialOptions, TrialResult, TrialSpec};
+use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry};
 use rcb_stats::{QuantileSketch, StreamingMoments};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
-/// How a campaign is executed. Everything that affects the *artifact* is
-/// here except `threads` and `progress`, which by design cannot affect it.
+/// How a campaign is executed. Everything that affects the *artifact's
+/// deterministic leaves* is here except `threads`, `progress`, and
+/// `telemetry`, which by design cannot affect them (`telemetry` only fills
+/// the wall-clock leaves of the `perf` block, which are zero otherwise).
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
     /// Campaign master seed; every trial seed derives from it.
@@ -47,6 +51,11 @@ pub struct CampaignConfig {
     pub max_slots: Option<u64>,
     /// Print progress lines to stderr while running.
     pub progress: bool,
+    /// Collect wall-clock phase timing into each cell's `perf` block
+    /// (`rcb run --perf`). Off by default so artifacts stay byte-identical
+    /// across hosts and repeats; the deterministic perf *counters* are
+    /// always collected regardless of this flag.
+    pub telemetry: bool,
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +66,7 @@ impl Default for CampaignConfig {
             threads: 0,
             max_slots: None,
             progress: false,
+            telemetry: false,
         }
     }
 }
@@ -78,10 +88,13 @@ struct TrialMetrics {
     safety_violations: u64,
     /// `(epoch, phase)` of each helper-promotion event (`MultiCastAdv`).
     helper_phases: Vec<(u32, u32)>,
+    /// Engine telemetry of the trial (counters always; phase clocks only
+    /// under [`CampaignConfig::telemetry`]).
+    telemetry: EngineTelemetry,
 }
 
 impl TrialMetrics {
-    fn from_result(r: &TrialResult) -> Self {
+    fn new(r: &TrialResult, telemetry: EngineTelemetry) -> Self {
         Self {
             completion_slots: r.completion_time(),
             max_cost: r.max_cost,
@@ -92,6 +105,7 @@ impl TrialMetrics {
             all_informed: r.all_informed,
             safety_violations: r.safety_violations as u64,
             helper_phases: r.helper_phases.clone(),
+            telemetry,
         }
     }
 }
@@ -111,6 +125,8 @@ pub(crate) struct CellAccumulator {
     /// Count per distinct helper `(epoch, phase)` across the cell's trials
     /// (bounded by the handful of phases a schedule visits, not by trials).
     helper_events: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Engine telemetry merged over the cell's trials (fixed-size).
+    telemetry: EngineTelemetry,
 }
 
 /// Moments + quantile sketch for one metric.
@@ -160,6 +176,7 @@ impl CellAccumulator {
             source_cost: MetricAcc::new(),
             eve_spent: MetricAcc::new(),
             helper_events: std::collections::BTreeMap::new(),
+            telemetry: EngineTelemetry::default(),
         }
     }
 
@@ -176,6 +193,7 @@ impl CellAccumulator {
         for &(epoch, phase) in &m.helper_phases {
             *self.helper_events.entry((epoch, phase)).or_insert(0) += 1;
         }
+        self.telemetry.merge(&m.telemetry);
     }
 
     fn report(&self, cell: &CellSpec, max_slots: u64) -> CellReport {
@@ -211,6 +229,13 @@ impl CellAccumulator {
                     },
                 )
                 .collect(),
+            // Integer phase nanos sum deterministically across the ordered
+            // ingest, so the artifact stays thread-count independent even
+            // with timing on (for one fixed run's metrics stream).
+            perf: CellPerf::from_telemetry(
+                &self.telemetry,
+                self.telemetry.phases.total() as f64 * 1e-9,
+            ),
         }
     }
 }
@@ -247,6 +272,88 @@ impl Ord for Pending {
     }
 }
 
+/// The [`TrialOptions`] every campaign trial runs under: default engine
+/// plus the campaign's wall-clock opt-in.
+fn trial_options<'a>(cfg: &CampaignConfig) -> TrialOptions<'a> {
+    TrialOptions::with_engine(EngineConfig {
+        time_phases: cfg.telemetry,
+        ..EngineConfig::default()
+    })
+}
+
+/// Stderr progress reporter: one line per `total/20` ingested trials plus a
+/// guaranteed `total/total (100%)` line, naming the cell the last trial
+/// belonged to and the cumulative simulated-slot throughput.
+struct Progress {
+    enabled: bool,
+    step: u64,
+    started: Instant,
+    slots_done: u64,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: u64) -> Self {
+        Self {
+            enabled,
+            step: (total / 20).max(1),
+            started: Instant::now(),
+            slots_done: 0,
+        }
+    }
+
+    /// Record trial `g`'s metrics as ingested (`expected` of `total` done).
+    fn tick(
+        &mut self,
+        spec: &CampaignSpec,
+        cfg: &CampaignConfig,
+        g: u64,
+        m: &TrialMetrics,
+        expected: u64,
+        total: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.slots_done += m.telemetry.slots_total();
+        if !(expected.is_multiple_of(self.step) || expected == total) {
+            return;
+        }
+        let cell = &spec.cells[(g / cfg.trials_per_cell) as usize];
+        let rate = self.slots_done as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
+        eprintln!(
+            "[rcb] {}: {expected}/{total} trials ({:.0}%) — {}/{} — {:.1}M slots/s",
+            spec.name,
+            100.0 * expected as f64 / total as f64,
+            cell.protocol.name(),
+            cell.adversary.name(),
+            rate * 1e-6,
+        );
+    }
+}
+
+/// Assemble the final artifact from the filled per-cell accumulators.
+fn assemble_report(
+    spec: &CampaignSpec,
+    cfg: &CampaignConfig,
+    total: u64,
+    accs: &[CellAccumulator],
+) -> CampaignReport {
+    CampaignReport {
+        campaign: spec.name.clone(),
+        description: spec.description.clone(),
+        code_version: code_version().to_string(),
+        seed: cfg.seed,
+        trials_per_cell: cfg.trials_per_cell,
+        total_trials: total,
+        cells: spec
+            .cells
+            .iter()
+            .zip(accs)
+            .map(|(cell, acc)| acc.report(cell, cfg.max_slots.unwrap_or(cell.max_slots)))
+            .collect(),
+    }
+}
+
 /// Run a campaign: every cell × `trials_per_cell` seeds, aggregated
 /// streamingly. See the module docs for the determinism argument.
 ///
@@ -278,7 +385,8 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
                     break;
                 }
                 let ts = trial_spec(spec, cfg, g);
-                let metrics = TrialMetrics::from_result(&run_trial(&ts));
+                let (r, tel) = run_trial_telemetry(&ts, trial_options(cfg));
+                let metrics = TrialMetrics::new(&r, tel);
                 if tx.send(Pending(g, metrics)).is_err() {
                     break; // aggregator gone; shutting down
                 }
@@ -289,38 +397,71 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
         // Aggregate strictly in global-index order.
         let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
         let mut expected: u64 = 0;
-        let progress_step = (total / 20).max(1);
+        let mut progress = Progress::new(cfg.progress, total);
         for pending in rx.iter() {
             heap.push(pending);
             while heap.peek().is_some_and(|p| p.0 == expected) {
                 let Pending(g, m) = heap.pop().expect("peeked");
                 accs[(g / cfg.trials_per_cell) as usize].push(&m);
                 expected += 1;
-                if cfg.progress && (expected.is_multiple_of(progress_step) || expected == total) {
-                    eprintln!(
-                        "[rcb] {}: {expected}/{total} trials ({:.0}%)",
-                        spec.name,
-                        100.0 * expected as f64 / total as f64
-                    );
-                }
+                progress.tick(spec, cfg, g, &m, expected, total);
             }
         }
         assert_eq!(expected, total, "aggregator lost trials");
     });
 
-    CampaignReport {
-        campaign: spec.name.clone(),
-        description: spec.description.clone(),
-        seed: cfg.seed,
-        trials_per_cell: cfg.trials_per_cell,
-        total_trials: total,
-        cells: spec
-            .cells
-            .iter()
-            .zip(&accs)
-            .map(|(cell, acc)| acc.report(cell, cfg.max_slots.unwrap_or(cell.max_slots)))
-            .collect(),
+    assemble_report(spec, cfg, total, &accs)
+}
+
+/// Run a campaign sequentially while streaming a structured JSONL trace of
+/// every trial into `sink` (`rcb run --trace-out`). See
+/// [`crate::tracefile`] for the line schema.
+///
+/// Trials run in global-index order on the calling thread — trace lines
+/// interleave per-trial events, so deterministic ordering requires a single
+/// writer. The returned report is byte-identical to [`run_campaign`]'s for
+/// the same config: tracing mounts an extra observer, and observers cannot
+/// influence a run.
+///
+/// # Errors
+/// Returns the first I/O error the sink raised; the campaign stops at the
+/// trial that hit it.
+///
+/// # Panics
+/// Panics if the spec has no cells or `trials_per_cell` is 0.
+pub fn run_campaign_traced(
+    spec: &CampaignSpec,
+    cfg: &CampaignConfig,
+    sink: &mut dyn std::io::Write,
+) -> std::io::Result<CampaignReport> {
+    assert!(!spec.cells.is_empty(), "campaign has no cells");
+    assert!(cfg.trials_per_cell > 0, "campaign needs at least one trial");
+    let total = spec.cells.len() as u64 * cfg.trials_per_cell;
+
+    let mut accs: Vec<CellAccumulator> =
+        spec.cells.iter().map(|_| CellAccumulator::new()).collect();
+    let mut writer = TraceWriter::new(sink);
+    writer.header(&spec.name, cfg.seed, cfg.trials_per_cell, total);
+
+    let mut progress = Progress::new(cfg.progress, total);
+    for g in 0..total {
+        let ts = trial_spec(spec, cfg, g);
+        writer.trial_start(g, g / cfg.trials_per_cell, ts.seed);
+        let (r, tel) = {
+            let mut obs = TrialTraceObserver::new(&mut writer, g);
+            let mut opts = trial_options(cfg);
+            opts.observer = Some(&mut obs);
+            run_trial_telemetry(&ts, opts)
+        };
+        writer.trial_end(g, &r);
+        writer.check()?;
+        let m = TrialMetrics::new(&r, tel);
+        accs[(g / cfg.trials_per_cell) as usize].push(&m);
+        progress.tick(spec, cfg, g, &m, g + 1, total);
     }
+    writer.finish()?;
+
+    Ok(assemble_report(spec, cfg, total, &accs))
 }
 
 #[cfg(test)]

@@ -25,7 +25,20 @@
 //!   `BENCH_*.json` artifact — the repo's perf trajectory.
 //! * [`diff`](mod@diff) + [`jsonin`] — `rcb diff a.json b.json`: structural
 //!   comparison of two artifacts with per-leaf relative deltas and a
-//!   threshold gate (the perf/behavior regression gate in CI).
+//!   threshold gate (the perf/behavior regression gate in CI). Wall-clock
+//!   leaves and the build stamp are ignored by default
+//!   ([`diff::DEFAULT_IGNORES`]).
+//! * [`profile`](mod@profile) — `rcb profile <scenario> <cell>`: per-phase
+//!   wall-clock and telemetry-counter breakdown of one cell ("why is this
+//!   cell slow?").
+//! * [`tracefile`] — `rcb run --trace-out t.jsonl`: schema-versioned JSONL
+//!   trace of every trial's state-change events, via the engine's
+//!   `Observer` seat.
+//!
+//! Every artifact embeds engine telemetry: a `perf` block per cell
+//! (deterministic counters always; wall-clock phases opt-in via
+//! `rcb run --perf`) and a `code_version` build stamp in the header — see
+//! `docs/OBSERVABILITY.md`.
 //!
 //! The `rcb` binary (`src/bin/rcb.rs`) is the command-line face:
 //!
@@ -33,8 +46,10 @@
 //! rcb list
 //! rcb describe core-repro
 //! rcb run core-repro --trials 1000 --seed 1 --out BENCH_core.json
+//! rcb run core-repro --trials 2 --trace-out trace.jsonl
 //! rcb bench --quick --out BENCH_engine.json
-//! rcb diff BENCH_engine.json new.json --threshold 0.5 --ignore wall_s
+//! rcb profile epidemic-race 2 --trials 3
+//! rcb diff BENCH_engine.json new.json --threshold 0.5
 //! ```
 
 pub mod bench;
@@ -42,12 +57,19 @@ pub mod diff;
 pub mod engine;
 pub mod json;
 pub mod jsonin;
+pub mod profile;
 pub mod report;
 pub mod scenario;
+pub mod tracefile;
 
 pub use bench::{run_bench, BenchConfig, BenchReport, BENCH_SCHEMA_VERSION};
-pub use diff::{diff, DiffKind, DiffOutput, DiffRow};
-pub use engine::{run_campaign, CampaignConfig};
+pub use diff::{diff, DiffKind, DiffOutput, DiffRow, DEFAULT_IGNORES};
+pub use engine::{run_campaign, run_campaign_traced, CampaignConfig};
 pub use json::Json;
-pub use report::{CampaignReport, CellReport, HelperPhaseCount, MetricReport, SCHEMA_VERSION};
+pub use profile::{profile_cell, ProfileConfig};
+pub use report::{
+    code_version, CampaignReport, CellPerf, CellReport, HelperPhaseCount, MetricReport,
+    SpanLenBucket, SCHEMA_VERSION,
+};
 pub use scenario::{describe_campaign, find, registry, CampaignSpec, CellSpec, Scenario};
+pub use tracefile::{TraceWriter, TrialTraceObserver, TRACE_SCHEMA_VERSION};

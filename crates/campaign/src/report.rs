@@ -8,6 +8,7 @@
 //! never leak into it. Bump [`SCHEMA_VERSION`] on any field change.
 
 use crate::json::Json;
+use rcb_sim::EngineTelemetry;
 use rcb_stats::Table;
 
 /// Version of the JSON artifact schema. History:
@@ -17,7 +18,144 @@ use rcb_stats::Table;
 /// * **2** — per-cell `topology` (connectivity graph of the cell's trials;
 ///   `"complete"` is the paper's single-hop model) and `helper_events`
 ///   (count per distinct `MultiCastAdv` helper `(epoch, phase)`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// * **3** — header `code_version` (git revision of the producing binary)
+///   and per-cell `perf` block ([`CellPerf`]): engine telemetry counter
+///   sums plus opt-in wall-clock phase timing. The counter leaves are
+///   deterministic; the wall-clock leaves are host-dependent and are
+///   ignored by `rcb diff` by default (zeros unless timing was requested).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Git revision baked into this binary at build time (stamped into every
+/// artifact header as `code_version`; `"unknown"` when git was unavailable
+/// at build time).
+pub fn code_version() -> &'static str {
+    env!("RCB_CODE_VERSION")
+}
+
+/// One non-empty bucket of the fast-forward span length histogram:
+/// `count` spans had length in `[2^log2, 2^(log2+1))`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanLenBucket {
+    pub log2: u32,
+    pub count: u64,
+}
+
+/// The per-cell `perf` block: engine telemetry merged over the cell's
+/// trials.
+///
+/// Two kinds of leaves live here, deliberately in one block:
+///
+/// * **Deterministic counters** (`slots_*`, `spans`, `rng_*`, `jam_*`,
+///   `observer_events`, the histogram and the ratios derived from them) —
+///   pure functions of (scenario, seed, trials); byte-identical across
+///   hosts, thread counts, and whether timing was enabled.
+/// * **Host-dependent timing** (`wall_s`, `slots_per_sec`, and the four
+///   `*_s` phase leaves) — all zero unless the producer opted into
+///   wall-clock collection (`rcb run --perf`, `rcb bench`, `rcb profile`).
+///   `rcb diff` ignores these leaves by default ([`crate::diff::DEFAULT_IGNORES`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellPerf {
+    pub slots_total: u64,
+    pub slots_stepped: u64,
+    pub slots_fast_forwarded: u64,
+    /// `slots_fast_forwarded / slots_total` (0 for empty cells).
+    pub ff_skip_ratio: f64,
+    pub spans: u64,
+    pub mean_span_len: f64,
+    /// Sparse log₂ histogram of fast-forward span lengths (non-empty
+    /// buckets only, ascending `log2`).
+    pub span_len_hist: Vec<SpanLenBucket>,
+    pub rng_engine_draws: u64,
+    pub rng_node_draws: u64,
+    pub jam_spent_stepped: u64,
+    pub jam_spent_spans: u64,
+    pub observer_events: u64,
+    /// Total wall-clock seconds attributed to the cell (0 when untimed).
+    pub wall_s: f64,
+    /// Covered slots (stepped + fast-forwarded) per wall second (0 when
+    /// untimed).
+    pub slots_per_sec: f64,
+    pub setup_s: f64,
+    pub slot_loop_s: f64,
+    pub fast_forward_s: f64,
+    pub finalize_s: f64,
+}
+
+impl CellPerf {
+    /// Build the block from merged engine telemetry plus a wall-clock total.
+    ///
+    /// Pass `wall_s = 0.0` when no timing was collected; the throughput
+    /// leaf stays zero rather than dividing by a meaningless duration.
+    pub fn from_telemetry(tel: &EngineTelemetry, wall_s: f64) -> Self {
+        let ns = 1e-9;
+        Self {
+            slots_total: tel.slots_total(),
+            slots_stepped: tel.slots_stepped,
+            slots_fast_forwarded: tel.slots_fast_forwarded,
+            ff_skip_ratio: tel.ff_skip_ratio(),
+            spans: tel.spans,
+            mean_span_len: tel.mean_span_len(),
+            span_len_hist: tel
+                .span_len_hist
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| SpanLenBucket {
+                    log2: b as u32,
+                    count: c,
+                })
+                .collect(),
+            rng_engine_draws: tel.rng_engine_draws,
+            rng_node_draws: tel.rng_node_draws,
+            jam_spent_stepped: tel.jam_spent_stepped,
+            jam_spent_spans: tel.jam_spent_spans,
+            observer_events: tel.observer_events,
+            wall_s,
+            slots_per_sec: if wall_s > 0.0 {
+                tel.slots_total() as f64 / wall_s
+            } else {
+                0.0
+            },
+            setup_s: tel.phases.setup as f64 * ns,
+            slot_loop_s: tel.phases.slot_loop as f64 * ns,
+            fast_forward_s: tel.phases.fast_forward as f64 * ns,
+            finalize_s: tel.phases.finalize as f64 * ns,
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("slots_total", self.slots_total.into()),
+            ("slots_stepped", self.slots_stepped.into()),
+            ("slots_fast_forwarded", self.slots_fast_forwarded.into()),
+            ("ff_skip_ratio", self.ff_skip_ratio.into()),
+            ("spans", self.spans.into()),
+            ("mean_span_len", self.mean_span_len.into()),
+            (
+                "span_len_hist",
+                Json::arr(
+                    self.span_len_hist
+                        .iter()
+                        .map(|b| {
+                            Json::obj(vec![("log2", b.log2.into()), ("count", b.count.into())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rng_engine_draws", self.rng_engine_draws.into()),
+            ("rng_node_draws", self.rng_node_draws.into()),
+            ("jam_spent_stepped", self.jam_spent_stepped.into()),
+            ("jam_spent_spans", self.jam_spent_spans.into()),
+            ("observer_events", self.observer_events.into()),
+            ("wall_s", self.wall_s.into()),
+            ("slots_per_sec", self.slots_per_sec.into()),
+            ("setup_s", self.setup_s.into()),
+            ("slot_loop_s", self.slot_loop_s.into()),
+            ("fast_forward_s", self.fast_forward_s.into()),
+            ("finalize_s", self.finalize_s.into()),
+        ])
+    }
+}
 
 /// How many trials saw a helper promotion at a given `(epoch, phase)` of
 /// the `MultiCastAdv` schedule (Lemmas 6.1–6.3 localize these events).
@@ -93,6 +231,8 @@ pub struct CellReport {
     /// Helper promotions per `(epoch, phase)` over the cell's trials
     /// (`MultiCastAdv` only; empty otherwise).
     pub helper_events: Vec<HelperPhaseCount>,
+    /// Engine telemetry merged over the cell's trials (schema v3).
+    pub perf: CellPerf,
 }
 
 impl CellReport {
@@ -123,6 +263,7 @@ impl CellReport {
                 "helper_events",
                 Json::arr(self.helper_events.iter().map(|h| h.to_json()).collect()),
             ),
+            ("perf", self.perf.to_json()),
         ])
     }
 }
@@ -132,6 +273,10 @@ impl CellReport {
 pub struct CampaignReport {
     pub campaign: String,
     pub description: String,
+    /// Git revision of the binary that produced the artifact
+    /// (`"unknown"` when git was unavailable at build time). Ignored by
+    /// `rcb diff` by default.
+    pub code_version: String,
     pub seed: u64,
     pub trials_per_cell: u64,
     pub total_trials: u64,
@@ -146,6 +291,7 @@ impl CampaignReport {
         Json::obj(vec![
             ("schema_version", SCHEMA_VERSION.into()),
             ("kind", "rcb-campaign-report".into()),
+            ("code_version", self.code_version.as_str().into()),
             ("campaign", self.campaign.as_str().into()),
             ("description", self.description.as_str().into()),
             ("seed", self.seed.into()),
@@ -223,6 +369,7 @@ mod tests {
         CampaignReport {
             campaign: "demo".into(),
             description: "a \"quoted\" description".into(),
+            code_version: "deadbeef".into(),
             seed: 9,
             trials_per_cell: 3,
             total_trials: 3,
@@ -248,6 +395,7 @@ mod tests {
                     phase: 3,
                     count: 2,
                 }],
+                perf: CellPerf::default(),
             }],
         }
     }
@@ -255,14 +403,48 @@ mod tests {
     #[test]
     fn json_has_schema_version_and_escapes() {
         let j = report().to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 2,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 3,"));
         assert!(j.contains("\"kind\": \"rcb-campaign-report\""));
+        assert!(j.contains("\"code_version\": \"deadbeef\""));
         assert!(j.contains(r#"a \"quoted\" description"#));
         assert!(j.contains("\"completion_slots\""));
         assert!(j.contains("\"topology\": \"line\""));
         assert!(j.contains("\"helper_events\""));
         assert!(j.contains("\"epoch\": 7"));
+        assert!(j.contains("\"perf\""));
+        assert!(j.contains("\"ff_skip_ratio\""));
         assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cell_perf_from_telemetry_derives_ratios() {
+        let mut tel = EngineTelemetry {
+            slots_stepped: 100,
+            slots_fast_forwarded: 300,
+            spans: 2,
+            jam_spent_spans: 50,
+            jam_spent_stepped: 5,
+            ..EngineTelemetry::default()
+        };
+        tel.span_len_hist[6] = 1; // one span of length ~100
+        tel.span_len_hist[7] = 1; // one span of length ~200
+        let p = CellPerf::from_telemetry(&tel, 0.0);
+        assert_eq!(p.slots_total, 400);
+        assert!((p.ff_skip_ratio - 0.75).abs() < 1e-12);
+        assert_eq!(p.spans, 2);
+        assert!((p.mean_span_len - 150.0).abs() < 1e-12);
+        // Untimed: every wall-clock leaf stays exactly zero.
+        assert_eq!(p.wall_s, 0.0);
+        assert_eq!(p.slots_per_sec, 0.0);
+        assert_eq!(p.slot_loop_s, 0.0);
+        // Sparse histogram: 100 → bucket 6, 200 → bucket 7.
+        let buckets: Vec<u32> = p.span_len_hist.iter().map(|b| b.log2).collect();
+        assert_eq!(buckets, vec![6, 7]);
+    }
+
+    #[test]
+    fn code_version_is_nonempty() {
+        assert!(!code_version().is_empty());
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Structured trace export (`rcb run --trace-out`): schema-versioned JSONL.
+//!
+//! A trace file is one JSON object per line. The first line is a header
+//! carrying [`TRACE_SCHEMA_VERSION`], the kind tag `"rcb-trace"`, and the
+//! campaign identity; every following line is an event object whose
+//! `event` field is one of:
+//!
+//! * `trial_start` — `{event, trial, cell, seed}`; `trial` is the global
+//!   trial index (strictly increasing), `cell` the cell index it belongs
+//!   to, `seed` the derived engine master seed.
+//! * `informed` / `halted` — `{event, trial, slot, node}` per node state
+//!   change, straight from the engine's [`Observer`] seat.
+//! * `boundary` — `{event, trial, slot, seg_major, seg_minor, step,
+//!   active, informed}` per protocol segment boundary.
+//! * `idle_span` — `{event, trial, slot, len, jammed}` per fast-forwarded
+//!   idle span (`len` slots skipped, `jammed` channel-slots of Eve's
+//!   budget spent across it).
+//! * `trial_end` — `{event, trial, slots, completed, all_informed,
+//!   eve_spent}` summarizing the finished trial.
+//!
+//! Per-slot events (`Observer::on_slot`) are deliberately **not** exported:
+//! a trace line per executed slot would dwarf every other event class by
+//! orders of magnitude. Slot-level activity is what the `perf` counters
+//! aggregate; traces carry the *state changes*.
+//!
+//! Lines are emitted in deterministic order, which is why trace export runs
+//! trials sequentially on one thread
+//! ([`run_campaign_traced`](crate::run_campaign_traced)): same scenario +
+//! seed ⇒ byte-identical trace file.
+//!
+//! I/O errors do not panic mid-run: the writer latches the first error and
+//! drops subsequent lines; [`TraceWriter::check`]/[`TraceWriter::finish`]
+//! surface it.
+
+use crate::json::Json;
+use rcb_harness::TrialResult;
+use rcb_sim::{NodeId, Observer, SlotProfile};
+use std::io::Write;
+
+/// Version of the JSONL trace schema. History:
+///
+/// * **1** — initial schema: header + `trial_start` / `informed` /
+///   `halted` / `boundary` / `idle_span` / `trial_end` events.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Writes schema-versioned trace lines into a byte sink, latching the
+/// first I/O error instead of panicking inside engine callbacks.
+pub struct TraceWriter<'w> {
+    sink: &'w mut dyn Write,
+    err: Option<std::io::Error>,
+    lines: u64,
+}
+
+impl<'w> TraceWriter<'w> {
+    pub fn new(sink: &'w mut dyn Write) -> Self {
+        Self {
+            sink,
+            err: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn line(&mut self, j: Json) {
+        if self.err.is_some() {
+            return;
+        }
+        match writeln!(self.sink, "{}", j.to_compact()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+
+    /// The mandatory first line of every trace file.
+    pub fn header(&mut self, campaign: &str, seed: u64, trials_per_cell: u64, total_trials: u64) {
+        self.line(Json::obj(vec![
+            ("schema_version", TRACE_SCHEMA_VERSION.into()),
+            ("kind", "rcb-trace".into()),
+            ("code_version", crate::report::code_version().into()),
+            ("campaign", campaign.into()),
+            ("seed", seed.into()),
+            ("trials_per_cell", trials_per_cell.into()),
+            ("total_trials", total_trials.into()),
+        ]));
+    }
+
+    pub fn trial_start(&mut self, trial: u64, cell: u64, seed: u64) {
+        self.line(Json::obj(vec![
+            ("event", "trial_start".into()),
+            ("trial", trial.into()),
+            ("cell", cell.into()),
+            ("seed", seed.into()),
+        ]));
+    }
+
+    pub fn trial_end(&mut self, trial: u64, r: &TrialResult) {
+        self.line(Json::obj(vec![
+            ("event", "trial_end".into()),
+            ("trial", trial.into()),
+            ("slots", r.slots.into()),
+            ("completed", r.completed.into()),
+            ("all_informed", r.all_informed.into()),
+            ("eve_spent", r.eve_spent.into()),
+        ]));
+    }
+
+    /// Surface the first latched I/O error without consuming the writer.
+    pub fn check(&mut self) -> std::io::Result<()> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush the sink and surface the first latched I/O error.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.check()?;
+        self.sink.flush()?;
+        Ok(self.lines)
+    }
+}
+
+/// Mounts a [`TraceWriter`] into the engine's [`Observer`] seat for one
+/// trial, stamping every event line with the trial's global index.
+pub struct TrialTraceObserver<'a, 'w> {
+    writer: &'a mut TraceWriter<'w>,
+    trial: u64,
+}
+
+impl<'a, 'w> TrialTraceObserver<'a, 'w> {
+    pub fn new(writer: &'a mut TraceWriter<'w>, trial: u64) -> Self {
+        Self { writer, trial }
+    }
+
+    fn node_event(&mut self, event: &str, node: NodeId, slot: u64) {
+        self.writer.line(Json::obj(vec![
+            ("event", event.into()),
+            ("trial", self.trial.into()),
+            ("slot", slot.into()),
+            ("node", node.into()),
+        ]));
+    }
+}
+
+impl Observer for TrialTraceObserver<'_, '_> {
+    fn on_informed(&mut self, node: NodeId, slot: u64) {
+        self.node_event("informed", node, slot);
+    }
+
+    fn on_halted(&mut self, node: NodeId, slot: u64) {
+        self.node_event("halted", node, slot);
+    }
+
+    fn on_boundary(&mut self, slot: u64, profile: &SlotProfile, active: u32, informed: u32) {
+        self.writer.line(Json::obj(vec![
+            ("event", "boundary".into()),
+            ("trial", self.trial.into()),
+            ("slot", slot.into()),
+            ("seg_major", profile.seg_major.into()),
+            ("seg_minor", profile.seg_minor.into()),
+            ("step", u32::from(profile.step).into()),
+            ("active", active.into()),
+            ("informed", informed.into()),
+        ]));
+    }
+
+    fn on_idle_span(&mut self, slot: u64, len: u64, jammed: u64) {
+        self.writer.line(Json::obj(vec![
+            ("event", "idle_span".into()),
+            ("trial", self.trial.into()),
+            ("slot", slot.into()),
+            ("len", len.into()),
+            ("jammed", jammed.into()),
+        ]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonin::parse;
+
+    #[test]
+    fn header_and_events_are_one_json_object_per_line() {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        w.header("demo", 7, 2, 4);
+        w.trial_start(0, 0, 99);
+        {
+            let mut obs = TrialTraceObserver::new(&mut w, 0);
+            obs.on_informed(3, 10);
+            obs.on_idle_span(11, 500, 2);
+            let profile = SlotProfile {
+                p1: 0.5,
+                p2: 0.5,
+                channels: 2,
+                virt_channels: 2,
+                round_len: 1,
+                seg_len: 8,
+                seg_major: 1,
+                seg_minor: 2,
+                step: 3,
+            };
+            obs.on_boundary(16, &profile, 4, 2);
+        }
+        let lines = w.finish().unwrap();
+        assert_eq!(lines, 5);
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<Json> = text.lines().map(|l| parse(l).unwrap()).collect();
+        assert_eq!(parsed.len(), 5);
+        assert!(text.starts_with(&format!(
+            "{{\"schema_version\":{TRACE_SCHEMA_VERSION},\"kind\":\"rcb-trace\""
+        )));
+        assert!(text.contains("\"event\":\"informed\""));
+        assert!(text.contains("\"event\":\"idle_span\""));
+        assert!(text.contains("\"seg_major\":1"));
+    }
+
+    #[test]
+    fn io_errors_latch_instead_of_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = Broken;
+        let mut w = TraceWriter::new(&mut sink);
+        w.header("demo", 1, 1, 1);
+        w.trial_start(0, 0, 1); // silently dropped after the latch
+        assert_eq!(w.lines(), 0);
+        assert!(w.finish().is_err());
+    }
+}

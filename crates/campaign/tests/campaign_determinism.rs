@@ -3,9 +3,14 @@
 //!
 //! 1. the JSON artifact is byte-identical across thread counts,
 //! 2. streaming aggregation agrees with exact batch statistics,
-//! 3. every registered scenario can actually run end to end.
+//! 3. every registered scenario can actually run end to end,
+//! 4. telemetry collection (`--perf`) and trace export (`--trace-out`)
+//!    never change a deterministic leaf of the artifact.
 
-use rcb_campaign::{find, registry, run_campaign, CampaignConfig, CampaignSpec, CellSpec};
+use rcb_campaign::{
+    diff, find, jsonin, registry, run_campaign, run_campaign_traced, CampaignConfig, CampaignSpec,
+    CellSpec, DEFAULT_IGNORES,
+};
 use rcb_harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
 use rcb_sim::derive_seed;
 
@@ -55,9 +60,102 @@ fn artifact_is_byte_identical_across_thread_counts() {
         .to_json()
     };
     let reference = json_at(1);
-    assert!(reference.contains("\"schema_version\": 2"));
+    assert!(reference.contains("\"schema_version\": 3"));
     assert_eq!(reference, json_at(2));
     assert_eq!(reference, json_at(5));
+}
+
+/// Turning wall-clock telemetry on (`rcb run --perf`) may only change the
+/// host-dependent leaves `rcb diff` ignores by default — every
+/// deterministic leaf, including the perf counters, must stay bit-equal.
+#[test]
+fn telemetry_changes_only_default_ignored_leaves() {
+    let spec = small_spec();
+    let json_with = |telemetry: bool| {
+        run_campaign(
+            &spec,
+            &CampaignConfig {
+                seed: 99,
+                trials_per_cell: 4,
+                threads: 2,
+                telemetry,
+                ..Default::default()
+            },
+        )
+        .to_json()
+    };
+    let (off, on) = (json_with(false), json_with(true));
+    let ignores: Vec<String> = DEFAULT_IGNORES.iter().map(|k| k.to_string()).collect();
+    let a = jsonin::parse(&off).unwrap();
+    let b = jsonin::parse(&on).unwrap();
+    let out = diff(&a, &b, &ignores).expect("artifacts comparable");
+    assert!(
+        out.rows.is_empty(),
+        "telemetry must not move deterministic leaves: {:?}",
+        out.rows.iter().map(|r| &r.path).collect::<Vec<_>>()
+    );
+    assert!(out.ignored > 0, "wall leaves were actually present");
+    // And with timing off, the artifact is bit-identical to the default —
+    // the wall leaves are hard zeros, not small timings.
+    assert_eq!(
+        off,
+        run_campaign(
+            &spec,
+            &CampaignConfig {
+                seed: 99,
+                trials_per_cell: 4,
+                threads: 5,
+                ..Default::default()
+            },
+        )
+        .to_json()
+    );
+}
+
+/// The traced sequential path (`rcb run --trace-out`) produces exactly the
+/// parallel engine's artifact, and the trace itself is deterministic and
+/// schema-tagged.
+#[test]
+fn traced_run_matches_parallel_run_and_trace_is_deterministic() {
+    let spec = small_spec();
+    let cfg = CampaignConfig {
+        seed: 31,
+        trials_per_cell: 3,
+        threads: 4,
+        ..Default::default()
+    };
+    let parallel = run_campaign(&spec, &cfg).to_json();
+    let mut trace_a: Vec<u8> = Vec::new();
+    let traced = run_campaign_traced(&spec, &cfg, &mut trace_a)
+        .expect("vec sink cannot fail")
+        .to_json();
+    assert_eq!(parallel, traced, "observers cannot influence a run");
+
+    let mut trace_b: Vec<u8> = Vec::new();
+    run_campaign_traced(&spec, &cfg, &mut trace_b).unwrap();
+    assert_eq!(trace_a, trace_b, "trace files are byte-deterministic");
+
+    let text = String::from_utf8(trace_a).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("\"kind\":\"rcb-trace\""));
+    assert!(header.contains("\"schema_version\":1"));
+    // Every line parses as JSON; trial_start/trial_end pair up per trial.
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    for line in text.lines() {
+        let parsed = jsonin::parse(line).expect("every trace line is JSON");
+        drop(parsed);
+        if line.contains("\"event\":\"trial_start\"") {
+            starts += 1;
+        }
+        if line.contains("\"event\":\"trial_end\"") {
+            ends += 1;
+        }
+    }
+    let total = spec.cells.len() as u64 * cfg.trials_per_cell;
+    assert_eq!(starts, total);
+    assert_eq!(ends, total);
 }
 
 /// The streaming aggregates in the report equal exact batch statistics

@@ -55,6 +55,7 @@ pub mod spec;
 
 pub use report::{sweep_by, SweepPoint};
 pub use runner::{
-    resolve_threads, run_trial, run_trial_opts, run_trials, TrialOptions, TrialResult,
+    resolve_threads, run_trial, run_trial_opts, run_trial_telemetry, run_trials, TrialOptions,
+    TrialResult,
 };
 pub use spec::{AdversaryKind, ProtocolKind, TopologyKind, TrialSpec};

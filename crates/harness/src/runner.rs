@@ -12,7 +12,8 @@ use rcb_core::{
     MultiMessageCast,
 };
 use rcb_sim::{
-    derive_seed, AdaptiveAdversary, Adversary, EngineConfig, Eve, Observer, RunOutcome, Simulation,
+    derive_seed, AdaptiveAdversary, Adversary, EngineConfig, EngineTelemetry, Eve, Observer,
+    RunOutcome, Simulation,
 };
 
 /// The distilled result of one trial — everything the experiment reports
@@ -230,7 +231,7 @@ fn simulate<P: rcb_sim::Protocol>(
     protocol: &mut P,
     spec: &TrialSpec,
     opts: &mut TrialOptions<'_>,
-) -> RunOutcome {
+) -> (RunOutcome, EngineTelemetry) {
     let cfg = EngineConfig {
         max_slots: spec.max_slots,
         stop_when_all_informed: spec.protocol.never_halts(),
@@ -247,7 +248,7 @@ fn simulate<P: rcb_sim::Protocol>(
             Some(obs) => obs,
             None => &mut noop,
         })
-        .run(spec.seed)
+        .run_with_telemetry(spec.seed)
 }
 
 /// Run a single trial with default options.
@@ -256,9 +257,20 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
 }
 
 /// Run a single trial under explicit [`TrialOptions`].
-pub fn run_trial_opts(spec: &TrialSpec, mut opts: TrialOptions<'_>) -> TrialResult {
+pub fn run_trial_opts(spec: &TrialSpec, opts: TrialOptions<'_>) -> TrialResult {
+    run_trial_telemetry(spec, opts).0
+}
+
+/// Run a single trial under explicit [`TrialOptions`] and also return the
+/// engine's [`EngineTelemetry`] for the run. Collecting telemetry never
+/// perturbs the trial itself — `run_trial_opts` is exactly the first
+/// element of this pair.
+pub fn run_trial_telemetry(
+    spec: &TrialSpec,
+    mut opts: TrialOptions<'_>,
+) -> (TrialResult, EngineTelemetry) {
     let opts = &mut opts;
-    let out = match spec.protocol.clone() {
+    let (out, tel) = match spec.protocol.clone() {
         ProtocolKind::Core { n, t, params } => {
             let mut p = MultiCastCore::with_params(n, t, params);
             simulate(&mut p, spec, opts)
@@ -304,7 +316,7 @@ pub fn run_trial_opts(spec: &TrialSpec, mut opts: TrialOptions<'_>) -> TrialResu
             simulate(&mut p, spec, opts)
         }
     };
-    TrialResult::from_outcome(spec, &out)
+    (TrialResult::from_outcome(spec, &out), tel)
 }
 
 /// Resolve a requested worker count: 0 means "use the `RCB_THREADS`

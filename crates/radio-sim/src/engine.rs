@@ -114,12 +114,15 @@ use crate::channel::{ChannelBoard, Feedback, Payload};
 use crate::jamset::JamSet;
 use crate::metrics::{MessageOutcome, NodeExtra, NodeOutcome, RunOutcome, SlotStats};
 use crate::protocol::{
-    Action, Adversary, BoundaryDecision, Coin, Protocol, ProtocolNode, SlotProfile, SpanCharge,
+    Action, Adversary, BoundaryDecision, Coin, NodeId, Protocol, ProtocolNode, SlotProfile,
+    SpanCharge,
 };
 use crate::rng::{derive_seed, Xoshiro256};
 use crate::sampler::TwoClassRoundStream;
+use crate::telemetry::EngineTelemetry;
 use crate::topology::{Topology, TopologyView};
 use crate::trace::Observer;
+use std::time::Instant;
 
 /// How the engine samples the per-slot acting subset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -155,6 +158,14 @@ pub struct EngineConfig {
     /// (a skipped span is provably silent, so an adaptive Eve observes
     /// nothing in it).
     pub fast_forward: bool,
+    /// Collect per-phase wall-clock into
+    /// [`EngineTelemetry::phases`](crate::EngineTelemetry): setup, slot
+    /// loop, fast-forward, finalize. Off by default — with it off the
+    /// telemetry is a pure function of the run inputs and artifacts built
+    /// from it stay byte-identical across hosts and repeats. The clock is
+    /// read strictly outside the RNG/decision path either way, so the
+    /// *outcome* is never affected.
+    pub time_phases: bool,
 }
 
 impl Default for EngineConfig {
@@ -164,6 +175,7 @@ impl Default for EngineConfig {
             stop_when_all_informed: false,
             sampling: Sampling::Sparse,
             fast_forward: true,
+            time_phases: false,
         }
     }
 }
@@ -180,6 +192,41 @@ impl EngineConfig {
 
 struct NoopObserver;
 impl Observer for NoopObserver {}
+
+/// Forwards every event to the wrapped observer while counting invocations
+/// for [`EngineTelemetry::observer_events`]. The count is therefore the
+/// same whether or not a real observer is mounted.
+struct CountingObserver<'a> {
+    inner: &'a mut dyn Observer,
+    events: u64,
+}
+
+impl Observer for CountingObserver<'_> {
+    fn on_informed(&mut self, node: NodeId, slot: u64) {
+        self.events += 1;
+        self.inner.on_informed(node, slot);
+    }
+
+    fn on_halted(&mut self, node: NodeId, slot: u64) {
+        self.events += 1;
+        self.inner.on_halted(node, slot);
+    }
+
+    fn on_boundary(&mut self, slot: u64, profile: &SlotProfile, active: u32, informed: u32) {
+        self.events += 1;
+        self.inner.on_boundary(slot, profile, active, informed);
+    }
+
+    fn on_slot(&mut self, slot: u64, stats: &SlotStats) {
+        self.events += 1;
+        self.inner.on_slot(slot, stats);
+    }
+
+    fn on_idle_span(&mut self, slot: u64, len: u64, jammed: u64) {
+        self.events += 1;
+        self.inner.on_idle_span(slot, len, jammed);
+    }
+}
 
 /// The adversary seat of a [`Simulation`]: nobody, the paper's oblivious
 /// model, or the Section 8 adaptive extension.
@@ -398,6 +445,16 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// of `(protocol, eve, topology, config, master_seed)` — see the module
     /// docs' determinism section.
     pub fn run(self, master_seed: u64) -> RunOutcome {
+        self.run_with_telemetry(master_seed).0
+    }
+
+    /// Like [`run`](Self::run), but also return the run's
+    /// [`EngineTelemetry`] — slots stepped vs. fast-forwarded, span
+    /// statistics, RNG draws, jam-budget split, observer events, and (with
+    /// [`EngineConfig::time_phases`]) per-phase wall-clock. Collecting it
+    /// never perturbs the run: `run` and `run_with_telemetry` produce
+    /// byte-identical [`RunOutcome`]s for the same inputs.
+    pub fn run_with_telemetry(self, master_seed: u64) -> (RunOutcome, EngineTelemetry) {
         let Self {
             protocol,
             eve,
@@ -425,9 +482,20 @@ fn run_core<P: Protocol>(
     master_seed: u64,
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
-) -> RunOutcome {
+) -> (RunOutcome, EngineTelemetry) {
     let n = protocol.num_nodes();
     assert!(n >= 2, "broadcast needs at least a source and one receiver");
+
+    let mut tel = EngineTelemetry::default();
+    // Observer events are counted through a forwarding wrapper so the tally
+    // is identical with and without a mounted observer.
+    let mut observer = CountingObserver {
+        inner: observer,
+        events: 0,
+    };
+    // Wall-clock is read only under `time_phases`, and only between phases
+    // or around whole spans — never inside the per-slot hot section.
+    let t_setup = cfg.time_phases.then(Instant::now);
 
     // Realized connectivity; construction draws only from the topology's
     // own seeds, so the node/engine RNG streams below are untouched.
@@ -529,6 +597,12 @@ fn run_core<P: Protocol>(
     let mut stream =
         sparse.then(|| TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2));
 
+    if let Some(t) = t_setup {
+        tel.phases.setup = t.elapsed().as_nanos() as u64;
+    }
+    let t_loop = cfg.time_phases.then(Instant::now);
+    let mut ff_nanos: u64 = 0;
+
     while slot < cfg.max_slots {
         if active.is_empty() {
             break;
@@ -547,6 +621,7 @@ fn run_core<P: Protocol>(
                 let s = stream.as_mut().expect("sparse mode has a stream");
                 let empty_rounds = s.empty_rounds_ahead();
                 if empty_rounds > 0 {
+                    let t_span = cfg.time_phases.then(Instant::now);
                     // The run of empty rounds ahead, clipped to the segment
                     // (profiles change at boundaries) and to the slot cap.
                     let rounds_left = (seg_end - slot) / round_len;
@@ -579,11 +654,19 @@ fn run_core<P: Protocol>(
                         prev_obs.channels = prof.channels;
                     }
                     s.skip_rounds(whole_rounds);
+                    tel.record_span(span, spent);
                     observer.on_idle_span(slot, span, spent);
                     slot += span;
                     fast_forwarded = true;
+                    if let Some(t) = t_span {
+                        ff_nanos += t.elapsed().as_nanos() as u64;
+                    }
                 }
             }
+            // ==== TELEMETRY HOT SECTION: BEGIN =============================
+            // Per-slot execution path. No wall-clock reads allowed in this
+            // range (CI greps it for clock calls); timing stays at phase
+            // granularity so throughput is never spent on the clock.
             if !fast_forwarded {
                 for buf in &mut round_buf {
                     buf.clear();
@@ -659,6 +742,7 @@ fn run_core<P: Protocol>(
                 let take = want.min(eve_remaining);
                 eve_remaining -= take;
                 eve_spent += take;
+                tel.jam_spent_stepped += take;
                 let jam = if take < want {
                     request.truncate(take, prof.channels)
                 } else {
@@ -774,6 +858,7 @@ fn run_core<P: Protocol>(
                 std::mem::swap(&mut prev_obs, &mut next_obs);
             }
 
+            tel.slots_stepped += 1;
             slot += 1;
         }
 
@@ -836,7 +921,18 @@ fn run_core<P: Protocol>(
                 }
             }
         }
+        // ==== TELEMETRY HOT SECTION: END ===================================
     }
+
+    if let Some(t) = t_loop {
+        let loop_nanos = t.elapsed().as_nanos() as u64;
+        tel.phases.fast_forward = ff_nanos;
+        tel.phases.slot_loop = loop_nanos.saturating_sub(ff_nanos);
+    }
+    let t_finalize = cfg.time_phases.then(Instant::now);
+    tel.rng_engine_draws = engine_rng.draws();
+    tel.rng_node_draws = node_rngs.iter().map(Xoshiro256::draws).sum();
+    tel.observer_events = observer.events;
 
     let nodes_out: Vec<NodeOutcome> = (0..n as usize)
         .map(|i| NodeOutcome {
@@ -874,7 +970,7 @@ fn run_core<P: Protocol>(
             halted_knowing: halted_informed.iter().filter(|&&b| b).count() as u32,
         }]
     };
-    RunOutcome {
+    let outcome = RunOutcome {
         slots: slot,
         all_halted: active.is_empty(),
         all_informed,
@@ -884,7 +980,11 @@ fn run_core<P: Protocol>(
         totals,
         messages,
         nodes: nodes_out,
+    };
+    if let Some(t) = t_finalize {
+        tel.phases.finalize = t.elapsed().as_nanos() as u64;
     }
+    (outcome, tel)
 }
 
 fn node_extra<N: ProtocolNode>(node: &N) -> NodeExtra {

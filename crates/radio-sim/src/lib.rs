@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod sampler;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
@@ -68,5 +69,6 @@ pub use protocol::{
 };
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
 pub use sampler::{bernoulli_subset, geometric_gap, sample_two_class, TwoClassRoundStream};
+pub use telemetry::{EngineTelemetry, PhaseNanos, SPAN_HIST_BUCKETS};
 pub use topology::{Topology, TopologyView};
 pub use trace::{Observer, RecordingObserver, TraceEvent};

@@ -58,6 +58,7 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
 #[derive(Clone, Debug)]
 pub struct Xoshiro256 {
     s: [u64; 4],
+    draws: u64,
 }
 
 impl Xoshiro256 {
@@ -70,14 +71,16 @@ impl Xoshiro256 {
         if s == [0, 0, 0, 0] {
             return Self {
                 s: [0x1, 0x9E37, 0x79B9, 0x7F4A],
+                draws: 0,
             };
         }
-        Self { s }
+        Self { s, draws: 0 }
     }
 
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
@@ -87,6 +90,15 @@ impl Xoshiro256 {
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
         result
+    }
+
+    /// How many `next_u64` draws this stream has made since it was seeded.
+    /// Every derived draw (`next_f64`, `gen_range`, `gen_bool`, `shuffle`)
+    /// funnels through `next_u64`, so this counts *raw 64-bit words*, not
+    /// API calls (`gen_range` may consume several in its rejection loop).
+    #[inline]
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
