@@ -38,7 +38,11 @@ use std::time::Instant;
 /// * **3** — header `code_version` and per-cell `perf` block
 ///   ([`CellPerf`]): telemetry counters merged over the fast-engine
 ///   trials; its wall leaves mirror the cell's measured timing.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * **4** — cells that run under a world schedule (the `nemesis`
+///   scenario) carry a `schedule` string leaf (the event list); the leaf is
+///   omitted on unscheduled cells, so pre-existing cells render
+///   byte-identically to v3.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// How a bench run executes.
 #[derive(Clone, Debug)]
@@ -105,6 +109,9 @@ pub struct CellBench {
     /// measured `wall_s` / `slots_per_sec` (phase leaves stay zero — bench
     /// does not enable per-phase timing, to keep the measured loop clean).
     pub perf: CellPerf,
+    /// World-schedule event list (`"crash@64"`) for scheduled cells; `None`
+    /// — and absent from the JSON — otherwise (schema v4).
+    pub schedule: Option<String>,
 }
 
 impl CellBench {
@@ -127,6 +134,9 @@ impl CellBench {
             fields.push(("speedup", s.into()));
         }
         fields.push(("perf", self.perf.to_json()));
+        if let Some(sched) = &self.schedule {
+            fields.push(("schedule", sched.as_str().into()));
+        }
         Json::obj(fields)
     }
 }
@@ -285,6 +295,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
                     let seed = bench_trial_seed(cfg.seed, &spec.name, ci, trial);
                     TrialSpec::new(cell.protocol.clone(), cell.adversary.clone(), seed)
                         .with_topology(cell.topology.clone())
+                        .with_schedule(cell.schedule.clone())
                         .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
                 })
                 .collect();
@@ -323,6 +334,7 @@ pub fn run_bench(scenarios: &[Scenario], cfg: &BenchConfig) -> BenchReport {
                 ref_slots_per_sec,
                 speedup: ref_slots_per_sec.map(|r| slots_per_sec / r.max(1e-9)),
                 perf: CellPerf::from_telemetry(&tel, wall_s),
+                schedule: (!cell.schedule.is_empty()).then(|| cell.schedule.detail()),
             });
         }
         out.push(ScenarioBench {
@@ -431,8 +443,10 @@ mod tests {
     #[test]
     fn bench_artifact_parses_and_has_schema_markers() {
         let json = tiny_bench().to_json();
-        assert!(json.starts_with("{\n  \"schema_version\": 3,"));
+        assert!(json.starts_with("{\n  \"schema_version\": 4,"));
         assert!(json.contains("\"kind\": \"rcb-bench-report\""));
+        // epidemic-race is unscheduled: no cell may grow the schedule leaf.
+        assert!(!json.contains("\"schedule\""));
         assert!(json.contains("\"code_version\""));
         assert!(json.contains("\"topology\": \"complete\""));
         assert!(json.contains("\"slots_per_sec\""));

@@ -6,12 +6,18 @@
 //! rcb run <scenario> [--trials N] [--seed S] [--threads K]
 //!                    [--max-slots M] [--out FILE] [--perf]
 //!                    [--trace-out FILE] [--quiet]
+//! rcb run --spec <file.toml|file.json> [same flags]
 //! rcb bench [scenario ...] [--quick] [--trials N] [--seed S]
 //!           [--max-slots M] [--no-reference] [--out FILE] [--quiet]
 //! rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]
 //! rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]
 //!          [--no-default-ignore]
 //! ```
+//!
+//! `run` takes either a catalog scenario name or `--spec FILE` — a
+//! declarative TOML/JSON campaign spec (cells, adversaries, topologies,
+//! world schedules; see `docs/NEMESIS.md`). Malformed spec files fail with
+//! file/line/key context and exit code 2.
 //!
 //! `run` prints a human summary table to stdout and, with `--out`, writes
 //! the schema-versioned JSON artifact. The artifact's deterministic leaves
@@ -31,8 +37,9 @@
 //! `--no-default-ignore` is given.
 
 use rcb_campaign::{
-    describe_campaign, diff, find, jsonin, profile_cell, registry, run_bench, run_campaign,
-    run_campaign_traced, BenchConfig, CampaignConfig, ProfileConfig, DEFAULT_IGNORES,
+    describe_campaign, diff, find, jsonin, load_spec, profile_cell, registry, run_bench,
+    run_campaign, run_campaign_traced, BenchConfig, CampaignConfig, CampaignSpec, ProfileConfig,
+    DEFAULT_IGNORES,
 };
 use std::io::Write as _;
 use std::time::Instant;
@@ -42,6 +49,7 @@ fn usage() -> ! {
         "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
          [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] \
          [--perf] [--trace-out FILE] [--quiet]\n  \
+         rcb run --spec <file.toml|file.json> [same flags as above]\n  \
          rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
          [--no-reference] [--out FILE] [--quiet]\n  \
          rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]\n  \
@@ -76,10 +84,7 @@ fn main() {
             Some(name) => cmd_describe(name),
             None => usage(),
         },
-        Some("run") => match args.get(1) {
-            Some(name) => cmd_run(name, &args[2..]),
-            None => usage(),
-        },
+        Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("profile") => match (args.get(1), args.get(2)) {
             (Some(name), Some(cell)) => cmd_profile(name, cell, &args[3..]),
@@ -110,21 +115,19 @@ fn cmd_describe(name: &str) {
     print!("{}", describe_campaign(&(s.build)(), s.summary));
 }
 
-fn cmd_run(name: &str, rest: &[String]) {
-    let Some(s) = find(name) else {
-        eprintln!("unknown scenario: {name}");
-        usage()
-    };
-
+fn cmd_run(rest: &[String]) {
     let mut cfg = CampaignConfig {
         progress: true,
         ..CampaignConfig::default()
     };
+    let mut name: Option<String> = None;
+    let mut spec_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--spec" => spec_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--trials" => cfg.trials_per_cell = parse(arg, it.next()),
             "--seed" => cfg.seed = parse(arg, it.next()),
             "--threads" => cfg.threads = parse(arg, it.next()),
@@ -133,6 +136,7 @@ fn cmd_run(name: &str, rest: &[String]) {
             "--trace-out" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--perf" => cfg.telemetry = true,
             "--quiet" => cfg.progress = false,
+            bare if !bare.starts_with('-') && name.is_none() => name = Some(bare.to_string()),
             _ => {
                 eprintln!("unknown flag: {arg}");
                 usage()
@@ -143,6 +147,23 @@ fn cmd_run(name: &str, rest: &[String]) {
         eprintln!("--trials must be at least 1");
         usage()
     }
+    let spec: CampaignSpec = match (&name, &spec_path) {
+        (Some(name), None) => {
+            let Some(s) = find(name) else {
+                eprintln!("unknown scenario: {name}");
+                usage()
+            };
+            (s.build)()
+        }
+        (None, Some(path)) => load_spec(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }),
+        _ => {
+            eprintln!("run takes exactly one of <scenario> or --spec FILE");
+            usage()
+        }
+    };
 
     // Open the artifact file before the (potentially long) run so a bad
     // path fails in milliseconds, not after the campaign.
@@ -155,7 +176,6 @@ fn cmd_run(name: &str, rest: &[String]) {
     let mut out_file = out_path.as_ref().map(create);
     let trace_file = trace_path.as_ref().map(create);
 
-    let spec = (s.build)();
     let threads_used = if trace_path.is_some() {
         1 // deterministic trace line order needs a single writer
     } else {

@@ -24,11 +24,13 @@
 //!    therefore fixed, so even the non-associative Welford updates produce
 //!    identical bits.
 
-use crate::report::{code_version, CampaignReport, CellPerf, CellReport, MetricReport};
+use crate::report::{
+    code_version, CampaignReport, CellPerf, CellReport, MetricReport, ScheduleReport, TimelineEntry,
+};
 use crate::scenario::{CampaignSpec, CellSpec};
 use crate::tracefile::{TraceWriter, TrialTraceObserver};
 use rcb_harness::{run_trial_telemetry, TrialOptions, TrialResult, TrialSpec};
-use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry};
+use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry, ScheduleMarker};
 use rcb_stats::{QuantileSketch, StreamingMoments};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,6 +90,14 @@ struct TrialMetrics {
     safety_violations: u64,
     /// `(epoch, phase)` of each helper-promotion event (`MultiCastAdv`).
     helper_phases: Vec<(u32, u32)>,
+    /// Crash-model outcome fields (all zero/`survivors == n`-shaped for
+    /// unscheduled cells; only reported on scheduled ones).
+    crashed: u32,
+    survivors: u32,
+    survivors_informed: u32,
+    /// Application markers of the trial's world-schedule events, in spec
+    /// order (a strict prefix of the schedule when the run ended early).
+    timeline: Vec<ScheduleMarker>,
     /// Engine telemetry of the trial (counters always; phase clocks only
     /// under [`CampaignConfig::telemetry`]).
     telemetry: EngineTelemetry,
@@ -105,6 +115,10 @@ impl TrialMetrics {
             all_informed: r.all_informed,
             safety_violations: r.safety_violations as u64,
             helper_phases: r.helper_phases.clone(),
+            crashed: r.crashed,
+            survivors: r.survivors,
+            survivors_informed: r.survivors_informed,
+            timeline: r.timeline.clone(),
             telemetry,
         }
     }
@@ -125,6 +139,14 @@ pub(crate) struct CellAccumulator {
     /// Count per distinct helper `(epoch, phase)` across the cell's trials
     /// (bounded by the handful of phases a schedule visits, not by trials).
     helper_events: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Crash-model distributions (reported only for scheduled cells).
+    crashed: MetricAcc,
+    survivors: MetricAcc,
+    survivors_informed: MetricAcc,
+    /// Per-event application aggregate: `(applied_trials, min, max)` of the
+    /// application slot. Index-aligned with the cell's schedule because
+    /// events apply strictly in spec order.
+    timeline: Vec<(u64, u64, u64)>,
     /// Engine telemetry merged over the cell's trials (fixed-size).
     telemetry: EngineTelemetry,
 }
@@ -176,6 +198,10 @@ impl CellAccumulator {
             source_cost: MetricAcc::new(),
             eve_spent: MetricAcc::new(),
             helper_events: std::collections::BTreeMap::new(),
+            crashed: MetricAcc::new(),
+            survivors: MetricAcc::new(),
+            survivors_informed: MetricAcc::new(),
+            timeline: Vec::new(),
             telemetry: EngineTelemetry::default(),
         }
     }
@@ -192,6 +218,22 @@ impl CellAccumulator {
         self.eve_spent.push(m.eve_spent as f64);
         for &(epoch, phase) in &m.helper_phases {
             *self.helper_events.entry((epoch, phase)).or_insert(0) += 1;
+        }
+        self.crashed.push(f64::from(m.crashed));
+        self.survivors.push(f64::from(m.survivors));
+        self.survivors_informed
+            .push(f64::from(m.survivors_informed));
+        for (i, marker) in m.timeline.iter().enumerate() {
+            match self.timeline.get_mut(i) {
+                Some((applied, min, max)) => {
+                    *applied += 1;
+                    *min = (*min).min(marker.applied_at);
+                    *max = (*max).max(marker.applied_at);
+                }
+                None => self
+                    .timeline
+                    .push((1, marker.applied_at, marker.applied_at)),
+            }
         }
         self.telemetry.merge(&m.telemetry);
     }
@@ -236,6 +278,41 @@ impl CellAccumulator {
                 &self.telemetry,
                 self.telemetry.phases.total() as f64 * 1e-9,
             ),
+            schedule: (!cell.schedule.is_empty()).then(|| ScheduleReport {
+                events: cell.schedule.len() as u64,
+                first_slot: cell.schedule.first_slot().unwrap_or(0),
+                last_slot: cell.schedule.last_slot().unwrap_or(0),
+                detail: cell.schedule.detail(),
+                kinds: cell
+                    .schedule
+                    .events
+                    .iter()
+                    .map(|(_, e)| e.name().to_string())
+                    .collect(),
+                // One entry per scheduled event: aggregated markers where
+                // trials reached it, an explicit zero record where none did.
+                timeline: cell
+                    .schedule
+                    .events
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(scheduled_at, _))| {
+                        let (applied, min, max) =
+                            self.timeline.get(i).copied().unwrap_or((0, 0, 0));
+                        TimelineEntry {
+                            scheduled_at,
+                            applied_trials: applied,
+                            applied_at_min: min,
+                            applied_at_max: max,
+                        }
+                    })
+                    .collect(),
+                crashed: self.crashed.report(),
+                survivors: self.survivors.report(),
+                survivors_informed: self.survivors_informed.report(),
+                schedule_events: self.telemetry.schedule_events,
+                crashed_node_slots: self.telemetry.crashed_node_slots,
+            }),
         }
     }
 }
@@ -249,6 +326,7 @@ fn trial_spec(spec: &CampaignSpec, cfg: &CampaignConfig, g: u64) -> TrialSpec {
         derive_seed(cfg.seed, g),
     )
     .with_topology(cell.topology.clone())
+    .with_schedule(cell.schedule.clone())
     .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots))
 }
 
@@ -558,6 +636,95 @@ mod tests {
             .to_json()
         };
         assert_ne!(run(1), run(2));
+    }
+
+    fn crash_spec() -> CampaignSpec {
+        use rcb_harness::{ScheduleEventKind, ScheduleSpec};
+        CampaignSpec {
+            name: "sched".into(),
+            description: "crash two nodes at slot 0".into(),
+            cells: vec![CellSpec::new(
+                ProtocolKind::Naive {
+                    n: 16,
+                    act_prob: 1.0,
+                },
+                AdversaryKind::Silent,
+            )
+            .with_schedule(ScheduleSpec::new().at(
+                0,
+                ScheduleEventKind::CrashNodes {
+                    nodes: vec![14, 15],
+                },
+            ))
+            .with_max_slots(100_000)],
+        }
+    }
+
+    #[test]
+    fn scheduled_cell_reports_the_schedule_block() {
+        let report = run_campaign(
+            &crash_spec(),
+            &CampaignConfig {
+                seed: 3,
+                trials_per_cell: 6,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let cell = &report.cells[0];
+        let sched = cell.schedule.as_ref().expect("scheduled cell");
+        assert_eq!(sched.events, 1);
+        assert_eq!(sched.kinds, vec!["crash".to_string()]);
+        assert_eq!(sched.detail, "crash@0");
+        assert_eq!(sched.timeline[0].applied_trials, 6);
+        assert_eq!(sched.timeline[0].applied_at_min, 0);
+        assert_eq!(sched.timeline[0].applied_at_max, 0);
+        assert_eq!(sched.crashed.mean, 2.0);
+        assert_eq!(sched.survivors.mean, 14.0);
+        assert_eq!(sched.survivors_informed.mean, 14.0);
+        assert_eq!(sched.schedule_events, 6, "one boundary per trial");
+        assert!(sched.crashed_node_slots > 0);
+        // Survivor-relative verdict: the 14 live nodes all get informed, so
+        // the cell completes even though the crashed pair never hears.
+        assert_eq!(cell.completed, 6);
+        assert_eq!(cell.all_informed, 0);
+        assert_eq!(cell.safety_violations, 0);
+        // The JSON carries the conditional block.
+        assert!(report.to_json().contains("\"schedule\""));
+    }
+
+    #[test]
+    fn unscheduled_cells_never_grow_a_schedule_block() {
+        let report = run_campaign(
+            &tiny_spec(),
+            &CampaignConfig {
+                seed: 5,
+                trials_per_cell: 4,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(report.cells.iter().all(|c| c.schedule.is_none()));
+        assert!(!report.to_json().contains("\"schedule\""));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_a_scheduled_report() {
+        let spec = crash_spec();
+        let run = |threads| {
+            run_campaign(
+                &spec,
+                &CampaignConfig {
+                    seed: 11,
+                    trials_per_cell: 12,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .to_json()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "1 vs 4 threads");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! rcb describe core-repro
 //! rcb run core-repro --trials 1000 --seed 1 --out BENCH_core.json
 //! rcb run core-repro --trials 2 --trace-out trace.jsonl
+//! rcb run --spec docs/examples/nemesis.toml --trials 100
 //! rcb bench --quick --out BENCH_engine.json
 //! rcb profile epidemic-race 2 --trials 3
 //! rcb diff BENCH_engine.json new.json --threshold 0.5
@@ -60,6 +61,7 @@ pub mod jsonin;
 pub mod profile;
 pub mod report;
 pub mod scenario;
+pub mod specfile;
 pub mod tracefile;
 
 pub use bench::{run_bench, BenchConfig, BenchReport, BENCH_SCHEMA_VERSION};
@@ -69,7 +71,8 @@ pub use json::Json;
 pub use profile::{profile_cell, ProfileConfig};
 pub use report::{
     code_version, CampaignReport, CellPerf, CellReport, HelperPhaseCount, MetricReport,
-    SpanLenBucket, SCHEMA_VERSION,
+    ScheduleReport, SpanLenBucket, TimelineEntry, SCHEMA_VERSION,
 };
 pub use scenario::{describe_campaign, find, registry, CampaignSpec, CellSpec, Scenario};
+pub use specfile::{load_spec, parse_spec, SpecError};
 pub use tracefile::{TraceWriter, TrialTraceObserver, TRACE_SCHEMA_VERSION};

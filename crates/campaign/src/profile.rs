@@ -77,6 +77,7 @@ pub fn profile_cell(
         let seed = bench_trial_seed(cfg.seed, &spec.name, cell_index, trial);
         let ts = TrialSpec::new(cell.protocol.clone(), cell.adversary.clone(), seed)
             .with_topology(cell.topology.clone())
+            .with_schedule(cell.schedule.clone())
             .with_max_slots(cfg.max_slots.unwrap_or(cell.max_slots));
         let (r, t) = run_trial_telemetry(&ts, TrialOptions::with_engine(engine));
         completed += r.completed as u64;

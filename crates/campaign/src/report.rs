@@ -23,7 +23,14 @@ use rcb_stats::Table;
 ///   sums plus opt-in wall-clock phase timing. The counter leaves are
 ///   deterministic; the wall-clock leaves are host-dependent and are
 ///   ignored by `rcb diff` by default (zeros unless timing was requested).
-pub const SCHEMA_VERSION: u64 = 3;
+/// * **4** — per-cell `schedule` block ([`ScheduleReport`]) on cells that
+///   run under a world schedule (nemesis fault injection): the event list,
+///   the aggregated application timeline, survivor-relative outcome
+///   distributions, and the schedule telemetry counters
+///   (`schedule_events`, `crashed_node_slots`). The block is **omitted
+///   entirely** for unscheduled cells, so every pre-existing cell's JSON is
+///   byte-identical to its v3 rendering.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Git revision baked into this binary at build time (stamped into every
 /// artifact header as `code_version`; `"unknown"` when git was unavailable
@@ -157,6 +164,91 @@ impl CellPerf {
     }
 }
 
+/// Aggregated application record of one scheduled world event (schema v4).
+///
+/// Events apply at the first round start at or after their scheduled slot,
+/// and they apply in spec order, so entry `i` of a cell's timeline always
+/// corresponds to event `i` of the cell's schedule. A trial that ends
+/// before reaching an event leaves no marker, which is what
+/// `applied_trials < trials` records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Slot the event was scheduled at.
+    pub scheduled_at: u64,
+    /// Trials in which the event was actually applied.
+    pub applied_trials: u64,
+    /// Earliest application slot seen across those trials.
+    pub applied_at_min: u64,
+    /// Latest application slot seen across those trials.
+    pub applied_at_max: u64,
+}
+
+impl TimelineEntry {
+    fn to_json(self, kind: &str) -> Json {
+        Json::obj(vec![
+            ("kind", kind.into()),
+            ("scheduled_at", self.scheduled_at.into()),
+            ("applied_trials", self.applied_trials.into()),
+            ("applied_at_min", self.applied_at_min.into()),
+            ("applied_at_max", self.applied_at_max.into()),
+        ])
+    }
+}
+
+/// The per-cell `schedule` block (schema v4): present only on cells that
+/// run under a non-empty world schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleReport {
+    /// Number of scheduled events.
+    pub events: u64,
+    /// Slot of the first scheduled event.
+    pub first_slot: u64,
+    /// Slot of the last scheduled event.
+    pub last_slot: u64,
+    /// Human-readable event list (`"crash@64, recover@640"`).
+    pub detail: String,
+    /// Event kinds, aligned with [`Self::timeline`].
+    pub kinds: Vec<String>,
+    /// Aggregated application record per event, in schedule order.
+    pub timeline: Vec<TimelineEntry>,
+    /// Crashed-node count at end of run, over trials.
+    pub crashed: MetricReport,
+    /// Survivor-relative informed target, over trials.
+    pub survivors: MetricReport,
+    /// Survivors actually informed, over trials.
+    pub survivors_informed: MetricReport,
+    /// Total schedule boundaries the engine processed (telemetry sum).
+    pub schedule_events: u64,
+    /// Integral of crashed-node count over slots (telemetry sum).
+    pub crashed_node_slots: u64,
+}
+
+impl ScheduleReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("events", self.events.into()),
+            ("first_slot", self.first_slot.into()),
+            ("last_slot", self.last_slot.into()),
+            ("detail", self.detail.as_str().into()),
+            (
+                "timeline",
+                Json::arr(
+                    self.timeline
+                        .iter()
+                        .zip(&self.kinds)
+                        .map(|(t, kind)| t.to_json(kind))
+                        .collect(),
+                ),
+            ),
+            ("crashed", self.crashed.to_json()),
+            ("survivors", self.survivors.to_json()),
+            ("survivors_informed", self.survivors_informed.to_json()),
+            ("schedule_events", self.schedule_events.into()),
+            ("crashed_node_slots", self.crashed_node_slots.into()),
+        ])
+    }
+}
+
 /// How many trials saw a helper promotion at a given `(epoch, phase)` of
 /// the `MultiCastAdv` schedule (Lemmas 6.1–6.3 localize these events).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -233,11 +325,14 @@ pub struct CellReport {
     pub helper_events: Vec<HelperPhaseCount>,
     /// Engine telemetry merged over the cell's trials (schema v3).
     pub perf: CellPerf,
+    /// World-schedule block (schema v4); `None` — and absent from the
+    /// JSON — for unscheduled cells.
+    pub schedule: Option<ScheduleReport>,
 }
 
 impl CellReport {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("protocol", self.protocol.as_str().into()),
             ("adversary", self.adversary.as_str().into()),
             ("topology", self.topology.as_str().into()),
@@ -264,7 +359,11 @@ impl CellReport {
                 Json::arr(self.helper_events.iter().map(|h| h.to_json()).collect()),
             ),
             ("perf", self.perf.to_json()),
-        ])
+        ];
+        if let Some(sched) = &self.schedule {
+            fields.push(("schedule", sched.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -396,6 +495,7 @@ mod tests {
                     count: 2,
                 }],
                 perf: CellPerf::default(),
+                schedule: None,
             }],
         }
     }
@@ -403,7 +503,7 @@ mod tests {
     #[test]
     fn json_has_schema_version_and_escapes() {
         let j = report().to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 3,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 4,"));
         assert!(j.contains("\"kind\": \"rcb-campaign-report\""));
         assert!(j.contains("\"code_version\": \"deadbeef\""));
         assert!(j.contains(r#"a \"quoted\" description"#));
@@ -440,6 +540,64 @@ mod tests {
         // Sparse histogram: 100 → bucket 6, 200 → bucket 7.
         let buckets: Vec<u32> = p.span_len_hist.iter().map(|b| b.log2).collect();
         assert_eq!(buckets, vec![6, 7]);
+    }
+
+    /// Schema v4's central compatibility promise: the `schedule` block is a
+    /// *conditional* leaf set. Absent → the cell JSON is byte-identical to
+    /// its v3 rendering; present → the block carries the timeline and the
+    /// survivor-relative distributions.
+    #[test]
+    fn schedule_block_is_emitted_only_for_scheduled_cells() {
+        let mut r = report();
+        let without = r.to_json();
+        assert!(!without.contains("\"schedule\""));
+
+        r.cells[0].schedule = Some(ScheduleReport {
+            events: 2,
+            first_slot: 64,
+            last_slot: 640,
+            detail: "crash@64, recover@640".into(),
+            kinds: vec!["crash".into(), "recover".into()],
+            timeline: vec![
+                TimelineEntry {
+                    scheduled_at: 64,
+                    applied_trials: 3,
+                    applied_at_min: 64,
+                    applied_at_max: 64,
+                },
+                TimelineEntry {
+                    scheduled_at: 640,
+                    applied_trials: 2,
+                    applied_at_min: 640,
+                    applied_at_max: 672,
+                },
+            ],
+            crashed: metric(4.0),
+            survivors: metric(60.0),
+            survivors_informed: metric(60.0),
+            schedule_events: 5,
+            crashed_node_slots: 2304,
+        });
+        let with = r.to_json();
+        assert!(with.contains("\"schedule\""));
+        assert!(with.contains("\"detail\": \"crash@64, recover@640\""));
+        assert!(with.contains("\"kind\": \"recover\""));
+        assert!(with.contains("\"applied_trials\": 2"));
+        assert!(with.contains("\"survivors_informed\""));
+        assert!(with.contains("\"schedule_events\": 5"));
+        assert!(with.contains("\"crashed_node_slots\": 2304"));
+        // Everything before the schedule block is untouched: the scheduled
+        // rendering extends the unscheduled one rather than rewriting it.
+        let common = with
+            .bytes()
+            .zip(without.bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let perf_at = without.find("\"perf\"").expect("perf block");
+        assert!(
+            common > perf_at,
+            "divergence must come after the perf block"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! races, and scaling ladders.
 
 use rcb_core::{AdvParams, McParams};
-use rcb_harness::{AdversaryKind, ProtocolKind, TopologyKind};
+use rcb_harness::{AdversaryKind, ProtocolKind, ScheduleEventKind, ScheduleSpec, TopologyKind};
 
 /// One aggregation cell of a campaign: a protocol/adversary/topology
 /// triple run for many seeds. Everything the engine needs to build a
@@ -25,6 +25,9 @@ pub struct CellSpec {
     pub adversary: AdversaryKind,
     /// Connectivity topology (default: the paper's single-hop model).
     pub topology: TopologyKind,
+    /// Declarative world schedule (nemesis events) every trial of the cell
+    /// runs under; empty = the unscheduled engine path.
+    pub schedule: ScheduleSpec,
     /// Engine slot cap for this cell's trials.
     pub max_slots: u64,
 }
@@ -35,6 +38,7 @@ impl CellSpec {
             protocol,
             adversary,
             topology: TopologyKind::Complete,
+            schedule: ScheduleSpec::new(),
             // Generous but finite: a stuck cell fails loudly instead of
             // spinning the campaign forever.
             max_slots: 50_000_000,
@@ -48,6 +52,11 @@ impl CellSpec {
 
     pub fn with_topology(mut self, topology: TopologyKind) -> Self {
         self.topology = topology;
+        self
+    }
+
+    pub fn with_schedule(mut self, schedule: ScheduleSpec) -> Self {
+        self.schedule = schedule;
         self
     }
 }
@@ -167,6 +176,12 @@ pub fn registry() -> Vec<Scenario> {
             summary: "MultiMessageCast k-payload ladder, jammed and over a grid (arXiv:1610.02931)",
             build: multi_message,
         },
+        Scenario {
+            name: "nemesis",
+            summary:
+                "World-schedule fault injection: jammer swaps, partition/heal, crashes, lossy links",
+            build: nemesis,
+        },
     ]
 }
 
@@ -210,8 +225,19 @@ pub fn describe_campaign(spec: &CampaignSpec, summary: &str) -> String {
         spec.cells.len()
     );
     for (i, (cell, (proto, adv, topo))) in spec.cells.iter().zip(&rows).enumerate() {
+        // The schedule column appears only on scheduled cells, so every
+        // pre-nemesis scenario renders byte-identically to schema v3.
+        let sched = if cell.schedule.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "  sched = {} ({})",
+                cell.schedule.summary(),
+                cell.schedule.detail()
+            )
+        };
         out.push_str(&format!(
-            "  [{i:>2}] {proto:<w_proto$} vs {adv:<w_adv$} on {topo:<w_topo$} cap = {}\n",
+            "  [{i:>2}] {proto:<w_proto$} vs {adv:<w_adv$} on {topo:<w_topo$} cap = {}{sched}\n",
             cell.max_slots
         ));
     }
@@ -708,6 +734,114 @@ fn multi_message() -> CampaignSpec {
     }
 }
 
+fn nemesis() -> CampaignSpec {
+    let mc32 = || ProtocolKind::MultiCast {
+        n: 32,
+        params: McParams::default(),
+    };
+    let mut cells = Vec::new();
+    // Sub-family 1 — mid-run jammer swap: the oblivious uniform jammer is
+    // replaced at slot 4096 by a fresh-budget adaptive reactive jammer, and
+    // a front-loaded burst is swapped out for silence at slot 8192.
+    cells.push(
+        CellSpec::new(
+            mc32(),
+            AdversaryKind::Uniform {
+                t: 20_000,
+                frac: 0.5,
+            },
+        )
+        .with_schedule(ScheduleSpec::new().at(
+            4096,
+            ScheduleEventKind::SwapEve(AdversaryKind::Reactive {
+                t: 20_000,
+                max_channels: 8,
+            }),
+        )),
+    );
+    cells.push(
+        CellSpec::new(
+            mc32(),
+            AdversaryKind::Burst {
+                t: 20_000,
+                start: 0,
+            },
+        )
+        .with_schedule(
+            ScheduleSpec::new().at(8192, ScheduleEventKind::SwapEve(AdversaryKind::Silent)),
+        ),
+    );
+    // Sub-family 2 — partition-then-heal on an 8x8 grid: the top four rows
+    // (source included) are cut off from the rest at slot 64, long before
+    // the wave crosses the boundary, and reconnected at slot 4096;
+    // completion still means every reachable node informed.
+    cells.push(
+        CellSpec::new(
+            ProtocolKind::MultiHop {
+                n: 64,
+                channels: 8,
+                p: 0.25,
+            },
+            AdversaryKind::Silent,
+        )
+        .with_topology(TopologyKind::Grid { cols: 8 })
+        .with_schedule(
+            ScheduleSpec::new()
+                .at(
+                    64,
+                    ScheduleEventKind::Partition {
+                        groups: vec![(0..32).collect()],
+                    },
+                )
+                .at(4096, ScheduleEventKind::Heal),
+        )
+        .with_max_slots(20_000_000),
+    );
+    // Sub-family 3 — crash-f sweep: fail-stop the f highest node ids at
+    // slot 64; the outcome verdict is survivor-relative.
+    for f in [1u32, 2, 4] {
+        cells.push(CellSpec::new(mc32(), AdversaryKind::Silent).with_schedule(
+            ScheduleSpec::new().at(
+                64,
+                ScheduleEventKind::CrashNodes {
+                    nodes: (32 - f..32).collect(),
+                },
+            ),
+        ));
+    }
+    // Sub-family 4 — lossy-link ladder on a line: every delivery along the
+    // 31-hop path is dropped iid with probability p from slot 0.
+    for &p in &[0.1f64, 0.3, 0.5] {
+        cells.push(
+            CellSpec::new(
+                ProtocolKind::MultiHop {
+                    n: 32,
+                    channels: 8,
+                    p: 0.25,
+                },
+                AdversaryKind::Silent,
+            )
+            .with_topology(TopologyKind::Line)
+            .with_schedule(ScheduleSpec::new().at(0, ScheduleEventKind::SetLinkLoss { p }))
+            .with_max_slots(20_000_000),
+        );
+    }
+    CampaignSpec {
+        name: "nemesis".into(),
+        description: "Declarative world-schedule fault injection over the \
+                      unified engine: a mid-run jammer swap pair (uniform -> \
+                      reactive, burst -> silent, fresh budgets), a \
+                      partition-then-heal cut on an 8x8 grid, a crash-f sweep \
+                      (f in {1, 2, 4} fail-stop nodes, survivor-relative \
+                      verdicts), and a lossy-link ladder (p in {0.1, 0.3, \
+                      0.5}) down a 31-hop line. Every event lands on a \
+                      fast-forward span boundary, so scheduled cells keep the \
+                      engine's determinism guarantees."
+            .into(),
+        cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,11 +994,73 @@ mod tests {
             "multi-hop cells must run under stop_when_all_informed"
         );
         // Every other scenario stays on the single-hop default (except
-        // multi-message, whose grid cell demonstrates the unified core).
+        // multi-message, whose grid cell demonstrates the unified core, and
+        // nemesis, whose partition/lossy-link cells need real graphs).
         for s in registry() {
-            if s.name != "multi-hop" && s.name != "multi-message" {
+            if s.name != "multi-hop" && s.name != "multi-message" && s.name != "nemesis" {
                 assert!((s.build)().cells.iter().all(|c| c.topology.is_complete()));
             }
         }
+    }
+
+    /// Golden output for the schema-v4 schedule column: scheduled cells
+    /// render `sched = <summary> (<detail>)` after the cap, unscheduled
+    /// cells stay byte-identical to the v3 rendering (the multi-hop golden
+    /// test above pins that).
+    #[test]
+    fn describe_golden_output_includes_schedule_column() {
+        let s = find("nemesis").expect("registered");
+        let spec = (s.build)();
+        let text = describe_campaign(&spec, s.summary);
+        assert!(text.starts_with("# nemesis — World-schedule fault injection"));
+        assert!(text.contains("9 cells:\n"));
+        // One full golden row per sub-family.
+        assert!(
+            text.contains("cap = 50000000  sched = 1 event @ 4096 (swap-eve@4096)\n"),
+            "jammer-swap row missing schedule column:\n{text}"
+        );
+        assert!(
+            text.contains(
+                "cap = 20000000  sched = 2 events @ 64..4096 (partition@64, heal@4096)\n"
+            ),
+            "partition row missing schedule column:\n{text}"
+        );
+        assert!(
+            text.contains("cap = 50000000  sched = 1 event @ 64 (crash@64)\n"),
+            "crash row missing schedule column:\n{text}"
+        );
+        assert!(
+            text.contains("cap = 20000000  sched = 1 event @ 0 (set-link-loss@0)\n"),
+            "lossy-link row missing schedule column:\n{text}"
+        );
+        // Unscheduled scenarios must not grow the column.
+        let mh = find("multi-hop").expect("registered");
+        assert!(!describe_campaign(&(mh.build)(), mh.summary).contains("sched ="));
+    }
+
+    #[test]
+    fn nemesis_covers_every_event_family() {
+        let spec = (find("nemesis").expect("registered").build)();
+        assert!(spec.cells.len() >= 9, "four sub-families");
+        assert!(spec.cells.iter().all(|c| !c.schedule.is_empty()));
+        let kinds: std::collections::BTreeSet<&str> = spec
+            .cells
+            .iter()
+            .flat_map(|c| c.schedule.events.iter().map(|(_, e)| e.name()))
+            .collect();
+        for kind in ["swap-eve", "partition", "heal", "crash", "set-link-loss"] {
+            assert!(kinds.contains(kind), "missing event family {kind}");
+        }
+        // The crash sweep covers several f values.
+        let crash_sizes: std::collections::BTreeSet<usize> = spec
+            .cells
+            .iter()
+            .flat_map(|c| c.schedule.events.iter())
+            .filter_map(|(_, e)| match e {
+                ScheduleEventKind::CrashNodes { nodes } => Some(nodes.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(crash_sizes.len() >= 3, "crash-f sweep: {crash_sizes:?}");
     }
 }

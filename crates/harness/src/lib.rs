@@ -58,4 +58,6 @@ pub use runner::{
     resolve_threads, run_trial, run_trial_opts, run_trial_telemetry, run_trials, TrialOptions,
     TrialResult,
 };
-pub use spec::{AdversaryKind, ProtocolKind, TopologyKind, TrialSpec};
+pub use spec::{
+    AdversaryKind, ProtocolKind, ScheduleEventKind, ScheduleSpec, TopologyKind, TrialSpec,
+};

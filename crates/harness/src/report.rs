@@ -90,6 +90,10 @@ mod tests {
             eve_spent: budget,
             safety_violations: 0,
             helper_phases: Vec::new(),
+            crashed: 0,
+            survivors: 16,
+            survivors_informed: if completed { 16 } else { 8 },
+            timeline: Vec::new(),
         }
     }
 

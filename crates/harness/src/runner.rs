@@ -1,7 +1,7 @@
 //! Trial execution: build protocol + adversary from a spec, run the engine,
 //! and fan trials out across CPU cores.
 
-use crate::spec::{AdversaryKind, ProtocolKind, TrialSpec};
+use crate::spec::{AdversaryKind, ProtocolKind, ScheduleEventKind, ScheduleSpec, TrialSpec};
 use rcb_adversary::{
     FullBandBurst, GilbertElliott, HotspotJammer, JamSpan, PeriodicPulse, RandomSubset,
     ReactiveJammer, Silent, SpanJammer, Sweep, UniformFraction,
@@ -13,7 +13,7 @@ use rcb_core::{
 };
 use rcb_sim::{
     derive_seed, AdaptiveAdversary, Adversary, EngineConfig, EngineTelemetry, Eve, Observer,
-    RunOutcome, Simulation,
+    RunOutcome, ScheduleMarker, Simulation, WorldEvent, WorldSchedule,
 };
 
 /// The distilled result of one trial — everything the experiment reports
@@ -44,14 +44,26 @@ pub struct TrialResult {
     /// `(epoch, phase)` at which each node became a helper
     /// (`MultiCastAdv` only; empty otherwise).
     pub helper_phases: Vec<(u32, u32)>,
+    /// Nodes still crashed when the run ended (0 for unscheduled trials).
+    pub crashed: u32,
+    /// Reachable nodes not crashed at the end — the denominator of the
+    /// survivor-relative completion verdict.
+    pub survivors: u32,
+    /// Survivors that knew the message when the run ended.
+    pub survivors_informed: u32,
+    /// Applied schedule events, in application order (empty for
+    /// unscheduled trials).
+    pub timeline: Vec<ScheduleMarker>,
 }
 
 impl TrialResult {
     fn from_outcome(spec: &TrialSpec, out: &RunOutcome) -> Self {
+        // Survivor-relative completion: identical to the classical verdict
+        // for unscheduled trials (no crashes ⇒ survivors == reachable).
         let completed = if spec.protocol.never_halts() {
-            out.all_informed
+            out.survivors_all_informed
         } else {
-            out.all_halted
+            out.survivors_all_halted
         };
         let helper_phases = out
             .nodes
@@ -79,6 +91,10 @@ impl TrialResult {
             eve_spent: out.eve_spent,
             safety_violations: out.safety_violations(),
             helper_phases,
+            crashed: out.crashed,
+            survivors: out.survivors,
+            survivors_informed: out.survivors_informed,
+            timeline: out.timeline.clone(),
         }
     }
 
@@ -109,11 +125,23 @@ impl BuiltAdversary {
     }
 }
 
+/// Stream id for the primary adversary's private randomness.
+const ADVERSARY_STREAM: u64 = 1_000_003;
+/// Base stream id for swap-in adversaries: the `i`-th `SwapEve` replacement
+/// draws from stream `SWAP_ADVERSARY_STREAM_BASE + i`.
+const SWAP_ADVERSARY_STREAM_BASE: u64 = 1_000_010;
+
 /// Build the adversary described by `kind`. The strategy's private stream is
 /// derived from the trial's master seed (stream id `1_000_003`).
 fn build_adversary(kind: &AdversaryKind, master_seed: u64) -> BuiltAdversary {
+    build_adversary_stream(kind, master_seed, ADVERSARY_STREAM)
+}
+
+/// [`build_adversary`] with an explicit stream id, so swap-in adversaries
+/// get randomness independent of the primary seat's.
+fn build_adversary_stream(kind: &AdversaryKind, master_seed: u64, stream: u64) -> BuiltAdversary {
     use BuiltAdversary::{Adaptive, Oblivious};
-    let seed = derive_seed(master_seed, 1_000_003);
+    let seed = derive_seed(master_seed, stream);
     match kind.clone() {
         AdversaryKind::Silent => Oblivious(Box::new(Silent)),
         AdversaryKind::Uniform { t, frac } => {
@@ -188,6 +216,43 @@ fn build_adversary(kind: &AdversaryKind, master_seed: u64) -> BuiltAdversary {
 struct Noop;
 impl Observer for Noop {}
 
+/// Realize the declarative [`ScheduleSpec`] as an engine-level
+/// [`WorldSchedule`] plus the built swap-in adversaries (queued in event
+/// order, streams `1_000_010 + i`). Returns `None` for an empty spec so the
+/// unscheduled engine path is dispatched unchanged.
+fn build_schedule(
+    spec: &ScheduleSpec,
+    master_seed: u64,
+) -> (Option<WorldSchedule>, Vec<BuiltAdversary>) {
+    if spec.is_empty() {
+        return (None, Vec::new());
+    }
+    let mut world = WorldSchedule::new();
+    let mut swaps = Vec::new();
+    for (slot, event) in &spec.events {
+        let ev = match event {
+            ScheduleEventKind::SwapEve(kind) => {
+                let stream = SWAP_ADVERSARY_STREAM_BASE + swaps.len() as u64;
+                swaps.push(build_adversary_stream(kind, master_seed, stream));
+                WorldEvent::SwapEve
+            }
+            ScheduleEventKind::Partition { groups } => WorldEvent::Partition {
+                groups: groups.clone(),
+            },
+            ScheduleEventKind::Heal => WorldEvent::Heal,
+            ScheduleEventKind::CrashNodes { nodes } => WorldEvent::CrashNodes {
+                nodes: nodes.clone(),
+            },
+            ScheduleEventKind::RecoverNodes { nodes } => WorldEvent::RecoverNodes {
+                nodes: nodes.clone(),
+            },
+            ScheduleEventKind::SetLinkLoss { p } => WorldEvent::SetLinkLoss { p: *p },
+        };
+        world = world.at(*slot, ev);
+    }
+    (Some(world), swaps)
+}
+
 /// Per-trial knobs beyond the declarative [`TrialSpec`] itself. The single
 /// options struct behind every trial entry point: `rcb bench` overrides
 /// `engine` to time the slot-by-slot reference, experiments mount an
@@ -239,16 +304,23 @@ fn simulate<P: rcb_sim::Protocol>(
     };
     let mut adversary = build_adversary(&spec.adversary, spec.seed);
     let topology = (!spec.topology.is_complete()).then(|| spec.topology.build(spec.seed));
+    let (world, mut swap_advs) = build_schedule(&spec.schedule, spec.seed);
     let mut noop = Noop;
-    Simulation::new(protocol)
+    let mut sim = Simulation::new(protocol)
         .eve(adversary.as_eve())
         .topology(topology.as_ref())
-        .config(cfg)
-        .observer(match opts.observer.as_deref_mut() {
-            Some(obs) => obs,
-            None => &mut noop,
-        })
-        .run_with_telemetry(spec.seed)
+        .config(cfg);
+    if let Some(ws) = world.as_ref() {
+        sim = sim.schedule(ws);
+        for adv in swap_advs.iter_mut() {
+            sim = sim.swap_eve(adv.as_eve());
+        }
+    }
+    sim.observer(match opts.observer.as_deref_mut() {
+        Some(obs) => obs,
+        None => &mut noop,
+    })
+    .run_with_telemetry(spec.seed)
 }
 
 /// Run a single trial with default options.
@@ -530,6 +602,79 @@ mod tests {
         assert!(r.all_informed);
         assert_eq!(r.protocol, "MultiMessageCast");
         assert_eq!(r.safety_violations, 0);
+    }
+
+    #[test]
+    fn scheduled_crash_trial_reports_survivor_relative_completion() {
+        let spec = TrialSpec::new(
+            ProtocolKind::Naive {
+                n: 32,
+                act_prob: 1.0,
+            },
+            AdversaryKind::Silent,
+            21,
+        )
+        .with_max_slots(100_000)
+        .with_schedule(ScheduleSpec::new().at(
+            0,
+            ScheduleEventKind::CrashNodes {
+                nodes: vec![28, 29, 30, 31],
+            },
+        ));
+        let r = run_trial(&spec);
+        assert!(
+            r.completed,
+            "survivors completing counts as completed: {r:?}"
+        );
+        assert!(!r.all_informed, "crashed nodes can never learn");
+        assert_eq!(r.crashed, 4);
+        assert_eq!(r.survivors, 28);
+        assert_eq!(r.survivors_informed, 28);
+        assert_eq!(r.timeline.len(), 1);
+        assert_eq!(r.timeline[0].kind, "crash");
+        assert_eq!(r.safety_violations, 0);
+    }
+
+    #[test]
+    fn scheduled_swap_eve_seats_an_independent_adversary() {
+        let base = TrialSpec::new(
+            ProtocolKind::Naive {
+                n: 32,
+                act_prob: 1.0,
+            },
+            AdversaryKind::Burst {
+                t: 100_000,
+                start: 0,
+            },
+            23,
+        )
+        .with_max_slots(500_000);
+        let swapped = base.clone().with_schedule(
+            ScheduleSpec::new().at(64, ScheduleEventKind::SwapEve(AdversaryKind::Silent)),
+        );
+        let r = run_trial(&swapped);
+        assert!(r.completed, "{r:?}");
+        assert_eq!(r.timeline.len(), 1);
+        assert_eq!(r.timeline[0].kind, "swap-eve");
+        // The burst jammer was cut off after 64 slots; the unswapped run
+        // spends far more of her budget.
+        let full = run_trial(&base);
+        assert!(
+            r.eve_spent < full.eve_spent,
+            "{} vs {}",
+            r.eve_spent,
+            full.eve_spent
+        );
+    }
+
+    #[test]
+    fn unscheduled_and_empty_schedule_trials_agree() {
+        let plain = run_trial(&quick_spec(5));
+        let empty = run_trial(&quick_spec(5).with_schedule(ScheduleSpec::new()));
+        assert_eq!(plain.slots, empty.slots);
+        assert_eq!(plain.max_cost, empty.max_cost);
+        assert_eq!(plain.survivors, empty.survivors);
+        assert!(empty.timeline.is_empty());
     }
 
     #[test]

@@ -377,6 +377,108 @@ impl AdversaryKind {
     }
 }
 
+/// One declarative nemesis event, the harness-level mirror of
+/// [`rcb_sim::WorldEvent`]. The extra [`SwapEve`](Self::SwapEve) payload
+/// names the replacement adversary declaratively; the runner seeds and
+/// queues it (streams `1_000_010 + i` in swap order).
+#[derive(Clone, Debug)]
+pub enum ScheduleEventKind {
+    /// Replace the adversary seat with this strategy (fresh budget).
+    SwapEve(AdversaryKind),
+    /// Split the network into isolated groups (unlisted nodes form a
+    /// residual group).
+    Partition { groups: Vec<Vec<u32>> },
+    /// Remove any standing partition.
+    Heal,
+    /// Fail-stop the listed nodes (state preserved).
+    CrashNodes { nodes: Vec<u32> },
+    /// Re-admit the listed crashed nodes.
+    RecoverNodes { nodes: Vec<u32> },
+    /// Set the iid per-(round, edge) delivery-loss probability.
+    SetLinkLoss { p: f64 },
+}
+
+impl ScheduleEventKind {
+    /// Short name for report rows — matches
+    /// [`rcb_sim::WorldEvent::kind`] for the mirrored variants.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleEventKind::SwapEve(_) => "swap-eve",
+            ScheduleEventKind::Partition { .. } => "partition",
+            ScheduleEventKind::Heal => "heal",
+            ScheduleEventKind::CrashNodes { .. } => "crash",
+            ScheduleEventKind::RecoverNodes { .. } => "recover",
+            ScheduleEventKind::SetLinkLoss { .. } => "set-link-loss",
+        }
+    }
+}
+
+/// A declarative world schedule: time-indexed nemesis events in
+/// nondecreasing slot order. The harness-level mirror of
+/// [`rcb_sim::WorldSchedule`], kept as plain data so campaign specs stay
+/// `Clone + Send` and serializable.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleSpec {
+    /// `(slot, event)` pairs, nondecreasing in slot.
+    pub events: Vec<(u64, ScheduleEventKind)>,
+}
+
+impl ScheduleSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event; panics if `slot` precedes the last event's slot.
+    pub fn at(mut self, slot: u64, event: ScheduleEventKind) -> Self {
+        if let Some(&(last, _)) = self.events.last() {
+            assert!(
+                slot >= last,
+                "schedule events must be nondecreasing: {slot} after {last}"
+            );
+        }
+        self.events.push((slot, event));
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Slot of the first event.
+    pub fn first_slot(&self) -> Option<u64> {
+        self.events.first().map(|&(s, _)| s)
+    }
+
+    /// Slot of the last event.
+    pub fn last_slot(&self) -> Option<u64> {
+        self.events.last().map(|&(s, _)| s)
+    }
+
+    /// Compact rendering for `rcb describe` / `rcb list` schedule columns:
+    /// `"3 events @ 1000..5000"` (or `"1 event @ 1000"`).
+    pub fn summary(&self) -> String {
+        match (self.first_slot(), self.last_slot()) {
+            (Some(first), Some(_)) if self.len() == 1 => format!("1 event @ {first}"),
+            (Some(first), Some(last)) => format!("{} events @ {first}..{last}", self.len()),
+            _ => "none".into(),
+        }
+    }
+
+    /// Full rendering for `rcb describe`: every event with its slot.
+    pub fn detail(&self) -> String {
+        let items: Vec<String> = self
+            .events
+            .iter()
+            .map(|(slot, e)| format!("{}@{slot}", e.name()))
+            .collect();
+        items.join(", ")
+    }
+}
+
 /// One fully-specified trial.
 #[derive(Clone, Debug)]
 pub struct TrialSpec {
@@ -384,6 +486,8 @@ pub struct TrialSpec {
     pub adversary: AdversaryKind,
     /// Connectivity topology (default: the single-hop complete graph).
     pub topology: TopologyKind,
+    /// Nemesis schedule (default: empty — byte-identical to no schedule).
+    pub schedule: ScheduleSpec,
     /// Master seed; node streams, engine sampling, adversary randomness,
     /// and topology randomness all derive from it.
     pub seed: u64,
@@ -397,6 +501,7 @@ impl TrialSpec {
             protocol,
             adversary,
             topology: TopologyKind::Complete,
+            schedule: ScheduleSpec::new(),
             seed,
             max_slots: 2_000_000_000,
         }
@@ -409,6 +514,11 @@ impl TrialSpec {
 
     pub fn with_topology(mut self, topology: TopologyKind) -> Self {
         self.topology = topology;
+        self
+    }
+
+    pub fn with_schedule(mut self, schedule: ScheduleSpec) -> Self {
+        self.schedule = schedule;
         self
     }
 }
@@ -510,7 +620,38 @@ mod tests {
     fn trial_spec_defaults_to_single_hop() {
         let spec = TrialSpec::new(ProtocolKind::Decay { n: 16 }, AdversaryKind::Silent, 1);
         assert!(spec.topology.is_complete());
+        assert!(spec.schedule.is_empty());
         let spec = spec.with_topology(TopologyKind::Line);
         assert_eq!(spec.topology.name(), "line");
+    }
+
+    #[test]
+    fn schedule_spec_summaries() {
+        let empty = ScheduleSpec::new();
+        assert_eq!(empty.summary(), "none");
+        assert_eq!(empty.first_slot(), None);
+
+        let one = ScheduleSpec::new().at(1000, ScheduleEventKind::Heal);
+        assert_eq!(one.summary(), "1 event @ 1000");
+        assert_eq!(one.detail(), "heal@1000");
+
+        let many = ScheduleSpec::new()
+            .at(100, ScheduleEventKind::CrashNodes { nodes: vec![1, 2] })
+            .at(500, ScheduleEventKind::RecoverNodes { nodes: vec![1, 2] })
+            .at(
+                900,
+                ScheduleEventKind::SwapEve(AdversaryKind::Uniform { t: 10, frac: 0.5 }),
+            );
+        assert_eq!(many.summary(), "3 events @ 100..900");
+        assert_eq!(many.detail(), "crash@100, recover@500, swap-eve@900");
+        assert_eq!(many.last_slot(), Some(900));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn schedule_spec_rejects_out_of_order_events() {
+        let _ = ScheduleSpec::new()
+            .at(500, ScheduleEventKind::Heal)
+            .at(100, ScheduleEventKind::Heal);
     }
 }

@@ -119,8 +119,11 @@ use crate::protocol::{
 };
 use crate::rng::{derive_seed, Xoshiro256};
 use crate::sampler::TwoClassRoundStream;
+use crate::schedule::{
+    realize_partition, LinkLoss, ScheduleMarker, WorldEvent, WorldSchedule, LINK_LOSS_STREAM,
+};
 use crate::telemetry::EngineTelemetry;
-use crate::topology::{Topology, TopologyView};
+use crate::topology::{edge_id, Topology, TopologyView};
 use crate::trace::Observer;
 use std::time::Instant;
 
@@ -385,7 +388,9 @@ impl Eve<'_> {
 pub struct Simulation<'a, P: Protocol> {
     protocol: &'a mut P,
     eve: Eve<'a>,
+    swap_eves: Vec<Eve<'a>>,
     topology: Option<&'a Topology>,
+    schedule: Option<&'a WorldSchedule>,
     config: EngineConfig,
     observer: Option<&'a mut dyn Observer>,
 }
@@ -396,7 +401,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         Self {
             protocol,
             eve: Eve::Silent,
+            swap_eves: Vec::new(),
             topology: None,
+            schedule: None,
             config: EngineConfig::default(),
             observer: None,
         }
@@ -429,6 +436,25 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self
     }
 
+    /// Mount a declarative [`WorldSchedule`] — the nemesis layer of
+    /// time-indexed fault events (adversary swaps, partitions, crashes,
+    /// lossy links). Events are applied at round starts; a mounted-but-empty
+    /// schedule is byte-identical to no schedule at all (see the
+    /// [`crate::schedule`] module docs).
+    pub fn schedule(mut self, schedule: &'a WorldSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Queue an adversary seat for the schedule's next
+    /// [`WorldEvent::SwapEve`] event. Call once per `SwapEve`, in event
+    /// order; the incoming Eve starts with her own full budget. A `SwapEve`
+    /// with an exhausted queue is a no-op.
+    pub fn swap_eve(mut self, eve: Eve<'a>) -> Self {
+        self.swap_eves.push(eve);
+        self
+    }
+
     /// Replace the default [`EngineConfig`].
     pub fn config(mut self, config: EngineConfig) -> Self {
         self.config = config;
@@ -458,7 +484,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let Self {
             protocol,
             eve,
+            swap_eves,
             topology,
+            schedule,
             config,
             observer,
         } = self;
@@ -466,7 +494,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         run_core(
             protocol,
             eve,
+            swap_eves,
             topology,
+            schedule,
             master_seed,
             &config,
             observer.unwrap_or(&mut noop),
@@ -475,10 +505,13 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 }
 
 /// The single simulation loop behind [`Simulation::run`].
-fn run_core<P: Protocol>(
+#[allow(clippy::too_many_arguments)]
+fn run_core<'e, P: Protocol>(
     protocol: &mut P,
-    mut eve: Eve<'_>,
+    mut eve: Eve<'e>,
+    swap_eves: Vec<Eve<'e>>,
     topology: Option<&Topology>,
+    schedule: Option<&WorldSchedule>,
     master_seed: u64,
     cfg: &EngineConfig,
     observer: &mut dyn Observer,
@@ -497,9 +530,28 @@ fn run_core<P: Protocol>(
     // or around whole spans — never inside the per-slot hot section.
     let t_setup = cfg.time_phases.then(Instant::now);
 
+    // World schedule (nemesis layer). An empty slice behaves exactly like
+    // no schedule: every guard below degenerates to the unscheduled engine.
+    let sched: &[(u64, WorldEvent)] = schedule.map_or(&[], WorldSchedule::events);
+    let mut next_event_idx: usize = 0;
+    let swaps_observe = swap_eves.iter().any(Eve::observes);
+    let mut swap_queue = swap_eves.into_iter();
+    let mut timeline: Vec<ScheduleMarker> = Vec::new();
+    let mut partition: Option<Vec<u32>> = None;
+    // The link-loss overlay hashes (seed, round, edge) statelessly;
+    // derive_seed draws nothing, so unscheduled runs are unaffected.
+    let mut link_loss = LinkLoss::new(derive_seed(master_seed, LINK_LOSS_STREAM));
+
     // Realized connectivity; construction draws only from the topology's
     // own seeds, so the node/engine RNG streams below are untouched.
-    let topo = topology.map(|t| TopologyView::build(t, n));
+    // Partition / link-loss events gate delivery per listener, so a
+    // single-hop run with such events gets a synthesized Complete view
+    // (byte-identical delivery — see tests/topology_equivalence.rs).
+    let needs_view = !sched.is_empty() && sched.iter().any(|(_, e)| e.affects_connectivity());
+    let complete = Topology::Complete;
+    let topo = topology
+        .or(if needs_view { Some(&complete) } else { None })
+        .map(|t| TopologyView::build(t, n));
     // "Everyone" means every node the source can reach at all. Compared
     // with >= rather than == defensively: a protocol's boundary inference
     // could in principle mark an unreachable node informed.
@@ -521,6 +573,16 @@ fn run_core<P: Protocol>(
     let mut listen_cost: Vec<u64> = vec![0; n as usize];
     let mut bcast_cost: Vec<u64> = vec![0; n as usize];
     let mut informed_count: u32 = 1;
+
+    // Crash bookkeeping (nemesis layer): crashed nodes keep their state but
+    // leave the actor pool and the live completion accounting.
+    let mut crashed: Vec<bool> = vec![false; n as usize];
+    let mut crashed_count: u32 = 0;
+    let mut crashed_reachable: u32 = 0;
+    let mut crashed_informed: u32 = 0;
+    // Slot from which the current crashed_count has been in effect, for the
+    // crashed-node-slot telemetry integral.
+    let mut crash_from: u64 = 0;
 
     // Per-message tracking (multi-message protocols only). The k = 1 hot
     // path skips all of it and synthesizes its single MessageOutcome from
@@ -578,7 +640,7 @@ fn run_core<P: Protocol>(
     let mut bcasters: Vec<(u32, u64, Payload)> = Vec::new();
     // Band observations for adaptive adversaries (previous slot / scratch);
     // maintained only when the adversary actually reads them.
-    let observes = eve.observes();
+    let observes = eve.observes() || swaps_observe;
     let mut prev_obs = BandObservation::default();
     let mut next_obs = BandObservation::default();
 
@@ -604,28 +666,134 @@ fn run_core<P: Protocol>(
     let mut ff_nanos: u64 = 0;
 
     while slot < cfg.max_slots {
-        if active.is_empty() {
-            break;
-        }
-        if cfg.stop_when_all_informed && informed_count >= informed_target {
-            break;
-        }
-
         let round_len = prof.round_len as u64;
         let sub = (slot - seg_start) % round_len;
         let mut fast_forwarded = false;
 
+        // --- 0. Apply pending schedule events at round starts ----------------
+        // An event scheduled at slot s takes effect at the first round start
+        // >= s; fast-forward spans are clipped below so that round start is
+        // always a span boundary.
+        if sub == 0 && next_event_idx < sched.len() && sched[next_event_idx].0 <= slot {
+            let mut active_changed = false;
+            while next_event_idx < sched.len() && sched[next_event_idx].0 <= slot {
+                let (scheduled_at, event) = &sched[next_event_idx];
+                next_event_idx += 1;
+                tel.schedule_events += 1;
+                tel.crashed_node_slots += u64::from(crashed_count) * (slot - crash_from);
+                crash_from = slot;
+                match event {
+                    WorldEvent::SwapEve => {
+                        // An exhausted swap queue makes this a recorded no-op.
+                        if let Some(next_eve) = swap_queue.next() {
+                            eve = next_eve;
+                            eve_remaining = eve.budget();
+                        }
+                    }
+                    WorldEvent::Partition { groups } => {
+                        partition = Some(realize_partition(groups, n));
+                    }
+                    WorldEvent::Heal => partition = None,
+                    WorldEvent::CrashNodes { nodes: list } => {
+                        for &nid in list {
+                            let i = nid as usize;
+                            if nid >= n || crashed[i] || halted_at[i].is_some() {
+                                continue;
+                            }
+                            crashed[i] = true;
+                            crashed_count += 1;
+                            if topo.as_ref().is_none_or(|v| v.is_reachable(nid)) {
+                                crashed_reachable += 1;
+                            }
+                            if informed_at[i].is_some() {
+                                crashed_informed += 1;
+                            }
+                            active_changed = true;
+                        }
+                    }
+                    WorldEvent::RecoverNodes { nodes: list } => {
+                        for &nid in list {
+                            let i = nid as usize;
+                            if nid >= n || !crashed[i] {
+                                continue;
+                            }
+                            crashed[i] = false;
+                            crashed_count -= 1;
+                            if topo.as_ref().is_none_or(|v| v.is_reachable(nid)) {
+                                crashed_reachable -= 1;
+                            }
+                            if informed_at[i].is_some() {
+                                crashed_informed -= 1;
+                            }
+                            active_changed = true;
+                        }
+                    }
+                    WorldEvent::SetLinkLoss { p } => link_loss.set_p(*p),
+                }
+                timeline.push(ScheduleMarker {
+                    scheduled_at: *scheduled_at,
+                    applied_at: slot,
+                    kind: event.kind(),
+                });
+            }
+            if active_changed {
+                active.clear();
+                active.extend(
+                    (0..n).filter(|&i| halted_at[i as usize].is_none() && !crashed[i as usize]),
+                );
+                if sparse {
+                    // The actor pool changed size mid-segment: restart the
+                    // sampling stream over the new pool. No stream at all
+                    // while every node is down (dead air).
+                    stream = (!active.is_empty()).then(|| {
+                        TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2)
+                    });
+                }
+            }
+        }
+
+        // With everyone halted the run is over unless crashed nodes remain
+        // that a pending RecoverNodes event could still re-admit. Events
+        // past this point are never applied and leave no timeline marker.
+        if active.is_empty() && (crashed_count == 0 || next_event_idx >= sched.len()) {
+            break;
+        }
+        if cfg.stop_when_all_informed {
+            // While crashes are in play and no events remain, completion is
+            // survivor-relative: crashed nodes can neither learn nor be
+            // waited on. Pending events keep the strict criterion, since a
+            // later RecoverNodes may re-admit crashed nodes.
+            let done = if crashed_count == 0 || next_event_idx < sched.len() {
+                informed_count >= informed_target
+            } else {
+                informed_count.saturating_sub(crashed_informed)
+                    >= informed_target.saturating_sub(crashed_reachable)
+            };
+            if done {
+                break;
+            }
+        }
+
         // --- 1. Actor sampling / idle fast-forward at round start -----------
         if sub == 0 {
             if fast_forward {
-                let s = stream.as_mut().expect("sparse mode has a stream");
-                let empty_rounds = s.empty_rounds_ahead();
+                let empty_rounds = match stream.as_mut() {
+                    Some(s) => s.empty_rounds_ahead(),
+                    // Dead air: every node is crashed, every round is empty.
+                    None => u64::MAX,
+                };
                 if empty_rounds > 0 {
                     let t_span = cfg.time_phases.then(Instant::now);
                     // The run of empty rounds ahead, clipped to the segment
                     // (profiles change at boundaries) and to the slot cap.
                     let rounds_left = (seg_end - slot) / round_len;
                     let mut whole_rounds = empty_rounds.min(rounds_left);
+                    if next_event_idx < sched.len() {
+                        // Never skip past a pending event: clip the span so
+                        // the event's round start stays a span boundary.
+                        let gap = sched[next_event_idx].0.saturating_sub(slot).max(1);
+                        whole_rounds = whole_rounds.min(gap.div_ceil(round_len));
+                    }
                     let mut span = whole_rounds * round_len;
                     let avail = cfg.max_slots - slot;
                     if span > avail {
@@ -653,7 +821,9 @@ fn run_core<P: Protocol>(
                         prev_obs.clear();
                         prev_obs.channels = prof.channels;
                     }
-                    s.skip_rounds(whole_rounds);
+                    if let Some(s) = stream.as_mut() {
+                        s.skip_rounds(whole_rounds);
+                    }
                     tel.record_span(span, spent);
                     observer.on_idle_span(slot, span, spent);
                     slot += span;
@@ -678,10 +848,11 @@ fn run_core<P: Protocol>(
                 class2.clear();
                 match cfg.sampling {
                     Sampling::Sparse => {
-                        stream
-                            .as_mut()
-                            .expect("sparse mode has a stream")
-                            .next_round(&mut engine_rng, &mut class1, &mut class2);
+                        // The stream is absent only while every node is
+                        // crashed; dead-air slots sample no actors.
+                        if let Some(s) = stream.as_mut() {
+                            s.next_round(&mut engine_rng, &mut class1, &mut class2);
+                        }
                     }
                     Sampling::DensePerNode => {
                         for (idx, &nid) in active.iter().enumerate() {
@@ -799,12 +970,27 @@ fn run_core<P: Protocol>(
                             let mut heard = 0u32;
                             let mut payload = Payload::Data;
                             for &(bid, bch, pl) in &bcasters {
-                                if bch == ch && view.connected(bid, nid, round_key) {
-                                    heard += 1;
-                                    payload = pl;
-                                    if heard == 2 {
-                                        break;
+                                if bch != ch || !view.connected(bid, nid, round_key) {
+                                    continue;
+                                }
+                                // Nemesis overlays gate delivery on top of
+                                // the base topology: cross-group edges are
+                                // cut while a partition is live, and lossy
+                                // links drop per (round, edge).
+                                if let Some(p) = &partition {
+                                    if p[bid as usize] != p[nid as usize] {
+                                        continue;
                                     }
+                                }
+                                if link_loss.active()
+                                    && link_loss.is_lost(round_key, edge_id(n, bid, nid))
+                                {
+                                    continue;
+                                }
+                                heard += 1;
+                                payload = pl;
+                                if heard == 2 {
+                                    break;
                                 }
                             }
                             match heard {
@@ -905,24 +1091,27 @@ fn run_core<P: Protocol>(
                 active.retain(|&nid| halted_at[nid as usize].is_none());
             }
             observer.on_boundary(slot, &prof, active.len() as u32, informed_count);
-            if !active.is_empty() && slot < cfg.max_slots {
+            // Pending schedule events keep the segment clock running even
+            // when every node is down — a RecoverNodes may still re-admit.
+            if (!active.is_empty() || next_event_idx < sched.len()) && slot < cfg.max_slots {
                 prof = checked_profile(protocol.segment(slot), n);
                 seg_start = slot;
                 seg_end = slot.saturating_add(prof.seg_len);
                 if sparse {
                     // Fresh stream per segment: probabilities and the active
                     // set are constant within a segment, not across them.
-                    stream = Some(TwoClassRoundStream::new(
-                        &mut engine_rng,
-                        active.len(),
-                        prof.p1,
-                        prof.p2,
-                    ));
+                    // No stream while every node is down (dead air).
+                    stream = (!active.is_empty()).then(|| {
+                        TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2)
+                    });
                 }
             }
         }
         // ==== TELEMETRY HOT SECTION: END ===================================
     }
+
+    // Flush the crashed-node-slot integral up to the final slot.
+    tel.crashed_node_slots += u64::from(crashed_count) * (slot - crash_from);
 
     if let Some(t) = t_loop {
         let loop_nanos = t.elapsed().as_nanos() as u64;
@@ -970,9 +1159,13 @@ fn run_core<P: Protocol>(
             halted_knowing: halted_informed.iter().filter(|&&b| b).count() as u32,
         }]
     };
+    let survivors = informed_target.saturating_sub(crashed_reachable);
+    let survivors_informed = informed_count.saturating_sub(crashed_informed);
     let outcome = RunOutcome {
         slots: slot,
-        all_halted: active.is_empty(),
+        // A run with standing crashes has not "all halted" in the classical
+        // sense; the survivor-relative verdict lives in the fields below.
+        all_halted: active.is_empty() && crashed_count == 0,
         all_informed,
         all_informed_at,
         reachable: informed_target,
@@ -980,6 +1173,12 @@ fn run_core<P: Protocol>(
         totals,
         messages,
         nodes: nodes_out,
+        timeline,
+        crashed: crashed_count,
+        survivors,
+        survivors_informed,
+        survivors_all_informed: survivors_informed >= survivors,
+        survivors_all_halted: active.is_empty(),
     };
     if let Some(t) = t_finalize {
         tel.phases.finalize = t.elapsed().as_nanos() as u64;
@@ -1815,5 +2014,238 @@ mod tests {
                 n.cost()
             );
         }
+    }
+
+    // ---- nemesis layer (WorldSchedule) ------------------------------------
+
+    use crate::schedule::{WorldEvent, WorldSchedule};
+
+    // Late-landing events need live broadcasters: [`RelayToy`] never halts,
+    // so runs pair it with `stop_when_all_informed` (see `informed_cfg`).
+
+    #[test]
+    fn empty_schedule_is_byte_identical_to_unscheduled() {
+        for seed in [1u64, 7, 42] {
+            let plain = {
+                let mut proto = toy(16);
+                Simulation::new(&mut proto)
+                    .config(EngineConfig::capped(100_000))
+                    .run_with_telemetry(seed)
+            };
+            let empty = WorldSchedule::new();
+            let scheduled = {
+                let mut proto = toy(16);
+                Simulation::new(&mut proto)
+                    .schedule(&empty)
+                    .config(EngineConfig::capped(100_000))
+                    .run_with_telemetry(seed)
+            };
+            assert_eq!(plain.0, scheduled.0, "outcome drift at seed {seed}");
+            assert_eq!(plain.1, scheduled.1, "telemetry drift at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_degrade_gracefully() {
+        let sched = WorldSchedule::new().at(
+            0,
+            WorldEvent::CrashNodes {
+                nodes: vec![12, 13, 14, 15],
+            },
+        );
+        let mut proto = toy(16);
+        let (out, tel) = Simulation::new(&mut proto)
+            .schedule(&sched)
+            .config(EngineConfig::capped(100_000))
+            .run_with_telemetry(9);
+        assert_eq!(out.crashed, 4);
+        assert_eq!(out.survivors, 12);
+        assert!(!out.all_informed, "crashed nodes can never learn");
+        assert!(
+            out.survivors_all_informed,
+            "every survivor should learn: {out:?}"
+        );
+        assert!(out.survivors_all_halted);
+        assert!(!out.all_halted, "standing crashes veto the classic verdict");
+        assert_eq!(out.safety_violations(), 0);
+        for nid in 12..16 {
+            assert_eq!(out.nodes[nid].informed_at, None);
+            assert_eq!(out.nodes[nid].halted_at, None);
+        }
+        assert_eq!(out.timeline.len(), 1);
+        assert_eq!(out.timeline[0].kind, "crash");
+        assert_eq!(out.timeline[0].applied_at, 0);
+        assert_eq!(tel.schedule_events, 1);
+        assert_eq!(tel.crashed_node_slots, 4 * out.slots);
+        assert_eq!(tel.slots_total(), out.slots);
+    }
+
+    #[test]
+    fn crash_all_then_recover_rides_out_dead_air() {
+        // Every node (source included) is down from slot 0 to 640; the run
+        // must coast through the dead air without panicking and still
+        // complete after the recovery.
+        let sched = WorldSchedule::new()
+            .at(
+                0,
+                WorldEvent::CrashNodes {
+                    nodes: (0..16).collect(),
+                },
+            )
+            .at(
+                640,
+                WorldEvent::RecoverNodes {
+                    nodes: (0..16).collect(),
+                },
+            );
+        let mut proto = toy(16);
+        let (out, tel) = Simulation::new(&mut proto)
+            .schedule(&sched)
+            .config(EngineConfig::capped(100_000))
+            .run_with_telemetry(3);
+        assert!(out.all_informed, "{out:?}");
+        assert!(out.all_halted);
+        assert_eq!(out.crashed, 0);
+        assert_eq!(out.survivors, 16);
+        assert_eq!(out.timeline.len(), 2);
+        assert_eq!(out.timeline[0].kind, "crash");
+        assert_eq!(out.timeline[1].kind, "recover");
+        assert_eq!(out.timeline[1].applied_at, 640);
+        assert_eq!(tel.schedule_events, 2);
+        assert_eq!(tel.crashed_node_slots, 16 * 640);
+        assert_eq!(tel.slots_total(), out.slots);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_delivery() {
+        let sched = WorldSchedule::new().at(
+            0,
+            WorldEvent::Partition {
+                groups: vec![(0..8).collect(), (8..16).collect()],
+            },
+        );
+        let mut proto = toy(16);
+        let out = Simulation::new(&mut proto)
+            .schedule(&sched)
+            .config(EngineConfig::capped(20_000))
+            .run(5);
+        assert!(!out.all_informed);
+        for nid in 8..16 {
+            assert_eq!(
+                out.nodes[nid].informed_at, None,
+                "node {nid} is cut off from the source's group"
+            );
+        }
+        assert!(
+            out.nodes[1..8].iter().all(|n| n.informed_at.is_some()),
+            "the source's own group still completes: {out:?}"
+        );
+    }
+
+    #[test]
+    fn heal_restores_cross_group_delivery() {
+        let sched = WorldSchedule::new()
+            .at(
+                0,
+                WorldEvent::Partition {
+                    groups: vec![(0..8).collect(), (8..16).collect()],
+                },
+            )
+            .at(2048, WorldEvent::Heal);
+        let mut proto = RelayToy { n: 16, channels: 4 };
+        let out = Simulation::new(&mut proto)
+            .schedule(&sched)
+            .config(informed_cfg())
+            .run(5);
+        assert!(out.all_informed, "{out:?}");
+        assert_eq!(out.timeline.len(), 2);
+        assert_eq!(out.timeline[1].kind, "heal");
+        // The far side could only start learning after the heal landed.
+        let earliest_far = (8..16).filter_map(|i| out.nodes[i].informed_at).min();
+        assert!(earliest_far.is_some_and(|s| s >= 2048), "{earliest_far:?}");
+    }
+
+    #[test]
+    fn swap_eve_replaces_the_adversary_and_resets_her_budget() {
+        // A bottomless full-band jammer blocks all progress until the swap
+        // at slot 1024 seats a silent Eve; the run then completes. Her spend
+        // is exactly 4 channels × 1024 slots, span-charges included.
+        let sched = WorldSchedule::new().at(1024, WorldEvent::SwapEve);
+        let mut proto = RelayToy { n: 16, channels: 4 };
+        let mut jam = JamAll { t: u64::MAX };
+        let out = Simulation::new(&mut proto)
+            .adversary(&mut jam)
+            .schedule(&sched)
+            .swap_eve(Eve::Silent)
+            .config(informed_cfg())
+            .run(4);
+        assert!(out.all_informed, "{out:?}");
+        assert_eq!(out.eve_spent, 1024 * 4);
+        assert!(out.all_informed_at.is_some_and(|s| s >= 1024));
+        assert_eq!(out.timeline.len(), 1);
+        assert_eq!(out.timeline[0].kind, "swap-eve");
+        assert_eq!(out.timeline[0].applied_at, 1024);
+    }
+
+    #[test]
+    fn swap_eve_with_empty_queue_is_a_recorded_noop() {
+        // An applied swap with no queued Eve changes nothing but the
+        // timeline; an event past the run's natural end is never applied.
+        let plain = {
+            let mut proto = toy(16);
+            Simulation::new(&mut proto)
+                .config(EngineConfig::capped(100_000))
+                .run(1)
+        };
+        let early = WorldSchedule::new().at(16, WorldEvent::SwapEve);
+        let mut proto = toy(16);
+        let out = Simulation::new(&mut proto)
+            .schedule(&early)
+            .config(EngineConfig::capped(100_000))
+            .run(1);
+        assert_eq!(out.slots, plain.slots);
+        assert_eq!(out.nodes, plain.nodes);
+        assert_eq!(out.totals, plain.totals);
+        assert_eq!(out.timeline.len(), 1);
+
+        // The toy run all-halts around slot 64; with no crashed nodes a
+        // pending slot-100k event cannot change anything, so the run ends
+        // on schedule and leaves no marker.
+        let late = WorldSchedule::new().at(100_000, WorldEvent::SwapEve);
+        let mut proto = toy(16);
+        let out = Simulation::new(&mut proto)
+            .schedule(&late)
+            .config(EngineConfig::capped(200_000))
+            .run(1);
+        assert_eq!(out.slots, plain.slots);
+        assert_eq!(out.nodes, plain.nodes);
+        assert!(out.timeline.is_empty(), "unreached events leave no marker");
+    }
+
+    #[test]
+    fn full_link_loss_isolates_every_node() {
+        let sched = WorldSchedule::new().at(0, WorldEvent::SetLinkLoss { p: 1.0 });
+        let mut proto = toy(16);
+        let out = Simulation::new(&mut proto)
+            .schedule(&sched)
+            .config(EngineConfig::capped(5_000))
+            .run(6);
+        assert_eq!(out.totals.heard_message, 0, "p = 1.0 drops every link");
+        assert_eq!(out.informed_count(), 1, "only the source knows m");
+        assert!(!out.all_informed);
+    }
+
+    #[test]
+    fn partial_link_loss_slows_but_does_not_stop_broadcast() {
+        let lossy = WorldSchedule::new().at(0, WorldEvent::SetLinkLoss { p: 0.5 });
+        let mut proto = toy(16);
+        let out = Simulation::new(&mut proto)
+            .schedule(&lossy)
+            .config(EngineConfig::capped(200_000))
+            .run(6);
+        assert!(
+            out.all_informed,
+            "a 50% lossy ether still completes: {out:?}"
+        );
     }
 }

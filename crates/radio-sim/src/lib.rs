@@ -45,6 +45,12 @@
 //! a connectivity graph gates who hears whom, informed nodes relay, and
 //! completion means the source's whole reachable component is informed.
 //! [`Topology::Complete`] reproduces the single-hop model byte-for-byte.
+//!
+//! The [`schedule`] module adds the **nemesis layer**: a declarative
+//! [`WorldSchedule`] of time-indexed fault events (adversary swaps,
+//! partitions, crashes, lossy links) applied at round starts so idle-round
+//! fast-forwarding stays sound, with survivor-relative completion verdicts
+//! in [`RunOutcome`]. An empty schedule is byte-identical to no schedule.
 
 pub mod adaptive;
 pub mod channel;
@@ -54,6 +60,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod sampler;
+pub mod schedule;
 pub mod telemetry;
 pub mod topology;
 pub mod trace;
@@ -69,6 +76,7 @@ pub use protocol::{
 };
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
 pub use sampler::{bernoulli_subset, geometric_gap, sample_two_class, TwoClassRoundStream};
+pub use schedule::{ScheduleMarker, WorldEvent, WorldSchedule, LINK_LOSS_STREAM};
 pub use telemetry::{EngineTelemetry, PhaseNanos, SPAN_HIST_BUCKETS};
 pub use topology::{Topology, TopologyView};
 pub use trace::{Observer, RecordingObserver, TraceEvent};

@@ -1,5 +1,7 @@
 //! Outcome records produced by an engine run.
 
+use crate::schedule::ScheduleMarker;
+
 /// Protocol-specific metrics attached to a node's outcome (e.g. the helper
 /// phase `(iˆ, jˆ)` recorded by `MultiCastAdv` nodes).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -103,6 +105,24 @@ pub struct RunOutcome {
     pub messages: Vec<MessageOutcome>,
     /// Per-node outcomes, indexed by node id.
     pub nodes: Vec<NodeOutcome>,
+    /// Applied [`crate::WorldSchedule`] events in application order. Empty
+    /// for unscheduled runs and for events the run never reached.
+    pub timeline: Vec<ScheduleMarker>,
+    /// Nodes still crashed when the run ended.
+    pub crashed: u32,
+    /// Reachable nodes that were not crashed at the end of the run — the
+    /// denominator of the survivor-relative verdict. Equals `reachable`
+    /// for unscheduled runs.
+    pub survivors: u32,
+    /// Survivors that knew the message when the run ended.
+    pub survivors_informed: u32,
+    /// True if every surviving reachable node knew the message — the
+    /// graceful-degradation analogue of `all_informed`. Identical to
+    /// `all_informed` when no node was crashed at the end.
+    pub survivors_all_informed: bool,
+    /// True if every non-crashed node halted. Identical to `all_halted`
+    /// when no node was crashed at the end.
+    pub survivors_all_halted: bool,
 }
 
 impl RunOutcome {
@@ -175,6 +195,12 @@ mod tests {
             totals: SlotStats::default(),
             messages: Vec::new(),
             nodes,
+            timeline: Vec::new(),
+            crashed: 0,
+            survivors: 2,
+            survivors_informed: 2,
+            survivors_all_informed: true,
+            survivors_all_halted: true,
         }
     }
 

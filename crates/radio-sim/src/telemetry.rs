@@ -127,6 +127,12 @@ pub struct EngineTelemetry {
     /// `on_boundary` + `on_slot` + `on_idle_span`), whether or not an
     /// observer was mounted.
     pub observer_events: u64,
+    /// [`WorldSchedule`](crate::WorldSchedule) events applied during the
+    /// run (0 for unscheduled runs and for events the run never reached).
+    pub schedule_events: u64,
+    /// Crashed-node slot integral: Σ over slots of the number of nodes
+    /// crashed during that slot. 0 for unscheduled runs.
+    pub crashed_node_slots: u64,
     /// Optional per-phase wall-clock (see [`PhaseNanos`]).
     pub phases: PhaseNanos,
 }
@@ -183,6 +189,8 @@ impl EngineTelemetry {
         self.jam_spent_stepped += other.jam_spent_stepped;
         self.jam_spent_spans += other.jam_spent_spans;
         self.observer_events += other.observer_events;
+        self.schedule_events += other.schedule_events;
+        self.crashed_node_slots += other.crashed_node_slots;
         self.phases.merge(&other.phases);
     }
 }
@@ -235,6 +243,8 @@ mod tests {
             slots_stepped: 1,
             jam_spent_stepped: 6,
             rng_node_draws: 8,
+            schedule_events: 4,
+            crashed_node_slots: 12,
             ..EngineTelemetry::default()
         };
         b.record_span(4, 1);
@@ -248,6 +258,8 @@ mod tests {
         assert_eq!(a.rng_engine_draws, 3);
         assert_eq!(a.rng_node_draws, 8);
         assert_eq!(a.observer_events, 2);
+        assert_eq!(a.schedule_events, 4);
+        assert_eq!(a.crashed_node_slots, 12);
         assert_eq!(a.phases.total(), 15);
         assert_eq!(a.slots_total(), 19);
     }

@@ -386,7 +386,7 @@ impl TopologyView {
 
 /// Canonical id of the undirected edge `{u, v}`.
 #[inline]
-fn edge_id(n: u32, u: u32, v: u32) -> u64 {
+pub(crate) fn edge_id(n: u32, u: u32, v: u32) -> u64 {
     let (lo, hi) = if u < v { (u, v) } else { (v, u) };
     lo as u64 * n as u64 + hi as u64
 }
