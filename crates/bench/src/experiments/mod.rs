@@ -188,6 +188,7 @@ pub(crate) fn campaign(
             max_slots: None,
             progress: false,
             telemetry: false,
+            batch_width: 1,
         },
     )
     .cells

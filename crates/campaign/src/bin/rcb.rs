@@ -4,11 +4,12 @@
 //! rcb list                                  # the scenario catalog
 //! rcb describe <scenario>                   # cells of one scenario
 //! rcb run <scenario> [--trials N] [--seed S] [--threads K]
-//!                    [--max-slots M] [--out FILE] [--perf]
-//!                    [--trace-out FILE] [--quiet]
+//!                    [--max-slots M] [--batch-width W] [--out FILE]
+//!                    [--perf] [--trace-out FILE] [--quiet]
 //! rcb run --spec <file.toml|file.json> [same flags]
 //! rcb bench [scenario ...] [--quick] [--trials N] [--seed S]
-//!           [--max-slots M] [--no-reference] [--out FILE] [--quiet]
+//!           [--max-slots M] [--no-reference] [--batch-width W]
+//!           [--min-wall S] [--out FILE] [--quiet]
 //! rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]
 //! rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]
 //!          [--no-default-ignore]
@@ -47,11 +48,11 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
-         [--trials N] [--seed S] [--threads K] [--max-slots M] [--out FILE] \
-         [--perf] [--trace-out FILE] [--quiet]\n  \
+         [--trials N] [--seed S] [--threads K] [--max-slots M] [--batch-width W] \
+         [--out FILE] [--perf] [--trace-out FILE] [--quiet]\n  \
          rcb run --spec <file.toml|file.json> [same flags as above]\n  \
          rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
-         [--no-reference] [--out FILE] [--quiet]\n  \
+         [--no-reference] [--batch-width W] [--min-wall S] [--out FILE] [--quiet]\n  \
          rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]\n  \
          rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...] \
          [--no-default-ignore]\n\
@@ -132,6 +133,7 @@ fn cmd_run(rest: &[String]) {
             "--seed" => cfg.seed = parse(arg, it.next()),
             "--threads" => cfg.threads = parse(arg, it.next()),
             "--max-slots" => cfg.max_slots = Some(parse(arg, it.next())),
+            "--batch-width" => cfg.batch_width = parse(arg, it.next()),
             "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--trace-out" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--perf" => cfg.telemetry = true,
@@ -256,6 +258,8 @@ fn cmd_bench(rest: &[String]) {
             "--seed" => cfg.seed = parse(arg, it.next()),
             "--max-slots" => explicit_max_slots = Some(parse(arg, it.next())),
             "--no-reference" => cfg.reference = false,
+            "--batch-width" => cfg.batch_width = parse(arg, it.next()),
+            "--min-wall" => cfg.min_wall_s = parse(arg, it.next()),
             "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--quiet" => cfg.progress = false,
             name if !name.starts_with('-') => names.push(name.to_string()),

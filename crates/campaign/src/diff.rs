@@ -30,6 +30,13 @@ pub const DEFAULT_IGNORES: &[&str] = &[
     "slots_per_sec",
     "ref_slots_per_sec",
     "speedup",
+    "repeats",
+    "ref_repeats",
+    "batch_repeats",
+    "batch_wall_s",
+    "batch_slots_per_sec",
+    "batch_speedup",
+    "batch_vs_reference",
     "setup_s",
     "slot_loop_s",
     "fast_forward_s",

@@ -29,7 +29,9 @@ use crate::report::{
 };
 use crate::scenario::{CampaignSpec, CellSpec};
 use crate::tracefile::{TraceWriter, TrialTraceObserver};
-use rcb_harness::{run_trial_telemetry, TrialOptions, TrialResult, TrialSpec};
+use rcb_harness::{
+    batch_supported, run_trial_batch, run_trial_telemetry, TrialOptions, TrialResult, TrialSpec,
+};
 use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry, ScheduleMarker};
 use rcb_stats::{QuantileSketch, StreamingMoments};
 use std::collections::BinaryHeap;
@@ -58,6 +60,16 @@ pub struct CampaignConfig {
     /// across hosts and repeats; the deterministic perf *counters* are
     /// always collected regardless of this flag.
     pub telemetry: bool,
+    /// Trials per lockstep batch (clamped to 1..=64). At 1 — the default —
+    /// every trial runs the scalar engine, exactly as before. Above 1,
+    /// workers claim blocks of up to this many same-cell trials and run
+    /// them through the trial-batched lane ([`rcb_sim::BatchSimulation`])
+    /// where the cell's spec supports it (single-hop, unscheduled,
+    /// single-message), falling back to scalar trials otherwise. Lanes
+    /// replicate per-trial scalar semantics (`tests/batch_equivalence.rs`
+    /// pins the artifact against the scalar engine's), so this is a
+    /// throughput knob, not a statistics knob.
+    pub batch_width: u64,
 }
 
 impl Default for CampaignConfig {
@@ -69,6 +81,7 @@ impl Default for CampaignConfig {
             max_slots: None,
             progress: false,
             telemetry: false,
+            batch_width: 1,
         }
     }
 }
@@ -448,6 +461,19 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
     let mut accs: Vec<CellAccumulator> =
         spec.cells.iter().map(|_| CellAccumulator::new()).collect();
 
+    // Work units are blocks of up to `batch_width` same-cell trials (size 1
+    // at the default width — the scalar scheduling, unchanged). Blocks never
+    // cross a cell boundary, so a block maps to one batched engine call.
+    let width = cfg.batch_width.clamp(1, 64);
+    let blocks: Vec<(u64, u64)> = (0..spec.cells.len() as u64)
+        .flat_map(|c| {
+            let base = c * cfg.trials_per_cell;
+            (0..cfg.trials_per_cell)
+                .step_by(width as usize)
+                .map(move |t| (base + t, base + (t + width).min(cfg.trials_per_cell)))
+        })
+        .collect();
+
     let next = AtomicU64::new(0);
     // Bounded channel: workers stall rather than flood the aggregator, so
     // the reorder buffer stays small even with a straggler trial.
@@ -457,16 +483,37 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
+            let blocks = &blocks;
             scope.spawn(move || loop {
-                let g = next.fetch_add(1, Ordering::Relaxed);
-                if g >= total {
+                let bi = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if bi >= blocks.len() {
                     break;
                 }
-                let ts = trial_spec(spec, cfg, g);
-                let (r, tel) = run_trial_telemetry(&ts, trial_options(cfg));
-                let metrics = TrialMetrics::new(&r, tel);
-                if tx.send(Pending(g, metrics)).is_err() {
-                    break; // aggregator gone; shutting down
+                let (start, end) = blocks[bi];
+                let ts = trial_spec(spec, cfg, start);
+                if end - start > 1 && batch_supported(&ts) {
+                    let seeds: Vec<u64> = (start..end).map(|g| derive_seed(cfg.seed, g)).collect();
+                    let engine = EngineConfig {
+                        time_phases: cfg.telemetry,
+                        ..EngineConfig::default()
+                    };
+                    for (i, (r, tel)) in
+                        run_trial_batch(&ts, &seeds, engine).into_iter().enumerate()
+                    {
+                        let metrics = TrialMetrics::new(&r, tel);
+                        if tx.send(Pending(start + i as u64, metrics)).is_err() {
+                            return; // aggregator gone; shutting down
+                        }
+                    }
+                } else {
+                    for g in start..end {
+                        let ts = trial_spec(spec, cfg, g);
+                        let (r, tel) = run_trial_telemetry(&ts, trial_options(cfg));
+                        let metrics = TrialMetrics::new(&r, tel);
+                        if tx.send(Pending(g, metrics)).is_err() {
+                            return; // aggregator gone; shutting down
+                        }
+                    }
                 }
             });
         }
@@ -618,6 +665,52 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(4), "1 vs 4 threads");
         assert_eq!(one, run(8), "1 vs 8 threads");
+    }
+
+    #[test]
+    fn batch_width_does_not_change_the_report() {
+        let spec = tiny_spec();
+        let run = |batch_width| {
+            run_campaign(
+                &spec,
+                &CampaignConfig {
+                    seed: 42,
+                    trials_per_cell: 10,
+                    threads: 2,
+                    batch_width,
+                    ..Default::default()
+                },
+            )
+            .to_json()
+        };
+        let scalar = run(1);
+        // Both an even divisor and a ragged width (10 = 5+5 = 8+2): lanes
+        // replicate scalar trials exactly, so the artifact is byte-identical.
+        assert_eq!(scalar, run(5), "batch 5 vs scalar");
+        assert_eq!(scalar, run(8), "batch 8 vs scalar");
+        assert_eq!(scalar, run(64), "batch 64 vs scalar");
+    }
+
+    #[test]
+    fn batch_width_falls_back_on_unsupported_cells() {
+        // Scheduled cells are outside the batch lane's scope; the engine
+        // must route them through the scalar path and still produce the
+        // same report.
+        let spec = crash_spec();
+        let run = |batch_width| {
+            run_campaign(
+                &spec,
+                &CampaignConfig {
+                    seed: 9,
+                    trials_per_cell: 6,
+                    threads: 2,
+                    batch_width,
+                    ..Default::default()
+                },
+            )
+            .to_json()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -146,6 +146,7 @@ fn render(
         ),
         ("ff spans", perf.spans.to_string()),
         ("mean span len", format!("{:.1}", perf.mean_span_len)),
+        ("ff gated segments", perf.ff_gated_segments.to_string()),
         ("rng draws (engine)", perf.rng_engine_draws.to_string()),
         ("rng draws (nodes)", perf.rng_node_draws.to_string()),
         ("jam spent (stepped)", perf.jam_spent_stepped.to_string()),

@@ -30,7 +30,9 @@ use rcb_stats::Table;
 ///   (`schedule_events`, `crashed_node_slots`). The block is **omitted
 ///   entirely** for unscheduled cells, so every pre-existing cell's JSON is
 ///   byte-identical to its v3 rendering.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * **5** — `perf.ff_gated_segments`: segments where the heuristic
+///   fast-forward gate fell back to the plain slot loop.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Git revision baked into this binary at build time (stamped into every
 /// artifact header as `code_version`; `"unknown"` when git was unavailable
@@ -69,6 +71,9 @@ pub struct CellPerf {
     pub ff_skip_ratio: f64,
     pub spans: u64,
     pub mean_span_len: f64,
+    /// Segments where the heuristic fast-forward gate fell back to the
+    /// plain slot loop (idle spans too unlikely or the run too short).
+    pub ff_gated_segments: u64,
     /// Sparse log₂ histogram of fast-forward span lengths (non-empty
     /// buckets only, ascending `log2`).
     pub span_len_hist: Vec<SpanLenBucket>,
@@ -102,6 +107,7 @@ impl CellPerf {
             ff_skip_ratio: tel.ff_skip_ratio(),
             spans: tel.spans,
             mean_span_len: tel.mean_span_len(),
+            ff_gated_segments: tel.ff_gated_segments,
             span_len_hist: tel
                 .span_len_hist
                 .iter()
@@ -138,6 +144,7 @@ impl CellPerf {
             ("ff_skip_ratio", self.ff_skip_ratio.into()),
             ("spans", self.spans.into()),
             ("mean_span_len", self.mean_span_len.into()),
+            ("ff_gated_segments", self.ff_gated_segments.into()),
             (
                 "span_len_hist",
                 Json::arr(
@@ -503,7 +510,7 @@ mod tests {
     #[test]
     fn json_has_schema_version_and_escapes() {
         let j = report().to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 4,"));
+        assert!(j.starts_with("{\n  \"schema_version\": 5,"));
         assert!(j.contains("\"kind\": \"rcb-campaign-report\""));
         assert!(j.contains("\"code_version\": \"deadbeef\""));
         assert!(j.contains(r#"a \"quoted\" description"#));

@@ -1,0 +1,975 @@
+//! Trial-batched execution: step up to 64 trials of one protocol in
+//! lockstep over structure-of-arrays state.
+//!
+//! A campaign cell runs the *same* protocol/adversary configuration across
+//! many seeds. The scalar [`Simulation`](crate::Simulation) pays the full
+//! per-slot dispatch — segment lookups, profile checks, observer hooks,
+//! schedule guards — once per trial per slot. [`BatchSimulation`] amortizes
+//! that: one *lane* per trial (up to [`MAX_BATCH_LANES`]), all lanes driven
+//! by a single global slot cursor over a segment layout computed **once**
+//! per boundary instead of once per lane.
+//!
+//! ## Why lanes can share the segment layout
+//!
+//! [`Protocol::segment`] is required to be a pure function of the starting
+//! slot (every in-repo protocol satisfies this: epoch layouts depend only
+//! on `n`, `T`, and the slot index, never on execution state). Segment
+//! boundaries, round lengths, and slot profiles are therefore identical
+//! across lanes, so the batch loop computes them once and every lane reuses
+//! them.
+//!
+//! ## Per-lane equivalence, lane by lane
+//!
+//! Everything *random or adversarial* stays strictly per-lane, in the exact
+//! order the scalar engine would produce it: each lane owns its engine
+//! stream (seed stream 0), node streams (`i + 1`), sampler, adversary seat
+//! with its own budget, and band observation. The structure-of-arrays part
+//! is node status: `informed_bits[node]` and `halted_bits[node]` hold one
+//! bit per lane, so membership tests and active-set rebuilds touch one
+//! `u64` per node for the whole batch.
+//!
+//! The idle fast-forward generalizes to an event-driven walk: each lane
+//! caches `busy_at`, the absolute slot of its next non-empty round (its
+//! sampler's `empty_rounds_ahead()` is a draw-free O(1) read), and the
+//! cursor jumps straight to the earliest of any lane's `busy_at`, the
+//! segment boundary, or the slot cap. A lane idled past by the cursor pays
+//! nothing per event — it *settles* lazily when it next acts (or at a
+//! boundary/cap): one O(1) sampler skip and one pending-span accrual,
+//! closed (one `jam_span` charge, one telemetry span) exactly like the
+//! maximal span the scalar engine would have taken. Per-lane RNG draw
+//! counts, jam charges, and outcomes are byte-identical to scalar runs of
+//! the same seeds; the repo pins this for width 1 (where
+//! [`BatchSimulation::run`] delegates to the scalar core) and per-lane for
+//! wider batches (`tests/batch_equivalence.rs`).
+//!
+//! ## Scope
+//!
+//! The batch lane covers the bench/campaign hot path: single-hop (no
+//! [`Topology`](crate::Topology)), no [`WorldSchedule`](crate::WorldSchedule),
+//! no observer, single-message protocols, [`Sampling::Sparse`]. Callers with
+//! a richer spec fall back to per-trial scalar runs (the harness'
+//! `batch_supported` gate does this automatically).
+
+use crate::adaptive::BandObservation;
+use crate::channel::{ChannelBoard, Feedback};
+use crate::engine::{checked_profile, ff_worth_it, EngineConfig, Eve, Sampling, Simulation};
+use crate::jamset::JamSet;
+use crate::metrics::{MessageOutcome, NodeOutcome, RunOutcome, SlotStats};
+use crate::protocol::{Action, BoundaryDecision, Coin, Protocol, ProtocolNode, SlotProfile};
+use crate::rng::{derive_seed, Xoshiro256};
+use crate::sampler::TwoClassRoundStream;
+use crate::telemetry::EngineTelemetry;
+
+/// Maximum lanes per batch: node status packs one bit per lane into a
+/// `u64`, so a batch is at most 64 trials wide.
+pub const MAX_BATCH_LANES: usize = 64;
+
+/// One trial of a batch: its master seed and adversary seat.
+///
+/// Seeds and adversaries are per-lane so a batch can run the usual
+/// bench derivation (one seed per trial) with independently-budgeted
+/// adversary instances.
+pub struct BatchLane<'e> {
+    /// Master seed; streams derive exactly as in the scalar engine
+    /// (engine stream 0, node `i` stream `i + 1`).
+    pub seed: u64,
+    /// The lane's adversary seat (owns its own budget).
+    pub eve: Eve<'e>,
+}
+
+impl BatchLane<'_> {
+    /// A lane with no adversary.
+    pub fn silent(seed: u64) -> Self {
+        Self {
+            seed,
+            eve: Eve::Silent,
+        }
+    }
+}
+
+/// Builder for a trial-batched run — the lockstep counterpart of
+/// [`Simulation`].
+///
+/// ```
+/// use rcb_sim::batch::{BatchLane, BatchSimulation};
+/// use rcb_sim::{EngineConfig, Simulation};
+/// # use rcb_sim::{Action, BoundaryDecision, Coin, Feedback, NodeId, Payload,
+/// #               Protocol, ProtocolNode, SlotProfile, Xoshiro256};
+/// # struct Relay { n: u32 }
+/// # struct RelayNode { informed: bool }
+/// # impl ProtocolNode for RelayNode {
+/// #     fn on_selected(&mut self, _p: &SlotProfile, coin: Coin, _r: &mut Xoshiro256) -> Action {
+/// #         match coin {
+/// #             Coin::One if self.informed => Action::Broadcast { ch: 0, payload: Payload::Data },
+/// #             Coin::One => Action::Listen { ch: 0 },
+/// #             Coin::Two => Action::Idle,
+/// #         }
+/// #     }
+/// #     fn on_feedback(&mut self, _p: &SlotProfile, fb: Feedback) {
+/// #         if matches!(fb, Feedback::Message(_)) { self.informed = true; }
+/// #     }
+/// #     fn on_boundary(&mut self, _p: &SlotProfile) -> BoundaryDecision {
+/// #         if self.informed { BoundaryDecision::Halt } else { BoundaryDecision::Continue }
+/// #     }
+/// #     fn is_informed(&self) -> bool { self.informed }
+/// # }
+/// # impl Protocol for Relay {
+/// #     type Node = RelayNode;
+/// #     fn num_nodes(&self) -> u32 { self.n }
+/// #     fn segment(&mut self, _start: u64) -> SlotProfile {
+/// #         SlotProfile { p1: 0.5, p2: 0.0, channels: 1, virt_channels: 1,
+/// #                       round_len: 1, seg_len: 64, seg_major: 0, seg_minor: 0, step: 0 }
+/// #     }
+/// #     fn make_node(&self, _id: NodeId, is_source: bool) -> RelayNode {
+/// #         RelayNode { informed: is_source }
+/// #     }
+/// # }
+/// let cfg = EngineConfig::capped(100_000);
+/// let lanes = vec![BatchLane::silent(11), BatchLane::silent(12)];
+/// let results = BatchSimulation::new(&mut Relay { n: 8 })
+///     .config(cfg)
+///     .run(lanes);
+/// // Each lane matches the scalar engine at the same seed.
+/// for (seed, (out, _tel)) in [11, 12].into_iter().zip(&results) {
+///     let scalar = Simulation::new(&mut Relay { n: 8 }).config(cfg).run(seed);
+///     assert_eq!(*out, scalar);
+/// }
+/// ```
+pub struct BatchSimulation<'a, P: Protocol> {
+    protocol: &'a mut P,
+    config: EngineConfig,
+}
+
+impl<'a, P: Protocol> BatchSimulation<'a, P> {
+    /// Start a batch builder for `protocol`.
+    pub fn new(protocol: &'a mut P) -> Self {
+        Self {
+            protocol,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Replace the default [`EngineConfig`]. The config applies to every
+    /// lane; batched execution requires [`Sampling::Sparse`].
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run all `lanes` to completion; returns one `(outcome, telemetry)`
+    /// pair per lane, in lane order.
+    ///
+    /// A single lane delegates to the scalar engine (trivially
+    /// byte-identical); wider batches run the lockstep loop.
+    ///
+    /// # Panics
+    /// If `lanes` is empty or wider than [`MAX_BATCH_LANES`], if the
+    /// protocol has fewer than 2 nodes or more than one message, or if the
+    /// config asks for [`Sampling::DensePerNode`] with more than one lane.
+    pub fn run(self, mut lanes: Vec<BatchLane<'a>>) -> Vec<(RunOutcome, EngineTelemetry)> {
+        assert!(
+            (1..=MAX_BATCH_LANES).contains(&lanes.len()),
+            "batch width must be in 1..={MAX_BATCH_LANES}, got {}",
+            lanes.len()
+        );
+        if lanes.len() == 1 {
+            let BatchLane { seed, eve } = lanes.pop().expect("one lane");
+            return vec![Simulation::new(self.protocol)
+                .eve(eve)
+                .config(self.config)
+                .run_with_telemetry(seed)];
+        }
+        assert!(
+            self.config.sampling == Sampling::Sparse,
+            "batched execution requires Sampling::Sparse"
+        );
+        run_batch(self.protocol, lanes, &self.config)
+    }
+}
+
+/// Per-lane execution state. Everything that is random, adversarial, or
+/// timing-sensitive lives here; only node status bitmasks are shared
+/// structure-of-arrays state (see the module docs).
+struct Lane<'e, N> {
+    bit: u64,
+    eve: Eve<'e>,
+    observes: bool,
+    engine_rng: Xoshiro256,
+    node_rngs: Vec<Xoshiro256>,
+    nodes: Vec<N>,
+    active: Vec<u32>,
+    stream: TwoClassRoundStream,
+    ff_active: bool,
+    prev_obs: BandObservation,
+    next_obs: BandObservation,
+    eve_remaining: u64,
+    eve_spent: u64,
+    informed_count: u32,
+    informed_at: Vec<Option<u64>>,
+    halted_at: Vec<Option<u64>>,
+    listen_cost: Vec<u64>,
+    bcast_cost: Vec<u64>,
+    totals: SlotStats,
+    tel: EngineTelemetry,
+    /// Idle slots accrued since the lane last acted; closed as one span.
+    pending_span: u64,
+    /// Cursor value when `pending_span` went from 0 to positive.
+    span_start: u64,
+    /// Slot up to which this lane's sampler and span state are
+    /// materialized. Idle lanes fall behind the global cursor and settle
+    /// lazily (one `skip_rounds` + one span accrual) when they next act.
+    settled: u64,
+    /// Absolute slot of the lane's next non-empty round (its cached
+    /// `empty_rounds_ahead`), so the lockstep walk can jump straight to
+    /// the earliest event instead of probing every lane every round.
+    /// `u64::MAX` = idle until the segment boundary or slot cap.
+    busy_at: u64,
+    /// Final slot count, set when the lane leaves the running mask.
+    slots: u64,
+}
+
+/// The absolute slot at which a lane with `ahead` empty rounds in front of
+/// its position `settled` next executes a round. Lanes outside the
+/// fast-forward gate execute every round.
+fn next_busy(ahead: u64, settled: u64, round_len: u64, ff_active: bool) -> u64 {
+    if !ff_active {
+        return settled;
+    }
+    if ahead == u64::MAX {
+        return u64::MAX;
+    }
+    settled.saturating_add(ahead.saturating_mul(round_len))
+}
+
+impl<N> Lane<'_, N> {
+    /// Close the lane's accrued idle span: one `jam_span` charge over the
+    /// whole run of idle slots, band observation reset, one telemetry
+    /// span — exactly what the scalar fast-forward branch does for the
+    /// same maximal span.
+    fn close_span(&mut self, prof: &SlotProfile) {
+        let span = self.pending_span;
+        if span == 0 {
+            return;
+        }
+        let spent = if self.eve_remaining > 0 {
+            let charge = self.eve.jam_span(
+                self.span_start,
+                span,
+                prof.channels,
+                self.eve_remaining,
+                &self.prev_obs,
+            );
+            let spent = charge.spent.min(self.eve_remaining);
+            self.eve_remaining -= spent;
+            self.eve_spent += spent;
+            self.totals.jammed += spent;
+            spent
+        } else {
+            0
+        };
+        if self.observes {
+            self.prev_obs.clear();
+            self.prev_obs.channels = prof.channels;
+        }
+        self.tel.record_span(span, spent);
+        self.tel.observer_events += 1; // on_idle_span
+        self.pending_span = 0;
+    }
+
+    /// Materialize the lane's idle progress up to `cursor`: consume the
+    /// idled whole rounds from the sampler (O(1), draw-free) and fold the
+    /// slots into the pending span. A trailing partial round (slot cap)
+    /// contributes slots but no sampler round, exactly like the scalar
+    /// span clip.
+    fn settle(&mut self, cursor: u64, round_len: u64) {
+        let delta = cursor - self.settled;
+        if delta == 0 {
+            return;
+        }
+        self.stream.skip_rounds(delta / round_len);
+        if self.pending_span == 0 {
+            self.span_start = self.settled;
+        }
+        self.pending_span += delta;
+        self.settled = cursor;
+    }
+}
+
+/// The lockstep loop behind [`BatchSimulation::run`] for width >= 2.
+fn run_batch<'e, P: Protocol>(
+    protocol: &mut P,
+    lanes: Vec<BatchLane<'e>>,
+    cfg: &EngineConfig,
+) -> Vec<(RunOutcome, EngineTelemetry)> {
+    let n = protocol.num_nodes();
+    assert!(n >= 2, "broadcast needs at least a source and one receiver");
+    assert!(
+        protocol.num_messages() == 1,
+        "batched execution covers single-message protocols only"
+    );
+    let width = lanes.len();
+    let fast_forward = cfg.fast_forward;
+    let informed_target = n;
+
+    let mut prof = checked_profile(protocol.segment(0), n);
+    let mut seg_end: u64 = prof.seg_len;
+
+    // Shared structure-of-arrays node status: bit l of entry i is lane l's
+    // informed/halted flag for node i.
+    let mut informed_bits: Vec<u64> = vec![0; n as usize];
+    let mut halted_bits: Vec<u64> = vec![0; n as usize];
+    let full_mask: u64 = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    informed_bits[0] = full_mask; // every lane's source knows m from slot 0
+
+    let mut ls: Vec<Lane<'e, P::Node>> = lanes
+        .into_iter()
+        .enumerate()
+        .map(|(li, BatchLane { seed, eve })| {
+            // Stream derivation order matches the scalar engine exactly:
+            // engine stream first, then node streams, then the segment
+            // sampler's initial gap draw.
+            let mut engine_rng = Xoshiro256::seeded(derive_seed(seed, 0));
+            let node_rngs: Vec<Xoshiro256> = (0..n)
+                .map(|i| Xoshiro256::seeded(derive_seed(seed, i as u64 + 1)))
+                .collect();
+            let nodes: Vec<P::Node> = (0..n).map(|i| protocol.make_node(i, i == 0)).collect();
+            let stream = TwoClassRoundStream::new(&mut engine_rng, n as usize, prof.p1, prof.p2);
+            let ff_active = fast_forward && ff_worth_it(&prof, n as usize, cfg.max_slots);
+            let busy_at = next_busy(
+                stream.empty_rounds_ahead(),
+                0,
+                prof.round_len as u64,
+                ff_active,
+            );
+            let mut tel = EngineTelemetry::default();
+            if fast_forward && !ff_active {
+                tel.ff_gated_segments += 1;
+            }
+            let observes = eve.observes();
+            let eve_remaining = eve.budget();
+            let mut informed_at = vec![None; n as usize];
+            informed_at[0] = Some(0);
+            Lane {
+                bit: 1u64 << li,
+                eve,
+                observes,
+                engine_rng,
+                node_rngs,
+                nodes,
+                active: (0..n).collect(),
+                stream,
+                ff_active,
+                prev_obs: BandObservation::default(),
+                next_obs: BandObservation::default(),
+                eve_remaining,
+                eve_spent: 0,
+                informed_count: 1,
+                informed_at,
+                halted_at: vec![None; n as usize],
+                listen_cost: vec![0; n as usize],
+                bcast_cost: vec![0; n as usize],
+                totals: SlotStats::default(),
+                tel,
+                pending_span: 0,
+                span_start: 0,
+                settled: 0,
+                busy_at,
+                slots: 0,
+            }
+        })
+        .collect();
+
+    // Shared scratch, reused by every lane in turn.
+    let mut board = ChannelBoard::new();
+    let mut class1: Vec<u32> = Vec::new();
+    let mut class2: Vec<u32> = Vec::new();
+    let mut round_buf: Vec<Vec<(u32, Action)>> = vec![Vec::new()];
+    let mut listeners: Vec<(u32, u64)> = Vec::new();
+
+    let mut running: u64 = full_mask;
+    let mut cursor: u64 = 0;
+
+    while running != 0 {
+        // --- Segment boundary (all lanes cross it together) --------------
+        if cursor == seg_end {
+            let round_len = prof.round_len as u64;
+            for lane in ls.iter_mut() {
+                if running & lane.bit == 0 {
+                    continue;
+                }
+                lane.settle(cursor, round_len);
+                lane.close_span(&prof);
+                boundary(lane, &prof, cursor, &mut informed_bits, &mut halted_bits);
+                if lane.active.is_empty() {
+                    lane.slots = cursor;
+                    running &= !lane.bit;
+                }
+            }
+            if running == 0 {
+                break;
+            }
+            if cursor >= cfg.max_slots {
+                // Scalar runs exit on the slot-cap loop condition here,
+                // without touching the next segment's profile or streams.
+                break;
+            }
+            prof = checked_profile(protocol.segment(cursor), n);
+            seg_end = cursor.saturating_add(prof.seg_len);
+            for lane in ls.iter_mut() {
+                if running & lane.bit == 0 {
+                    continue;
+                }
+                // Fresh stream first, stop-check second: the scalar loop
+                // rebuilds the sampler (drawing its initial gap) before the
+                // head's completion check, so draw counts match even for
+                // lanes that stop right at the boundary.
+                lane.stream = TwoClassRoundStream::new(
+                    &mut lane.engine_rng,
+                    lane.active.len(),
+                    prof.p1,
+                    prof.p2,
+                );
+                lane.ff_active =
+                    fast_forward && ff_worth_it(&prof, lane.active.len(), cfg.max_slots - cursor);
+                if fast_forward && !lane.ff_active {
+                    lane.tel.ff_gated_segments += 1;
+                }
+                lane.settled = cursor;
+                lane.busy_at = next_busy(
+                    lane.stream.empty_rounds_ahead(),
+                    cursor,
+                    prof.round_len as u64,
+                    lane.ff_active,
+                );
+                if cfg.stop_when_all_informed && lane.informed_count >= informed_target {
+                    lane.slots = cursor;
+                    running &= !lane.bit;
+                }
+            }
+            if running == 0 {
+                break;
+            }
+        }
+        if cursor >= cfg.max_slots {
+            break;
+        }
+
+        let round_len = prof.round_len as u64;
+
+        // --- Jump to the next event: the earliest lane step, the segment
+        // boundary, or the slot cap. Idle lanes pay nothing until then —
+        // they settle lazily (one sampler skip + one span accrual) when
+        // they next act, cross the boundary, or hit the cap.
+        let mut next = seg_end.min(cfg.max_slots);
+        let mut rest = running;
+        while rest != 0 {
+            let li = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            next = next.min(ls[li].busy_at);
+        }
+        if next > cursor {
+            cursor = next;
+            continue;
+        }
+
+        // --- Step one round on every lane due at this slot, in lane order -
+        let mut rest = running;
+        while rest != 0 {
+            let li = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let lane = &mut ls[li];
+            if lane.busy_at > cursor {
+                continue;
+            }
+            lane.settle(cursor, round_len);
+            lane.close_span(&prof);
+
+            let stepped_to = step_round(
+                lane,
+                &prof,
+                cursor,
+                cfg,
+                informed_target,
+                &mut informed_bits,
+                &mut board,
+                &mut class1,
+                &mut class2,
+                &mut round_buf,
+                &mut listeners,
+            );
+            if let Some(final_slots) = stepped_to {
+                lane.slots = final_slots;
+                running &= !lane.bit;
+            } else {
+                lane.settled = cursor + round_len;
+                lane.busy_at = next_busy(
+                    lane.stream.empty_rounds_ahead(),
+                    lane.settled,
+                    round_len,
+                    lane.ff_active,
+                );
+            }
+        }
+        cursor = (cursor + round_len).min(cfg.max_slots);
+    }
+
+    // Lanes still live here ran into the slot cap: settle their idle tail
+    // (a partial round at the cap contributes span slots but no sampler
+    // round), close their spans, and pin their final slot count, like the
+    // scalar loop-condition exit.
+    let round_len = prof.round_len as u64;
+    let mut rest = running;
+    while rest != 0 {
+        let li = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let lane = &mut ls[li];
+        lane.settle(cursor, round_len);
+        lane.close_span(&prof);
+        lane.slots = cursor;
+    }
+
+    ls.into_iter()
+        .map(|lane| finalize(lane, n, informed_target, &informed_bits, &halted_bits))
+        .collect()
+}
+
+/// Segment-boundary processing for one lane: `on_boundary` over the active
+/// set in id order, deferred informs at `seg_end - 1`, halts folded into
+/// the shared halted bitmask, active-set rebuild.
+fn boundary<N: ProtocolNode>(
+    lane: &mut Lane<'_, N>,
+    prof: &SlotProfile,
+    seg_end: u64,
+    informed_bits: &mut [u64],
+    halted_bits: &mut [u64],
+) {
+    let bit = lane.bit;
+    let mut any_halt = false;
+    for &nid in &lane.active {
+        let node = &mut lane.nodes[nid as usize];
+        let was_informed = node.is_informed();
+        let decision = node.on_boundary(prof);
+        let now_informed = node.is_informed();
+        if !was_informed && now_informed {
+            // Deferred status change (MultiCastAdv step-two check).
+            lane.informed_at[nid as usize] = Some(seg_end - 1);
+            lane.informed_count += 1;
+            informed_bits[nid as usize] |= bit;
+            lane.tel.observer_events += 1; // on_informed
+        }
+        if decision == BoundaryDecision::Halt {
+            lane.halted_at[nid as usize] = Some(seg_end - 1);
+            halted_bits[nid as usize] |= bit;
+            any_halt = true;
+            lane.tel.observer_events += 1; // on_halted
+        }
+    }
+    if any_halt {
+        lane.active
+            .retain(|&nid| halted_bits[nid as usize] & bit == 0);
+    }
+    lane.tel.observer_events += 1; // on_boundary
+}
+
+/// Step one full round (all `round_len` sub-slots) for one lane. Returns
+/// `Some(final_slots)` when the lane finishes inside the round (slot cap or
+/// all-informed stop), `None` while it keeps running.
+#[allow(clippy::too_many_arguments)]
+fn step_round<N: ProtocolNode>(
+    lane: &mut Lane<'_, N>,
+    prof: &SlotProfile,
+    round_start: u64,
+    cfg: &EngineConfig,
+    informed_target: u32,
+    informed_bits: &mut [u64],
+    board: &mut ChannelBoard,
+    class1: &mut Vec<u32>,
+    class2: &mut Vec<u32>,
+    round_buf: &mut Vec<Vec<(u32, Action)>>,
+    listeners: &mut Vec<(u32, u64)>,
+) -> Option<u64> {
+    let round_len = prof.round_len as u64;
+    let bit = lane.bit;
+
+    // Sample the round's acting subset and buffer concrete actions per
+    // sub-slot, mapping virtual channels exactly like the scalar engine.
+    for buf in round_buf.iter_mut() {
+        buf.clear();
+    }
+    if round_buf.len() < round_len as usize {
+        round_buf.resize_with(round_len as usize, Vec::new);
+    }
+    class1.clear();
+    class2.clear();
+    lane.stream.next_round(&mut lane.engine_rng, class1, class2);
+    for (list, coin) in [(&*class1, Coin::One), (&*class2, Coin::Two)] {
+        for &idx in list.iter() {
+            let nid = lane.active[idx as usize];
+            let action =
+                lane.nodes[nid as usize].on_selected(prof, coin, &mut lane.node_rngs[nid as usize]);
+            match action {
+                Action::Idle => {}
+                Action::Listen { ch } | Action::Broadcast { ch, .. } => {
+                    let (target, phys) = if round_len == 1 {
+                        (0u64, ch)
+                    } else {
+                        (ch / prof.channels, ch % prof.channels)
+                    };
+                    let mapped = match action {
+                        Action::Listen { .. } => Action::Listen { ch: phys },
+                        Action::Broadcast { payload, .. } => {
+                            Action::Broadcast { ch: phys, payload }
+                        }
+                        Action::Idle => unreachable!(),
+                    };
+                    round_buf[target as usize].push((nid, mapped));
+                }
+            }
+        }
+    }
+
+    let mut slot = round_start;
+    for sub in 0..round_len {
+        if slot >= cfg.max_slots {
+            return Some(slot);
+        }
+
+        // Jamming: spend == size of the (possibly truncated) jam set.
+        let (jam, take) = if lane.eve_remaining == 0 {
+            (JamSet::Empty, 0)
+        } else {
+            let request = lane.eve.jam(slot, prof.channels, &lane.prev_obs);
+            let want = request.count(prof.channels);
+            let take = want.min(lane.eve_remaining);
+            lane.eve_remaining -= take;
+            lane.eve_spent += take;
+            lane.tel.jam_spent_stepped += take;
+            let jam = if take < want {
+                request.truncate(take, prof.channels)
+            } else {
+                request
+            };
+            (jam.normalize(prof.channels), take)
+        };
+
+        board.clear();
+        listeners.clear();
+        let mut slot_stats = SlotStats {
+            jammed: take,
+            ..SlotStats::default()
+        };
+        for &(nid, action) in &round_buf[sub as usize] {
+            match action {
+                Action::Idle => {}
+                Action::Listen { ch } => {
+                    lane.listen_cost[nid as usize] += 1;
+                    slot_stats.listens += 1;
+                    listeners.push((nid, ch));
+                }
+                Action::Broadcast { ch, payload } => {
+                    lane.bcast_cost[nid as usize] += 1;
+                    slot_stats.broadcasts += 1;
+                    board.add_broadcast(ch, payload);
+                }
+            }
+        }
+        board.resolve();
+        for &(nid, ch) in listeners.iter() {
+            let jammed = jam.contains(ch, prof.channels);
+            let fb = board.outcome(ch, jammed);
+            match fb {
+                Feedback::Silence => slot_stats.heard_silence += 1,
+                Feedback::Message(_) => slot_stats.heard_message += 1,
+                Feedback::Noise => slot_stats.heard_noise += 1,
+            }
+            let node = &mut lane.nodes[nid as usize];
+            let was_informed = node.is_informed();
+            node.on_feedback(prof, fb);
+            if !was_informed && node.is_informed() {
+                lane.informed_at[nid as usize] = Some(slot);
+                lane.informed_count += 1;
+                informed_bits[nid as usize] |= bit;
+                lane.tel.observer_events += 1; // on_informed
+            }
+        }
+        lane.totals.broadcasts += slot_stats.broadcasts;
+        lane.totals.listens += slot_stats.listens;
+        lane.totals.heard_silence += slot_stats.heard_silence;
+        lane.totals.heard_message += slot_stats.heard_message;
+        lane.totals.heard_noise += slot_stats.heard_noise;
+        lane.totals.jammed += slot_stats.jammed;
+        lane.tel.observer_events += 1; // on_slot
+
+        if lane.observes {
+            lane.next_obs.clear();
+            lane.next_obs.channels = prof.channels;
+            board.busy_channels(&mut lane.next_obs.busy);
+            std::mem::swap(&mut lane.prev_obs, &mut lane.next_obs);
+        }
+
+        lane.tel.slots_stepped += 1;
+        slot += 1;
+
+        if cfg.stop_when_all_informed && lane.informed_count >= informed_target {
+            return Some(slot);
+        }
+    }
+    None
+}
+
+/// Assemble one lane's [`RunOutcome`] exactly like the scalar finalizer
+/// (single-message, no-topology, no-schedule shape).
+fn finalize<N: ProtocolNode>(
+    mut lane: Lane<'_, N>,
+    n: u32,
+    informed_target: u32,
+    informed_bits: &[u64],
+    halted_bits: &[u64],
+) -> (RunOutcome, EngineTelemetry) {
+    let bit = lane.bit;
+    lane.tel.rng_engine_draws = lane.engine_rng.draws();
+    lane.tel.rng_node_draws = lane.node_rngs.iter().map(Xoshiro256::draws).sum();
+
+    // A halted node receives no further events, so its informed flag is
+    // frozen at halt time: "halted knowing" is halted && informed now.
+    let halted_knowing = (0..n as usize)
+        .filter(|&i| halted_bits[i] & bit != 0 && informed_bits[i] & bit != 0)
+        .count() as u32;
+
+    let nodes_out: Vec<NodeOutcome> = (0..n as usize)
+        .map(|i| NodeOutcome {
+            id: i as u32,
+            informed_at: lane.informed_at[i],
+            halted_at: lane.halted_at[i],
+            listen_cost: lane.listen_cost[i],
+            broadcast_cost: lane.bcast_cost[i],
+            halted_informed: halted_bits[i] & bit != 0 && informed_bits[i] & bit != 0,
+            extra: lane.nodes[i].extra(),
+        })
+        .collect();
+
+    let all_informed = lane.informed_count >= informed_target;
+    let all_informed_at = if all_informed {
+        lane.informed_at.iter().map(|x| x.unwrap_or(0)).max()
+    } else {
+        None
+    };
+    let all_halted = lane.active.is_empty();
+    let outcome = RunOutcome {
+        slots: lane.slots,
+        all_halted,
+        all_informed,
+        all_informed_at,
+        reachable: informed_target,
+        eve_spent: lane.eve_spent,
+        totals: lane.totals,
+        messages: vec![MessageOutcome {
+            msg: 0,
+            informed_count: lane.informed_count,
+            all_informed_at,
+            halted_knowing,
+        }],
+        nodes: nodes_out,
+        timeline: Vec::new(),
+        crashed: 0,
+        survivors: informed_target,
+        survivors_informed: lane.informed_count,
+        survivors_all_informed: lane.informed_count >= informed_target,
+        survivors_all_halted: all_halted,
+    };
+    (outcome, lane.tel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::protocol::Adversary;
+
+    /// Minimal two-phase relay protocol for batch/scalar comparison.
+    struct Relay {
+        n: u32,
+    }
+    struct RelayNode {
+        informed: bool,
+    }
+    impl ProtocolNode for RelayNode {
+        fn on_selected(&mut self, _prof: &SlotProfile, coin: Coin, rng: &mut Xoshiro256) -> Action {
+            let ch = rng.next_u64() % 2;
+            match coin {
+                Coin::One if self.informed => Action::Broadcast {
+                    ch,
+                    payload: crate::channel::Payload::Data,
+                },
+                Coin::One => Action::Listen { ch },
+                Coin::Two => Action::Idle,
+            }
+        }
+        fn on_feedback(&mut self, _prof: &SlotProfile, fb: Feedback) {
+            if matches!(fb, Feedback::Message(_)) {
+                self.informed = true;
+            }
+        }
+        fn on_boundary(&mut self, _prof: &SlotProfile) -> BoundaryDecision {
+            if self.informed {
+                BoundaryDecision::Halt
+            } else {
+                BoundaryDecision::Continue
+            }
+        }
+        fn is_informed(&self) -> bool {
+            self.informed
+        }
+    }
+    impl Protocol for Relay {
+        type Node = RelayNode;
+        fn num_nodes(&self) -> u32 {
+            self.n
+        }
+        fn segment(&mut self, _start: u64) -> SlotProfile {
+            SlotProfile {
+                p1: 0.25,
+                p2: 0.1,
+                channels: 2,
+                virt_channels: 2,
+                round_len: 1,
+                seg_len: 128,
+                seg_major: 0,
+                seg_minor: 0,
+                step: 0,
+            }
+        }
+        fn make_node(&self, _id: crate::protocol::NodeId, is_source: bool) -> RelayNode {
+            RelayNode {
+                informed: is_source,
+            }
+        }
+    }
+
+    /// Sweeper adversary: jams channel (slot % channels) every slot.
+    struct Sweep {
+        budget: u64,
+    }
+    impl Adversary for Sweep {
+        fn budget(&self) -> u64 {
+            self.budget
+        }
+        fn jam(&mut self, slot: u64, channels: u64) -> JamSet {
+            JamSet::Window {
+                start: slot % channels,
+                len: 1,
+            }
+        }
+    }
+
+    /// Scalar reference run; `budget` mounts a `Sweep` adversary.
+    fn scalar(seed: u64, budget: Option<u64>, cfg: EngineConfig) -> (RunOutcome, EngineTelemetry) {
+        let mut p = Relay { n: 12 };
+        match budget {
+            None => Simulation::new(&mut p).config(cfg).run_with_telemetry(seed),
+            Some(b) => {
+                let mut a = Sweep { budget: b };
+                Simulation::new(&mut p)
+                    .eve(Eve::Oblivious(&mut a))
+                    .config(cfg)
+                    .run_with_telemetry(seed)
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_runs_silent() {
+        let cfg = EngineConfig::capped(200_000);
+        let seeds = [3u64, 5, 8, 13, 21];
+        let lanes = seeds.iter().map(|&s| BatchLane::silent(s)).collect();
+        let batch = BatchSimulation::new(&mut Relay { n: 12 })
+            .config(cfg)
+            .run(lanes);
+        for (&seed, (out, tel)) in seeds.iter().zip(&batch) {
+            let (sout, stel) = scalar(seed, None, cfg);
+            assert_eq!(*out, sout, "seed {seed} outcome diverged");
+            assert_eq!(
+                tel.rng_engine_draws, stel.rng_engine_draws,
+                "seed {seed} engine draws"
+            );
+            assert_eq!(
+                tel.rng_node_draws, stel.rng_node_draws,
+                "seed {seed} node draws"
+            );
+            assert_eq!(
+                tel.observer_events, stel.observer_events,
+                "seed {seed} observer events"
+            );
+            assert_eq!(
+                tel.slots_stepped + tel.slots_fast_forwarded,
+                stel.slots_stepped + stel.slots_fast_forwarded,
+                "seed {seed} slot conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_runs_jammed() {
+        let cfg = EngineConfig::capped(200_000);
+        let seeds = [2u64, 7, 11];
+        let mut advs: Vec<Sweep> = seeds.iter().map(|_| Sweep { budget: 500 }).collect();
+        let lanes = advs
+            .iter_mut()
+            .zip(&seeds)
+            .map(|(a, &s)| BatchLane {
+                seed: s,
+                eve: Eve::Oblivious(a),
+            })
+            .collect();
+        let batch = BatchSimulation::new(&mut Relay { n: 12 })
+            .config(cfg)
+            .run(lanes);
+        for (&seed, (out, tel)) in seeds.iter().zip(&batch) {
+            let (sout, stel) = scalar(seed, Some(500), cfg);
+            assert_eq!(*out, sout, "seed {seed} outcome diverged");
+            assert_eq!(
+                tel.jam_spent_stepped + tel.jam_spent_spans,
+                stel.jam_spent_stepped + stel.jam_spent_spans,
+                "seed {seed} jam spend conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_delegates_to_scalar() {
+        let cfg = EngineConfig::capped(50_000);
+        let batch = BatchSimulation::new(&mut Relay { n: 12 })
+            .config(cfg)
+            .run(vec![BatchLane::silent(42)]);
+        let (sout, stel) = scalar(42, None, cfg);
+        assert_eq!(batch[0].0, sout);
+        assert_eq!(batch[0].1, stel);
+    }
+
+    #[test]
+    fn slot_cap_is_respected_per_lane() {
+        let cfg = EngineConfig::capped(100); // cap inside the first segment
+        let lanes = vec![BatchLane::silent(1), BatchLane::silent(2)];
+        let batch = BatchSimulation::new(&mut Relay { n: 12 })
+            .config(cfg)
+            .run(lanes);
+        for (li, (out, tel)) in batch.iter().enumerate() {
+            assert!(out.slots <= 100, "lane {li} overran the cap");
+            assert_eq!(
+                tel.slots_stepped + tel.slots_fast_forwarded,
+                out.slots,
+                "lane {li} slot conservation"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn empty_batch_panics() {
+        let _ = BatchSimulation::new(&mut Relay { n: 12 }).run(vec![]);
+    }
+}

@@ -658,6 +658,15 @@ fn run_core<'e, P: Protocol>(
     // The segment's actor-sampling stream (sparse mode only).
     let mut stream =
         sparse.then(|| TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2));
+    // Heuristic fast-forward gate: per segment, engage the span machinery
+    // only when idle rounds are likely enough (and the run long enough) for
+    // the bookkeeping to pay for itself. Outcomes are byte-identical either
+    // way (the ff=true/ff=false equivalence the fast_forward tests pin);
+    // only telemetry's stepped/span split moves.
+    let mut ff_active = fast_forward && ff_worth_it(&prof, active.len(), cfg.max_slots);
+    if fast_forward && !ff_active {
+        tel.ff_gated_segments += 1;
+    }
 
     if let Some(t) = t_setup {
         tel.phases.setup = t.elapsed().as_nanos() as u64;
@@ -748,6 +757,15 @@ fn run_core<'e, P: Protocol>(
                     stream = (!active.is_empty()).then(|| {
                         TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2)
                     });
+                    // Dead air is always worth skipping: with no stream the
+                    // fast-forward branch is the only way past crashed-out
+                    // stretches, so the gate never blocks it.
+                    ff_active = fast_forward
+                        && (active.is_empty()
+                            || ff_worth_it(&prof, active.len(), cfg.max_slots - slot));
+                    if fast_forward && !ff_active {
+                        tel.ff_gated_segments += 1;
+                    }
                 }
             }
         }
@@ -776,7 +794,7 @@ fn run_core<'e, P: Protocol>(
 
         // --- 1. Actor sampling / idle fast-forward at round start -----------
         if sub == 0 {
-            if fast_forward {
+            if ff_active {
                 let empty_rounds = match stream.as_mut() {
                     Some(s) => s.empty_rounds_ahead(),
                     // Dead air: every node is crashed, every round is empty.
@@ -1104,6 +1122,12 @@ fn run_core<'e, P: Protocol>(
                     stream = (!active.is_empty()).then(|| {
                         TwoClassRoundStream::new(&mut engine_rng, active.len(), prof.p1, prof.p2)
                     });
+                    ff_active = fast_forward
+                        && (active.is_empty()
+                            || ff_worth_it(&prof, active.len(), cfg.max_slots - slot));
+                    if fast_forward && !ff_active {
+                        tel.ff_gated_segments += 1;
+                    }
                 }
             }
         }
@@ -1217,8 +1241,50 @@ fn credit_mask_gains(
     }
 }
 
+/// Minimum run length (in slots) for the fast-forward machinery to be worth
+/// engaging at all: shorter runs cannot amortize the span bookkeeping.
+const FF_MIN_RUN_SLOTS: u64 = 256;
+
+/// Minimum probability of an idle round for fast-forward to pay. At
+/// `q = (1 - p1 - p2)^actors` below this, fewer than ~1 round in 64 is
+/// empty, so `empty_rounds_ahead` almost never finds a span and the branch
+/// is pure overhead. Kept far below the sparse-regime values the paper's
+/// protocols run at (e.g. `q ≈ 0.72` at `p1 = p2 = 0.02, n = 8`), so real
+/// sweep cells always keep their spans.
+const FF_MIN_EMPTY_PROB: f64 = 1.0 / 64.0;
+
+/// Minimum *expected slots skipped per round start*, `q/(1-q) * round_len`,
+/// for the span machinery to beat the plain loop. Each realized span costs
+/// one budget span-charge plus span telemetry — roughly two stepped empty
+/// slots' worth of work — so segments whose mean idle run is a fraction of
+/// a slot (e.g. `q ≈ 0.17`: 37k spans of mean 1.2 slots on the
+/// gilbert-elliott `n = 64` cell) lose a few percent to bookkeeping. The
+/// threshold keeps the measured winners (`q ≈ 0.37`, mean span 1.6, +4–15%)
+/// and gates the measured losers.
+const FF_MIN_EXPECTED_SKIP_SLOTS: f64 = 0.3;
+
+/// Heuristic fast-forward gate (see the constants above). `true` means the
+/// segment's round-start path should look for idle spans to skip; `false`
+/// falls back to the plain slot loop. Pure function of the segment profile,
+/// the actor-pool size, and the slots left before the cap — no RNG, so
+/// gating a segment never perturbs the run's byte stream.
+pub(crate) fn ff_worth_it(prof: &SlotProfile, actors: usize, slots_left: u64) -> bool {
+    if slots_left < FF_MIN_RUN_SLOTS {
+        return false;
+    }
+    let total = prof.p1 + prof.p2;
+    if total >= 1.0 {
+        return false; // every round has an actor; no idle span can exist
+    }
+    if total <= 0.0 {
+        return true; // every round is empty; fast-forward is the whole run
+    }
+    let q = (1.0 - total).powi(actors.max(1) as i32);
+    q >= FF_MIN_EMPTY_PROB && q / (1.0 - q) * prof.round_len as f64 >= FF_MIN_EXPECTED_SKIP_SLOTS
+}
+
 /// Validate the protocol's segment contract once per segment.
-fn checked_profile(prof: SlotProfile, _n: u32) -> SlotProfile {
+pub(crate) fn checked_profile(prof: SlotProfile, _n: u32) -> SlotProfile {
     assert!(prof.seg_len >= 1, "segment must contain at least one slot");
     assert!(prof.round_len >= 1, "round_len must be at least 1");
     assert!(

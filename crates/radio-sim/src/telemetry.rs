@@ -130,6 +130,11 @@ pub struct EngineTelemetry {
     /// [`WorldSchedule`](crate::WorldSchedule) events applied during the
     /// run (0 for unscheduled runs and for events the run never reached).
     pub schedule_events: u64,
+    /// Segments where fast-forward was requested but the heuristic gate
+    /// declined it (idle rounds too unlikely, or the run too short, for the
+    /// span bookkeeping to pay for itself). Gated segments run the plain
+    /// per-slot loop; the outcome is unchanged either way.
+    pub ff_gated_segments: u64,
     /// Crashed-node slot integral: Σ over slots of the number of nodes
     /// crashed during that slot. 0 for unscheduled runs.
     pub crashed_node_slots: u64,
@@ -190,6 +195,7 @@ impl EngineTelemetry {
         self.jam_spent_spans += other.jam_spent_spans;
         self.observer_events += other.observer_events;
         self.schedule_events += other.schedule_events;
+        self.ff_gated_segments += other.ff_gated_segments;
         self.crashed_node_slots += other.crashed_node_slots;
         self.phases.merge(&other.phases);
     }
@@ -245,6 +251,7 @@ mod tests {
             rng_node_draws: 8,
             schedule_events: 4,
             crashed_node_slots: 12,
+            ff_gated_segments: 3,
             ..EngineTelemetry::default()
         };
         b.record_span(4, 1);
@@ -260,6 +267,7 @@ mod tests {
         assert_eq!(a.observer_events, 2);
         assert_eq!(a.schedule_events, 4);
         assert_eq!(a.crashed_node_slots, 12);
+        assert_eq!(a.ff_gated_segments, 3);
         assert_eq!(a.phases.total(), 15);
         assert_eq!(a.slots_total(), 19);
     }

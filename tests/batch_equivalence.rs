@@ -1,0 +1,276 @@
+//! Batch-lane equivalence: the trial-batched SoA engine
+//! ([`rcb::sim::BatchSimulation`], reached through
+//! [`rcb::harness::run_trial_batch`]) against the scalar per-trial path.
+//!
+//! Contract, in two tiers:
+//!
+//! * **Width 1 is byte-identical.** A single-lane batch delegates to the
+//!   scalar `Simulation`, so outcome, RNG draw counts, observer-event
+//!   tally — every telemetry counter — must equal
+//!   [`run_trial_telemetry`] on the same spec, field for field. (The
+//!   full observer trace path *is* the scalar one by construction at
+//!   width 1; `observer_events` equality pins the event stream.)
+//! * **Width > 1 lanes replicate scalar trials exactly.** Each lane of a
+//!   wide batch must match the scalar run of the same (spec, seed):
+//!   same `TrialResult`, same `EngineTelemetry`. This is stronger than
+//!   the aggregate-tolerance gate the batch lane minimally owes — the
+//!   lockstep cursor, joint idle skip, and pending-span accounting are
+//!   designed to reproduce per-trial scalar semantics bit for bit, and
+//!   this matrix is what keeps that true. The aggregate gate is still
+//!   asserted separately (`batch_aggregates_match_scalar`) so a future
+//!   relaxation of per-lane identity has an explicit tolerance to meet.
+//!
+//! Plus the satellite invariants: per-lane telemetry conservation
+//! (slot and jam-budget splits, histogram closure) in the batch lane,
+//! and the `batch_supported` scope predicate.
+
+use rcb::harness::{
+    batch_supported, run_trial_batch, run_trial_telemetry, AdversaryKind, ProtocolKind,
+    ScheduleEventKind, ScheduleSpec, TopologyKind, TrialOptions, TrialSpec,
+};
+use rcb::sim::{EngineConfig, EngineTelemetry};
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+const CAP: u64 = 60_000;
+
+fn protos() -> Vec<(&'static str, ProtocolKind)> {
+    vec![
+        (
+            "MultiCastCore",
+            ProtocolKind::Core {
+                n: 16,
+                t: 30_000,
+                params: Default::default(),
+            },
+        ),
+        (
+            "MultiCast",
+            ProtocolKind::MultiCast {
+                n: 16,
+                params: Default::default(),
+            },
+        ),
+        (
+            "MultiCast(C)",
+            ProtocolKind::MultiCastC {
+                n: 16,
+                c: 4,
+                params: Default::default(),
+            },
+        ),
+        (
+            "MultiCastAdv",
+            ProtocolKind::Adv {
+                n: 16,
+                params: Default::default(),
+            },
+        ),
+        (
+            "NaiveEpidemic",
+            ProtocolKind::Naive {
+                n: 16,
+                act_prob: 0.2,
+            },
+        ),
+    ]
+}
+
+fn advs() -> Vec<(&'static str, AdversaryKind)> {
+    vec![
+        ("silent", AdversaryKind::Silent),
+        (
+            "uniform",
+            AdversaryKind::Uniform {
+                t: 30_000,
+                frac: 0.6,
+            },
+        ),
+        (
+            "sweep",
+            AdversaryKind::Sweep {
+                t: 30_000,
+                width: 3,
+                step: 2,
+            },
+        ),
+    ]
+}
+
+fn spec(p: &ProtocolKind, a: &AdversaryKind, seed: u64) -> TrialSpec {
+    TrialSpec::new(p.clone(), a.clone(), seed).with_max_slots(CAP)
+}
+
+/// Width 1: the batch entry point must be byte-identical to the scalar
+/// trial path — same distilled result, same telemetry, across the full
+/// protocol × adversary × seed matrix.
+#[test]
+fn batch_width_one_is_byte_identical_to_scalar() {
+    for (pname, p) in protos() {
+        for (aname, a) in advs() {
+            for seed in SEEDS {
+                let label = format!("{pname} vs {aname} seed {seed}");
+                let s = spec(&p, &a, seed);
+                let batch = run_trial_batch(&s, &[seed], EngineConfig::default());
+                assert_eq!(batch.len(), 1, "{label}");
+                let (scalar_r, scalar_tel) = run_trial_telemetry(&s, TrialOptions::default());
+                assert_eq!(
+                    format!("{:?}", batch[0].0),
+                    format!("{scalar_r:?}"),
+                    "{label}: width-1 result diverged from the scalar path"
+                );
+                assert_eq!(
+                    batch[0].1, scalar_tel,
+                    "{label}: width-1 telemetry diverged from the scalar path"
+                );
+            }
+        }
+    }
+}
+
+/// Width > 1: every lane of a wide batch equals the scalar run of the same
+/// (spec, seed) — outcome and telemetry, including RNG draw counts and the
+/// observer-event tally. Lane seeds are deliberately ragged (not the
+/// spec's own seed) to pin that each lane runs under its own entry.
+#[test]
+fn batch_lanes_replicate_scalar_trials_exactly() {
+    let lane_seeds: Vec<u64> = (0..8).map(|i| 1000 + 17 * i).collect();
+    for (pname, p) in protos() {
+        for (aname, a) in advs() {
+            let s = spec(&p, &a, lane_seeds[0]);
+            let batch = run_trial_batch(&s, &lane_seeds, EngineConfig::default());
+            assert_eq!(batch.len(), lane_seeds.len());
+            for (lane, &seed) in batch.iter().zip(&lane_seeds) {
+                let label = format!("{pname} vs {aname} lane seed {seed}");
+                let (scalar_r, scalar_tel) =
+                    run_trial_telemetry(&spec(&p, &a, seed), TrialOptions::default());
+                assert_eq!(
+                    format!("{:?}", lane.0),
+                    format!("{scalar_r:?}"),
+                    "{label}: lane result diverged from the scalar trial"
+                );
+                assert_eq!(
+                    lane.1, scalar_tel,
+                    "{label}: lane telemetry diverged from the scalar trial"
+                );
+            }
+        }
+    }
+}
+
+/// The aggregate gate the batch lane minimally owes: batched means must
+/// stay within tolerance of scalar means. Per-lane identity (above) makes
+/// the deltas exactly zero today; the tolerance is the contract a future
+/// per-lane relaxation would have to meet.
+#[test]
+fn batch_aggregates_match_scalar() {
+    const TOL: f64 = 1e-9;
+    let lane_seeds: Vec<u64> = (0..8).map(|i| 2000 + 23 * i).collect();
+    for (pname, p) in protos() {
+        let a = AdversaryKind::Uniform {
+            t: 30_000,
+            frac: 0.6,
+        };
+        let s = spec(&p, &a, lane_seeds[0]);
+        let batch = run_trial_batch(&s, &lane_seeds, EngineConfig::default());
+        let scalar: Vec<_> = lane_seeds
+            .iter()
+            .map(|&seed| run_trial_telemetry(&spec(&p, &a, seed), TrialOptions::default()))
+            .collect();
+        let mean = |it: &mut dyn Iterator<Item = f64>| {
+            let (sum, n) = it.fold((0.0, 0u32), |(s, n), x| (s + x, n + 1));
+            sum / n as f64
+        };
+        let b_slots = mean(&mut batch.iter().map(|(r, _)| r.slots as f64));
+        let s_slots = mean(&mut scalar.iter().map(|(r, _)| r.slots as f64));
+        let b_cost = mean(&mut batch.iter().map(|(r, _)| r.max_cost as f64));
+        let s_cost = mean(&mut scalar.iter().map(|(r, _)| r.max_cost as f64));
+        let b_done = batch.iter().filter(|(r, _)| r.completed).count();
+        let s_done = scalar.iter().filter(|(r, _)| r.completed).count();
+        assert!(
+            (b_slots - s_slots).abs() <= TOL * s_slots.max(1.0),
+            "{pname}: mean slots diverged ({b_slots} vs {s_slots})"
+        );
+        assert!(
+            (b_cost - s_cost).abs() <= TOL * s_cost.max(1.0),
+            "{pname}: mean max cost diverged ({b_cost} vs {s_cost})"
+        );
+        assert_eq!(b_done, s_done, "{pname}: completion count diverged");
+    }
+}
+
+/// Satellite invariant: the batch lane's per-lane telemetry is
+/// conservation-correct — every covered slot is stepped or fast-forwarded,
+/// Eve's ledger splits exactly across the per-slot and span charge paths,
+/// the span histogram closes, and untimed lanes leave the wall-clock
+/// phases as hard zeros.
+#[test]
+fn batch_lane_telemetry_conserves() {
+    let lane_seeds: Vec<u64> = (0..8).map(|i| 3000 + 31 * i).collect();
+    for (pname, p) in protos() {
+        for (aname, a) in advs() {
+            let s = spec(&p, &a, lane_seeds[0]);
+            for (r, tel) in run_trial_batch(&s, &lane_seeds, EngineConfig::default()) {
+                let label = format!("{pname} vs {aname} lane seed {}", r.seed);
+                check_conservation(&label, r.slots, r.eve_spent, &tel);
+            }
+        }
+    }
+}
+
+fn check_conservation(label: &str, slots: u64, eve_spent: u64, tel: &EngineTelemetry) {
+    assert_eq!(
+        tel.slots_stepped + tel.slots_fast_forwarded,
+        slots,
+        "{label}: stepped + fast-forwarded must cover every slot"
+    );
+    assert_eq!(
+        tel.jam_spent_stepped + tel.jam_spent_spans,
+        eve_spent,
+        "{label}: jam-budget split must conserve Eve's ledger"
+    );
+    assert_eq!(
+        tel.span_len_hist.iter().sum::<u64>(),
+        tel.spans,
+        "{label}: histogram must account for every span exactly once"
+    );
+    assert_eq!(
+        tel.phases.total(),
+        0,
+        "{label}: phases timed without opt-in"
+    );
+}
+
+/// The scope predicate: single-hop, unscheduled, single-message specs are
+/// in; explicit non-complete topologies, nemesis schedules, and
+/// multi-message trials fall back to the scalar path.
+#[test]
+fn batch_supported_scopes_the_lane() {
+    let base = TrialSpec::new(
+        ProtocolKind::MultiCast {
+            n: 16,
+            params: Default::default(),
+        },
+        AdversaryKind::Silent,
+        7,
+    );
+    assert!(batch_supported(&base));
+    assert!(batch_supported(
+        &base.clone().with_topology(TopologyKind::Complete)
+    ));
+    assert!(!batch_supported(
+        &base.clone().with_topology(TopologyKind::Line)
+    ));
+    assert!(!batch_supported(&base.clone().with_schedule(
+        ScheduleSpec::new().at(0, ScheduleEventKind::CrashNodes { nodes: vec![1] })
+    )));
+    assert!(!batch_supported(&TrialSpec::new(
+        ProtocolKind::MultiMessage {
+            n: 16,
+            k: 2,
+            channels: 4,
+            p: 0.2,
+        },
+        AdversaryKind::Silent,
+        7,
+    )));
+}
