@@ -6,13 +6,16 @@
 //! rcb run <scenario> [--trials N] [--seed S] [--threads K]
 //!                    [--max-slots M] [--batch-width W] [--out FILE]
 //!                    [--perf] [--trace-out FILE] [--quiet]
+//!                    [--state-dir DIR] [--resume] [--checkpoint-every K]
+//!                    [--store DIR] [--max-trials-then-exit N]
 //! rcb run --spec <file.toml|file.json> [same flags]
 //! rcb bench [scenario ...] [--quick] [--trials N] [--seed S]
 //!           [--max-slots M] [--no-reference] [--batch-width W]
 //!           [--min-wall S] [--out FILE] [--quiet]
 //! rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]
-//! rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...]
-//!          [--no-default-ignore]
+//! rcb store list|show <key>|gc [--store DIR]
+//! rcb diff <a.json|store:KEY> <b.json|store:KEY> [--threshold X]
+//!          [--ignore KEY ...] [--no-default-ignore] [--store DIR]
 //! ```
 //!
 //! `run` takes either a catalog scenario name or `--spec FILE` — a
@@ -29,33 +32,49 @@
 //! trace of every trial (forces single-threaded execution so line order is
 //! deterministic).
 //!
+//! The service flags make `run` kill-safe and re-runs free (see
+//! `docs/CAMPAIGN_SERVICE.md`): `--state-dir` checkpoints each cell's
+//! aggregator state atomically, `--resume` continues from the watermarks
+//! (the resumed artifact is byte-identical to an uninterrupted run, and
+//! `--trials` may grow but never shrink), `--store` fronts the engine
+//! with a content-addressed cell cache so unchanged re-runs simulate
+//! nothing, and `--max-trials-then-exit` is the deliberate kill switch CI
+//! uses to exercise resume. Corrupt or mismatched state fails with
+//! `file: message` context and exit 2.
+//!
 //! `bench` measures single-threaded engine throughput (slots/sec, wall
 //! time, fast-forward speedup) per catalog cell; `profile` breaks one
-//! cell's time down by engine phase and telemetry counter; `diff` compares
-//! two artifacts and exits non-zero when any relative delta exceeds
-//! `--threshold` — together they are the perf-trajectory regression gate.
-//! `diff` ignores the build stamp and wall-clock leaves unless
-//! `--no-default-ignore` is given.
+//! cell's time down by engine phase and telemetry counter; `store`
+//! lists, renders, and garbage-collects store entries; `diff` compares
+//! two artifacts (file paths or `store:KEY` references) and exits
+//! non-zero when any relative delta exceeds `--threshold` — together
+//! they are the perf-trajectory regression gate. `diff` ignores the
+//! build stamp and wall-clock leaves unless `--no-default-ignore` is
+//! given.
 
 use rcb_campaign::{
     describe_campaign, diff, find, jsonin, load_spec, profile_cell, registry, run_bench,
-    run_campaign, run_campaign_traced, BenchConfig, CampaignConfig, CampaignSpec, ProfileConfig,
-    DEFAULT_IGNORES,
+    run_campaign_service, run_campaign_traced, BenchConfig, CampaignConfig, CampaignSpec,
+    ProfileConfig, ServiceConfig, ServiceRun, Store, DEFAULT_IGNORES, DEFAULT_STORE_DIR,
 };
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rcb list\n  rcb describe <scenario>\n  rcb run <scenario> \
          [--trials N] [--seed S] [--threads K] [--max-slots M] [--batch-width W] \
-         [--out FILE] [--perf] [--trace-out FILE] [--quiet]\n  \
+         [--out FILE] [--perf] [--trace-out FILE] [--quiet]\n               \
+         [--state-dir DIR] [--resume] [--checkpoint-every K] [--store DIR] \
+         [--max-trials-then-exit N]\n  \
          rcb run --spec <file.toml|file.json> [same flags as above]\n  \
          rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
          [--no-reference] [--batch-width W] [--min-wall S] [--out FILE] [--quiet]\n  \
          rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]\n  \
-         rcb diff <a.json> <b.json> [--threshold X] [--ignore KEY ...] \
-         [--no-default-ignore]\n\
+         rcb store list|show <key>|gc [--store DIR]\n  \
+         rcb diff <a.json|store:KEY> <b.json|store:KEY> [--threshold X] \
+         [--ignore KEY ...] [--no-default-ignore] [--store DIR]\n\
          \nscenarios:\n{}",
         registry()
             .iter()
@@ -91,6 +110,7 @@ fn main() {
             (Some(name), Some(cell)) => cmd_profile(name, cell, &args[3..]),
             _ => usage(),
         },
+        Some("store") => cmd_store(&args[1..]),
         Some("diff") => match (args.get(1), args.get(2)) {
             (Some(a), Some(b)) => cmd_diff(a, b, &args[3..]),
             _ => usage(),
@@ -121,6 +141,7 @@ fn cmd_run(rest: &[String]) {
         progress: true,
         ..CampaignConfig::default()
     };
+    let mut svc = ServiceConfig::default();
     let mut name: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -138,6 +159,15 @@ fn cmd_run(rest: &[String]) {
             "--trace-out" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--perf" => cfg.telemetry = true,
             "--quiet" => cfg.progress = false,
+            "--state-dir" => {
+                svc.state_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
+            }
+            "--resume" => svc.resume = true,
+            "--checkpoint-every" => svc.checkpoint_every = parse(arg, it.next()),
+            "--store" => {
+                svc.store_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
+            }
+            "--max-trials-then-exit" => svc.kill_after_trials = Some(parse(arg, it.next())),
             bare if !bare.starts_with('-') && name.is_none() => name = Some(bare.to_string()),
             _ => {
                 eprintln!("unknown flag: {arg}");
@@ -147,6 +177,22 @@ fn cmd_run(rest: &[String]) {
     }
     if cfg.trials_per_cell == 0 {
         eprintln!("--trials must be at least 1");
+        usage()
+    }
+    if svc.resume && svc.state_dir.is_none() {
+        eprintln!("--resume requires --state-dir");
+        usage()
+    }
+    if svc.kill_after_trials == Some(0) {
+        eprintln!("--max-trials-then-exit must be at least 1");
+        usage()
+    }
+    let service_active = svc.state_dir.is_some()
+        || svc.store_dir.is_some()
+        || svc.resume
+        || svc.kill_after_trials.is_some();
+    if trace_path.is_some() && service_active {
+        eprintln!("--trace-out cannot be combined with the service flags (--state-dir/--resume/--store/--max-trials-then-exit)");
         usage()
     }
     let spec: CampaignSpec = match (&name, &spec_path) {
@@ -212,7 +258,44 @@ fn cmd_run(rest: &[String]) {
                 std::process::exit(2)
             })
         }
-        None => run_campaign(&spec, &cfg),
+        None => match run_campaign_service(&spec, &cfg, &svc) {
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2)
+            }
+            Ok(ServiceRun::Killed { simulated_trials }) => {
+                // Deliberate mid-run exit: checkpoints are on disk, no
+                // artifact is written (a partial artifact would be worse
+                // than none). Leave no empty --out file behind.
+                drop(out_file);
+                if let Some(path) = out_path.as_ref() {
+                    let _ = std::fs::remove_file(path);
+                }
+                eprintln!(
+                    "[rcb] exited after {simulated_trials} simulated trial(s) (--max-trials-then-exit); \
+                     resume with --resume --state-dir {}",
+                    svc.state_dir
+                        .as_deref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "<DIR>".into())
+                );
+                return;
+            }
+            Ok(ServiceRun::Complete {
+                report,
+                store_hits,
+                resumed_trials,
+                simulated_trials,
+            }) => {
+                if service_active {
+                    eprintln!(
+                        "[rcb] service: {store_hits} store hit(s), {resumed_trials} trial(s) \
+                         resumed from checkpoints, simulated {simulated_trials} trial(s)"
+                    );
+                }
+                report
+            }
+        },
     };
     let elapsed = start.elapsed();
     if let Some(path) = trace_path.as_ref() {
@@ -345,16 +428,83 @@ fn cmd_profile(name: &str, cell: &str, rest: &[String]) {
     }
 }
 
+fn cmd_store(rest: &[String]) {
+    let Some(sub) = rest.first() else { usage() };
+    let mut dir = DEFAULT_STORE_DIR.to_string();
+    let mut operand: Option<String> = None;
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => dir = it.next().cloned().unwrap_or_else(|| usage()),
+            bare if !bare.starts_with('-') && operand.is_none() => operand = Some(bare.to_string()),
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+    let fail = |e: rcb_campaign::ServiceError| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2)
+    };
+    let store = Store::new(PathBuf::from(&dir));
+    match sub.as_str() {
+        "list" => {
+            let entries = store.list().unwrap_or_else(|e| fail(e));
+            if entries.is_empty() {
+                println!("store {dir}: empty");
+                return;
+            }
+            println!("store {dir}: {} entr(ies)\n", entries.len());
+            println!(
+                "  {:<32} {:<16} {:>4} {:>8} {:>10}  cell",
+                "key", "campaign", "cell", "trials", "seed"
+            );
+            for e in &entries {
+                println!(
+                    "  {:<32} {:<16} {:>4} {:>8} {:>10}  {}",
+                    e.key, e.campaign, e.cell_index, e.trials, e.seed, e.cell
+                );
+            }
+        }
+        "show" => {
+            let Some(prefix) = operand else {
+                eprintln!("store show takes a key (or unique key prefix)");
+                usage()
+            };
+            let text = store.render_cell(&prefix).unwrap_or_else(|e| fail(e));
+            println!("{text}");
+        }
+        "gc" => {
+            let (kept, removed) = store.gc().unwrap_or_else(|e| fail(e));
+            for key in &removed {
+                println!("removed {key}");
+            }
+            println!(
+                "store {dir}: kept {} entr(ies), removed {}",
+                kept.len(),
+                removed.len()
+            );
+        }
+        _ => {
+            eprintln!("unknown store subcommand: {sub}");
+            usage()
+        }
+    }
+}
+
 fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
     let mut threshold: Option<f64> = None;
     let mut ignore: Vec<String> = Vec::new();
     let mut default_ignores = true;
+    let mut store_dir = DEFAULT_STORE_DIR.to_string();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threshold" => threshold = Some(parse(arg, it.next())),
             "--ignore" => ignore.push(it.next().cloned().unwrap_or_else(|| usage())),
             "--no-default-ignore" => default_ignores = false,
+            "--store" => store_dir = it.next().cloned().unwrap_or_else(|| usage()),
             _ => {
                 eprintln!("unknown flag: {arg}");
                 usage()
@@ -365,11 +515,21 @@ fn cmd_diff(path_a: &str, path_b: &str, rest: &[String]) {
         ignore.extend(DEFAULT_IGNORES.iter().map(|k| k.to_string()));
     }
 
+    // Operands are either artifact paths or `store:KEY` references, where
+    // KEY is any unique prefix of a content key in the artifact store.
     let load = |path: &str| -> rcb_campaign::Json {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2)
-        });
+        let text = match path.strip_prefix("store:") {
+            Some(prefix) => Store::new(PathBuf::from(&store_dir))
+                .render_cell(prefix)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                }),
+            None => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2)
+            }),
+        };
         jsonin::parse(&text).unwrap_or_else(|e| {
             eprintln!("{path}: {e}");
             std::process::exit(2)

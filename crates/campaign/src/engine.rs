@@ -15,26 +15,45 @@
 //! thread count:
 //!
 //! 1. **Seed derivation is positional.** Trial `g` (global index: cell
-//!    `g / trials_per_cell`, replicate `g % trials_per_cell`) always runs
-//!    with master seed `derive_seed(campaign_seed, g)`, no matter which
-//!    worker claims it.
+//!    `c = g / trials_per_cell`, replicate `t = g % trials_per_cell`)
+//!    always runs with master seed `cell_trial_seed(campaign_seed, c, t)`
+//!    — a per-cell stream, then the replicate's draw within it — no matter
+//!    which worker claims it. Because a cell's stream depends only on
+//!    `(campaign_seed, c)`, growing `--trials` extends each stream in
+//!    place, which is what makes incremental resume possible.
 //! 2. **Aggregation order is positional.** Workers return metrics tagged
 //!    with `g`; the aggregator holds them in a reorder buffer and ingests
 //!    strictly in increasing `g`. Floating-point accumulation order is
 //!    therefore fixed, so even the non-associative Welford updates produce
 //!    identical bits.
+//!
+//! ## The resumable service
+//!
+//! [`run_campaign_service`] wraps the same engine with per-cell
+//! checkpointing, incremental resume, and a content-addressed result store
+//! (see [`crate::checkpoint`] and [`crate::store`]). [`run_campaign`] is
+//! the service with every feature off. Both determinism mechanisms carry
+//! over verbatim: a resumed cell restores its accumulator bit-exactly from
+//! the checkpoint and re-runs only replicates `watermark..trials`, whose
+//! seeds are the same as in an uninterrupted run — so the final artifact is
+//! byte-identical at any kill point, thread count, and batch width
+//! (`tests/resume_equivalence.rs` pins this).
 
+use crate::checkpoint::{load_checkpoint, write_checkpoint, CellCheckpoint, ServiceError};
 use crate::report::{
     code_version, CampaignReport, CellPerf, CellReport, MetricReport, ScheduleReport, TimelineEntry,
 };
 use crate::scenario::{CampaignSpec, CellSpec};
+use crate::store::{checkpoint_key, Store};
 use crate::tracefile::{TraceWriter, TrialTraceObserver};
 use rcb_harness::{
-    batch_supported, run_trial_batch, run_trial_telemetry, TrialOptions, TrialResult, TrialSpec,
+    batch_supported, cell_trial_seed, run_trial_batch, run_trial_telemetry, TrialOptions,
+    TrialResult, TrialSpec,
 };
-use rcb_sim::{derive_seed, EngineConfig, EngineTelemetry, ScheduleMarker};
+use rcb_sim::{EngineConfig, EngineTelemetry, ScheduleMarker};
 use rcb_stats::{QuantileSketch, StreamingMoments};
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -138,48 +157,53 @@ impl TrialMetrics {
 }
 
 /// Streaming aggregate over one cell's trials.
+///
+/// Every field is part of the resumable-service state: the checkpoint
+/// codec ([`crate::checkpoint`]) serializes and restores this struct
+/// **exactly** (f64s as bit patterns), which is what makes a resumed
+/// campaign's artifact byte-identical to an uninterrupted run's.
 #[derive(Clone, Debug)]
 pub(crate) struct CellAccumulator {
-    trials: u64,
-    completed: u64,
-    all_informed: u64,
-    safety_violations: u64,
-    completion_slots: MetricAcc,
-    max_cost: MetricAcc,
-    mean_cost: MetricAcc,
-    source_cost: MetricAcc,
-    eve_spent: MetricAcc,
+    pub(crate) trials: u64,
+    pub(crate) completed: u64,
+    pub(crate) all_informed: u64,
+    pub(crate) safety_violations: u64,
+    pub(crate) completion_slots: MetricAcc,
+    pub(crate) max_cost: MetricAcc,
+    pub(crate) mean_cost: MetricAcc,
+    pub(crate) source_cost: MetricAcc,
+    pub(crate) eve_spent: MetricAcc,
     /// Count per distinct helper `(epoch, phase)` across the cell's trials
     /// (bounded by the handful of phases a schedule visits, not by trials).
-    helper_events: std::collections::BTreeMap<(u32, u32), u64>,
+    pub(crate) helper_events: std::collections::BTreeMap<(u32, u32), u64>,
     /// Crash-model distributions (reported only for scheduled cells).
-    crashed: MetricAcc,
-    survivors: MetricAcc,
-    survivors_informed: MetricAcc,
+    pub(crate) crashed: MetricAcc,
+    pub(crate) survivors: MetricAcc,
+    pub(crate) survivors_informed: MetricAcc,
     /// Per-event application aggregate: `(applied_trials, min, max)` of the
     /// application slot. Index-aligned with the cell's schedule because
     /// events apply strictly in spec order.
-    timeline: Vec<(u64, u64, u64)>,
+    pub(crate) timeline: Vec<(u64, u64, u64)>,
     /// Engine telemetry merged over the cell's trials (fixed-size).
-    telemetry: EngineTelemetry,
+    pub(crate) telemetry: EngineTelemetry,
 }
 
 /// Moments + quantile sketch for one metric.
 #[derive(Clone, Debug)]
-struct MetricAcc {
-    moments: StreamingMoments,
-    sketch: QuantileSketch,
+pub(crate) struct MetricAcc {
+    pub(crate) moments: StreamingMoments,
+    pub(crate) sketch: QuantileSketch,
 }
 
 impl MetricAcc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             moments: StreamingMoments::new(),
             sketch: QuantileSketch::new(),
         }
     }
 
-    fn push(&mut self, x: f64) {
+    pub(crate) fn push(&mut self, x: f64) {
         self.moments.push(x);
         self.sketch.push(x);
     }
@@ -199,7 +223,7 @@ impl MetricAcc {
 }
 
 impl CellAccumulator {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             trials: 0,
             completed: 0,
@@ -251,7 +275,7 @@ impl CellAccumulator {
         self.telemetry.merge(&m.telemetry);
     }
 
-    fn report(&self, cell: &CellSpec, max_slots: u64) -> CellReport {
+    pub(crate) fn report(&self, cell: &CellSpec, max_slots: u64) -> CellReport {
         CellReport {
             protocol: cell.protocol.name().to_string(),
             adversary: cell.adversary.name().to_string(),
@@ -336,7 +360,7 @@ fn trial_spec(spec: &CampaignSpec, cfg: &CampaignConfig, g: u64) -> TrialSpec {
     TrialSpec::new(
         cell.protocol.clone(),
         cell.adversary.clone(),
-        derive_seed(cfg.seed, g),
+        cell_trial_seed(cfg.seed, g / cfg.trials_per_cell, g % cfg.trials_per_cell),
     )
     .with_topology(cell.topology.clone())
     .with_schedule(cell.schedule.clone())
@@ -445,39 +469,178 @@ fn assemble_report(
     }
 }
 
-/// Run a campaign: every cell × `trials_per_cell` seeds, aggregated
-/// streamingly. See the module docs for the determinism argument.
+/// Service features layered over the campaign engine by
+/// [`run_campaign_service`]. The default (all `None`/off) is exactly the
+/// plain batch engine — [`run_campaign`] is that default.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceConfig {
+    /// Directory for per-cell checkpoint files (`rcb run --state-dir`).
+    /// `None` disables checkpointing entirely.
+    pub state_dir: Option<PathBuf>,
+    /// Load checkpoints from `state_dir` before running and continue each
+    /// cell from its watermark (`rcb run --resume`). Requires `state_dir`.
+    pub resume: bool,
+    /// Write a checkpoint every this-many trials of a cell, measured on the
+    /// cell's **absolute** watermark — so the set of boundary files on disk
+    /// is the same however often the campaign is killed and resumed. 0
+    /// checkpoints only at cell completion. Ignored without `state_dir`.
+    pub checkpoint_every: u64,
+    /// Content-addressed store directory (`rcb run --store`): consulted
+    /// per cell before simulating, populated with every cell this run
+    /// computes. `None` disables the store.
+    pub store_dir: Option<PathBuf>,
+    /// Test hook (`rcb run --max-trials-then-exit N`): stop ingesting after
+    /// `N` newly simulated trials and return [`ServiceRun::Killed`] without
+    /// assembling an artifact — a deterministic stand-in for `kill -9` that
+    /// leaves exactly the on-disk state a real kill would.
+    pub kill_after_trials: Option<u64>,
+}
+
+/// Outcome of [`run_campaign_service`].
+#[derive(Debug)]
+pub enum ServiceRun {
+    /// The campaign ran (or resumed) to completion.
+    Complete {
+        /// The assembled artifact — byte-identical to an uninterrupted
+        /// single-shot run of the same `(spec, cfg)`.
+        report: CampaignReport,
+        /// Cells served whole from the content-addressed store.
+        store_hits: u64,
+        /// Trials restored from checkpoint watermarks instead of re-run.
+        resumed_trials: u64,
+        /// Trials actually simulated by this invocation.
+        simulated_trials: u64,
+    },
+    /// The kill hook fired: the process state is exactly what a hard kill
+    /// at that point would leave — boundary checkpoints on disk, no
+    /// artifact.
+    Killed {
+        /// Trials simulated before the hook fired.
+        simulated_trials: u64,
+    },
+}
+
+/// Run a campaign with checkpointing, resume, and the content-addressed
+/// store — the engine behind `rcb run`'s service flags. With the default
+/// [`ServiceConfig`] this is exactly [`run_campaign`].
+///
+/// Per cell, in order: a warm store entry (same content key, same trial
+/// count) preloads the full accumulator — zero simulation; otherwise a
+/// valid checkpoint (under `resume`) preloads the accumulator at its
+/// watermark and only replicates `watermark..trials` are scheduled; fresh
+/// cells run whole. However a cell's state was obtained, the artifact
+/// assembled at the end is byte-identical to an uninterrupted run's.
+///
+/// # Errors
+/// Any checkpoint/store file that is unreadable, corrupt (checksum),
+/// truncated, from a different schema version, or inconsistent with the
+/// requested campaign is a [`ServiceError`] naming the file — never a
+/// panic, never a silent recompute-from-zero.
 ///
 /// # Panics
 /// Panics if the spec has no cells or `trials_per_cell` is 0.
-pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
+pub fn run_campaign_service(
+    spec: &CampaignSpec,
+    cfg: &CampaignConfig,
+    svc: &ServiceConfig,
+) -> Result<ServiceRun, ServiceError> {
     assert!(!spec.cells.is_empty(), "campaign has no cells");
     assert!(cfg.trials_per_cell > 0, "campaign needs at least one trial");
-    let total = spec.cells.len() as u64 * cfg.trials_per_cell;
-    let threads = rcb_harness::resolve_threads(cfg.threads)
-        .min(total as usize)
-        .max(1);
+    if svc.resume && svc.state_dir.is_none() {
+        return Err(ServiceError::msg("--resume requires --state-dir"));
+    }
+    let n = cfg.trials_per_cell;
+    let total = spec.cells.len() as u64 * n;
+    let store = svc.store_dir.as_deref().map(Store::new);
 
     let mut accs: Vec<CellAccumulator> =
         spec.cells.iter().map(|_| CellAccumulator::new()).collect();
+    // Trials already ingested per cell (0 = fresh).
+    let mut watermarks: Vec<u64> = vec![0; spec.cells.len()];
+    let mut from_store: Vec<bool> = vec![false; spec.cells.len()];
+    let mut store_hits = 0u64;
+    let mut resumed_trials = 0u64;
 
-    // Work units are blocks of up to `batch_width` same-cell trials (size 1
-    // at the default width — the scalar scheduling, unchanged). Blocks never
-    // cross a cell boundary, so a block maps to one batched engine call.
+    for (c, cell) in spec.cells.iter().enumerate() {
+        let max_slots = cfg.max_slots.unwrap_or(cell.max_slots);
+        // Warm store first: a hit covers the whole cell at this exact
+        // trial count, so neither simulation nor checkpoints are needed.
+        if let Some(store) = &store {
+            if let Some(state) =
+                store.lookup_cell(&spec.name, cfg.seed, c as u64, cell, max_slots, n)?
+            {
+                accs[c] = state;
+                watermarks[c] = n;
+                from_store[c] = true;
+                store_hits += 1;
+                continue;
+            }
+        }
+        if svc.resume {
+            let dir = svc.state_dir.as_ref().expect("resume requires state_dir");
+            let path = crate::checkpoint::checkpoint_path(dir, c);
+            if let Some(ckpt) = load_checkpoint(&path)? {
+                let key = checkpoint_key(&spec.name, cfg.seed, c as u64, cell, max_slots);
+                if ckpt.key != key {
+                    return Err(ServiceError::at(
+                        &path,
+                        format!(
+                            "checkpoint belongs to a different cell configuration \
+                             (key {} vs expected {key}); move or delete the state directory",
+                            ckpt.key
+                        ),
+                    ));
+                }
+                if ckpt.trials_done > n {
+                    return Err(ServiceError::at(
+                        &path,
+                        format!(
+                            "checkpoint watermark {} exceeds the requested {n} trials; \
+                             trials can grow incrementally but never shrink",
+                            ckpt.trials_done
+                        ),
+                    ));
+                }
+                resumed_trials += ckpt.trials_done;
+                watermarks[c] = ckpt.trials_done;
+                accs[c] = ckpt.state;
+            }
+        }
+    }
+
+    // Work units are blocks of up to `batch_width` remaining same-cell
+    // trials (size 1 at the default width — the scalar scheduling,
+    // unchanged). Blocks never cross a cell boundary, so a block maps to
+    // one batched engine call; a resumed cell's first block starts at its
+    // watermark.
     let width = cfg.batch_width.clamp(1, 64);
-    let blocks: Vec<(u64, u64)> = (0..spec.cells.len() as u64)
-        .flat_map(|c| {
-            let base = c * cfg.trials_per_cell;
-            (0..cfg.trials_per_cell)
+    let blocks: Vec<(u64, u64)> = spec
+        .cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| {
+            let base = c as u64 * n;
+            (watermarks[c]..n)
                 .step_by(width as usize)
-                .map(move |t| (base + t, base + (t + width).min(cfg.trials_per_cell)))
+                .map(move |t| (base + t, base + (t + width).min(n)))
         })
         .collect();
+    // The exact ingest order: ascending global index over scheduled work.
+    let order: Vec<u64> = blocks.iter().flat_map(|&(s, e)| s..e).collect();
+    let scheduled = order.len() as u64;
+
+    let threads = rcb_harness::resolve_threads(cfg.threads)
+        .min(scheduled.max(1) as usize)
+        .max(1);
 
     let next = AtomicU64::new(0);
     // Bounded channel: workers stall rather than flood the aggregator, so
     // the reorder buffer stays small even with a straggler trial.
     let (tx, rx) = mpsc::sync_channel::<Pending>(1024);
+
+    let mut simulated = 0u64;
+    let mut killed = false;
+    let mut io_error: Option<ServiceError> = None;
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -492,7 +655,9 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
                 let (start, end) = blocks[bi];
                 let ts = trial_spec(spec, cfg, start);
                 if end - start > 1 && batch_supported(&ts) {
-                    let seeds: Vec<u64> = (start..end).map(|g| derive_seed(cfg.seed, g)).collect();
+                    let seeds: Vec<u64> = (start..end)
+                        .map(|g| cell_trial_seed(cfg.seed, g / n, g % n))
+                        .collect();
                     let engine = EngineConfig {
                         time_phases: cfg.telemetry,
                         ..EngineConfig::default()
@@ -519,23 +684,104 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport
         }
         drop(tx);
 
-        // Aggregate strictly in global-index order.
+        // Aggregate strictly in scheduled (ascending global-index) order.
         let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
-        let mut expected: u64 = 0;
-        let mut progress = Progress::new(cfg.progress, total);
-        for pending in rx.iter() {
+        let mut pos: usize = 0;
+        let mut progress = Progress::new(cfg.progress, scheduled.max(1));
+        'ingest: for pending in rx.iter() {
             heap.push(pending);
-            while heap.peek().is_some_and(|p| p.0 == expected) {
+            while pos < order.len() && heap.peek().is_some_and(|p| p.0 == order[pos]) {
                 let Pending(g, m) = heap.pop().expect("peeked");
-                accs[(g / cfg.trials_per_cell) as usize].push(&m);
-                expected += 1;
-                progress.tick(spec, cfg, g, &m, expected, total);
+                let c = (g / n) as usize;
+                accs[c].push(&m);
+                watermarks[c] = g % n + 1;
+                simulated += 1;
+                pos += 1;
+                progress.tick(spec, cfg, g, &m, pos as u64, scheduled);
+                // Boundary checkpoint: every `checkpoint_every` trials of
+                // the cell's absolute watermark, plus cell completion.
+                let w = watermarks[c];
+                let boundary =
+                    w == n || (svc.checkpoint_every > 0 && w.is_multiple_of(svc.checkpoint_every));
+                if boundary {
+                    if let Some(dir) = svc.state_dir.as_ref() {
+                        let cell = &spec.cells[c];
+                        let max_slots = cfg.max_slots.unwrap_or(cell.max_slots);
+                        let ckpt = CellCheckpoint {
+                            key: checkpoint_key(&spec.name, cfg.seed, c as u64, cell, max_slots),
+                            campaign: spec.name.clone(),
+                            cell_index: c as u64,
+                            seed: cfg.seed,
+                            trials_done: w,
+                            state: accs[c].clone(),
+                        };
+                        if let Err(e) = write_checkpoint(dir, &ckpt) {
+                            io_error = Some(e);
+                            break 'ingest;
+                        }
+                    }
+                }
+                // The kill hook fires *after* boundary persistence, exactly
+                // like a hard kill between two checkpoint writes: whatever
+                // was ingested past the last boundary is simply lost.
+                if svc.kill_after_trials.is_some_and(|k| simulated >= k) {
+                    killed = true;
+                    break 'ingest;
+                }
             }
         }
-        assert_eq!(expected, total, "aggregator lost trials");
+        // Dropping the receiver makes every blocked worker's send fail, so
+        // the scope joins promptly on the kill/error paths.
+        drop(rx);
+        if !killed && io_error.is_none() {
+            assert_eq!(pos, order.len(), "aggregator lost trials");
+        }
     });
 
-    assemble_report(spec, cfg, total, &accs)
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    if killed {
+        return Ok(ServiceRun::Killed {
+            simulated_trials: simulated,
+        });
+    }
+
+    // Populate the store with every cell this run computed (cells served
+    // *from* the store are already there).
+    if let Some(store) = &store {
+        for (c, cell) in spec.cells.iter().enumerate() {
+            if from_store[c] {
+                continue;
+            }
+            let max_slots = cfg.max_slots.unwrap_or(cell.max_slots);
+            store.insert_cell(&spec.name, cfg.seed, c as u64, cell, max_slots, n, &accs[c])?;
+        }
+    }
+
+    Ok(ServiceRun::Complete {
+        report: assemble_report(spec, cfg, total, &accs),
+        store_hits,
+        resumed_trials,
+        simulated_trials: simulated,
+    })
+}
+
+/// Run a campaign: every cell × `trials_per_cell` seeds, aggregated
+/// streamingly. See the module docs for the determinism argument. This is
+/// [`run_campaign_service`] with every service feature off — no state
+/// directory, no store, no kill hook — which is also why it cannot fail.
+///
+/// # Panics
+/// Panics if the spec has no cells or `trials_per_cell` is 0.
+pub fn run_campaign(spec: &CampaignSpec, cfg: &CampaignConfig) -> CampaignReport {
+    match run_campaign_service(spec, cfg, &ServiceConfig::default()) {
+        Ok(ServiceRun::Complete { report, .. }) => report,
+        Ok(ServiceRun::Killed { .. }) => {
+            unreachable!("the default service config has no kill hook")
+        }
+        Err(e) => unreachable!("the default service config does no file I/O: {e}"),
+    }
 }
 
 /// Run a campaign sequentially while streaming a structured JSONL trace of

@@ -11,9 +11,14 @@
 //!   workload is one ~30-line registry entry.
 //! * [`engine`] — a **parallel campaign runner** that shards trials across
 //!   cores with positional seed derivation
-//!   (`derive_seed(campaign_seed, trial_idx)`) and strict-order streaming
-//!   aggregation, so a campaign's result is **bit-identical at any thread
-//!   count** and memory stays flat no matter how many trials run.
+//!   (`cell_trial_seed(campaign_seed, cell, replicate)`) and strict-order
+//!   streaming aggregation, so a campaign's result is **bit-identical at
+//!   any thread count** and memory stays flat no matter how many trials
+//!   run. [`engine::run_campaign_service`] layers the resumable campaign
+//!   service on the same engine: per-cell checkpoints ([`checkpoint`]),
+//!   `--resume` with kill-anywhere byte-identity, incremental `--trials`
+//!   growth, and a content-addressed result store ([`store`]) that serves
+//!   unchanged cells without simulating — see `docs/CAMPAIGN_SERVICE.md`.
 //! * [`report`] — the **schema-versioned JSON artifact**
 //!   (`BENCH_<scenario>.json`-ready) plus a human summary table.
 //!
@@ -54,6 +59,7 @@
 //! ```
 
 pub mod bench;
+pub mod checkpoint;
 pub mod diff;
 pub mod engine;
 pub mod json;
@@ -62,11 +68,18 @@ pub mod profile;
 pub mod report;
 pub mod scenario;
 pub mod specfile;
+pub mod store;
 pub mod tracefile;
 
 pub use bench::{run_bench, BenchConfig, BenchReport, BENCH_SCHEMA_VERSION};
+pub use checkpoint::{
+    checkpoint_path, load_checkpoint, CellCheckpoint, ServiceError, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use diff::{diff, DiffKind, DiffOutput, DiffRow, DEFAULT_IGNORES};
-pub use engine::{run_campaign, run_campaign_traced, CampaignConfig};
+pub use engine::{
+    run_campaign, run_campaign_service, run_campaign_traced, CampaignConfig, ServiceConfig,
+    ServiceRun,
+};
 pub use json::Json;
 pub use profile::{profile_cell, ProfileConfig};
 pub use report::{
@@ -75,4 +88,7 @@ pub use report::{
 };
 pub use scenario::{describe_campaign, find, registry, CampaignSpec, CellSpec, Scenario};
 pub use specfile::{load_spec, parse_spec, SpecError};
+pub use store::{
+    checkpoint_key, store_key, EntrySummary, Store, DEFAULT_STORE_DIR, STORE_SCHEMA_VERSION,
+};
 pub use tracefile::{TraceWriter, TrialTraceObserver, TRACE_SCHEMA_VERSION};

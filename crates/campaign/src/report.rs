@@ -338,7 +338,7 @@ pub struct CellReport {
 }
 
 impl CellReport {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut fields = vec![
             ("protocol", self.protocol.as_str().into()),
             ("adversary", self.adversary.as_str().into()),

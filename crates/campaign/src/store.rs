@@ -1,0 +1,627 @@
+//! Content-addressed cell result store (`.rcb-store/`).
+//!
+//! Every completed campaign cell can be filed under a **content key**: a
+//! 128-bit FNV-1a hash over everything that determines the cell's
+//! deterministic artifact bytes — artifact schema version, build stamp,
+//! campaign name and master seed, the cell's index (its seed stream), the
+//! full parameter renderings of protocol/adversary/topology/schedule, the
+//! effective slot cap, and the trial count. `rcb run --store DIR` consults
+//! the store per cell before simulating and inserts every cell it computes,
+//! so re-running an unchanged scenario does **zero** simulation work and
+//! still emits a byte-identical artifact; any parameter change misses the
+//! store and re-simulates.
+//!
+//! An entry is the cell's exact accumulator state at `trials` (the same
+//! bit-exact codec checkpoints use — see [`crate::checkpoint`]) with the
+//! wall-clock phase counters zeroed: wall time is host noise, excluded
+//! from the byte-identity contract (`rcb diff`'s default ignores), so
+//! entries stay content-pure. Writes are atomic (temp + rename) and loads
+//! are checksum-validated, exactly like checkpoints.
+//!
+//! ## Keys vs. checkpoint keys
+//!
+//! [`store_key`] includes the trial count — a store hit must cover the
+//! whole cell. [`checkpoint_key`] is the same identity **without** the
+//! trial count: a checkpoint is valid to resume at any requested trial
+//! count at or above its watermark, because the per-cell seed streams
+//! (`cell_trial_seed`) do not depend on trials-per-cell.
+//!
+//! ## GC policy
+//!
+//! `rcb store gc` keeps exactly the entries the **current catalog can
+//! regenerate**: the entry's campaign exists in the registry and hashing
+//! the catalog's current cell spec at the entry's recorded seed, trial
+//! count, and slot cap reproduces the entry's key. Everything else —
+//! entries from renamed/removed scenarios, changed cell parameters, older
+//! build stamps, or ad-hoc `--spec` files — is garbage and is removed. An
+//! entry the catalog still references is therefore never collected, no
+//! matter its age.
+
+use crate::checkpoint::{
+    checkpoint_from_json, checkpoint_to_json, fnv1a64, write_atomic, CellCheckpoint, ServiceError,
+    FNV_BASIS,
+};
+use crate::engine::CellAccumulator;
+use crate::json::Json;
+use crate::jsonin;
+use crate::report::{code_version, SCHEMA_VERSION};
+use crate::scenario::{find, CellSpec};
+use rcb_sim::PhaseNanos;
+use std::path::{Path, PathBuf};
+
+/// Version of the store entry schema (independent of the campaign
+/// artifact's; entries embed the checkpoint state codec, so this tracks
+/// [`crate::checkpoint::CHECKPOINT_SCHEMA_VERSION`]). History:
+///
+/// * **1** — initial format: a checkpoint document of kind
+///   `rcb-store-entry` plus an advisory `meta` block for listing and gc.
+pub const STORE_SCHEMA_VERSION: u64 = 1;
+
+/// Default store directory, relative to the working directory.
+pub const DEFAULT_STORE_DIR: &str = ".rcb-store";
+
+/// Second FNV-1a offset basis (the standard basis with its halves swapped)
+/// — a second independent 64-bit pass gives the 128-bit content key.
+const FNV_BASIS_ALT: u64 = 0x8422_2325_cbf2_9ce4;
+
+/// Canonical identity string of one campaign cell — everything its
+/// deterministic artifact bytes depend on, **except** the trial count.
+/// `{:?}` renderings carry every parameter of the kinds, including tuning
+/// fields their `name()`/`detail()` summaries omit.
+fn cell_identity(
+    campaign: &str,
+    seed: u64,
+    cell_index: u64,
+    cell: &CellSpec,
+    max_slots: u64,
+) -> String {
+    format!(
+        "schema={}|code={}|campaign={campaign}|seed={seed}|cell={cell_index}|max_slots={max_slots}\
+         |protocol={:?}|adversary={:?}|topology={:?}|schedule={:?}",
+        SCHEMA_VERSION,
+        code_version(),
+        cell.protocol,
+        cell.adversary,
+        cell.topology,
+        cell.schedule,
+    )
+}
+
+/// 32-hex-digit content hash: two independent FNV-1a 64-bit passes.
+fn hash128(identity: &str) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(identity.as_bytes(), FNV_BASIS),
+        fnv1a64(identity.as_bytes(), FNV_BASIS_ALT)
+    )
+}
+
+/// Watermark-independent cell identity key: what a checkpoint must match
+/// to be resumed into this cell (any trial count ≥ its watermark).
+pub fn checkpoint_key(
+    campaign: &str,
+    seed: u64,
+    cell_index: u64,
+    cell: &CellSpec,
+    max_slots: u64,
+) -> String {
+    hash128(&cell_identity(campaign, seed, cell_index, cell, max_slots))
+}
+
+/// Full content key of a completed cell at exactly `trials` trials.
+pub fn store_key(
+    campaign: &str,
+    seed: u64,
+    cell_index: u64,
+    cell: &CellSpec,
+    max_slots: u64,
+    trials: u64,
+) -> String {
+    hash128(&format!(
+        "{}|trials={trials}",
+        cell_identity(campaign, seed, cell_index, cell, max_slots)
+    ))
+}
+
+/// One store entry's advisory metadata (the `meta` block): enough to list
+/// the store and to decide gc liveness without the heavy state payload.
+#[derive(Clone, Debug)]
+pub struct EntrySummary {
+    /// Full 32-hex content key (also the file stem).
+    pub key: String,
+    pub campaign: String,
+    pub cell_index: u64,
+    pub seed: u64,
+    pub trials: u64,
+    /// Effective slot cap the cell ran under.
+    pub max_slots: u64,
+    /// Human-readable cell description (`protocol/adversary` names).
+    pub cell: String,
+}
+
+/// Handle on a store directory. Creating the handle does not touch the
+/// filesystem; the directory is created on first insert.
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Load and validate one entry by full key. `Ok(None)` when absent.
+    fn load(&self, key: &str) -> Result<Option<CellCheckpoint>, ServiceError> {
+        let path = self.path_for(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServiceError::at(&path, e.to_string())),
+        };
+        let v = jsonin::parse(&text).map_err(|e| ServiceError::at(&path, e))?;
+        let ckpt =
+            checkpoint_from_json(&v, "rcb-store-entry").map_err(|e| ServiceError::at(&path, e))?;
+        if ckpt.key != key {
+            return Err(ServiceError::at(
+                &path,
+                format!("entry key {} does not match its file name", ckpt.key),
+            ));
+        }
+        Ok(Some(ckpt))
+    }
+
+    /// Look up the completed-cell state for exactly this cell configuration
+    /// and trial count. A hit returns the bit-exact accumulator an
+    /// uninterrupted run of the cell would have produced (phase clocks
+    /// zeroed); any parameter difference is a clean miss.
+    pub(crate) fn lookup_cell(
+        &self,
+        campaign: &str,
+        seed: u64,
+        cell_index: u64,
+        cell: &CellSpec,
+        max_slots: u64,
+        trials: u64,
+    ) -> Result<Option<CellAccumulator>, ServiceError> {
+        let key = store_key(campaign, seed, cell_index, cell, max_slots, trials);
+        Ok(self.load(&key)?.map(|ckpt| ckpt.state))
+    }
+
+    /// Insert a completed cell's state under its content key (atomically;
+    /// re-inserting the same key just rewrites identical bytes). Returns
+    /// the key. Wall-clock phase counters are zeroed on the way in — they
+    /// are host noise, not content.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_cell(
+        &self,
+        campaign: &str,
+        seed: u64,
+        cell_index: u64,
+        cell: &CellSpec,
+        max_slots: u64,
+        trials: u64,
+        state: &CellAccumulator,
+    ) -> Result<String, ServiceError> {
+        let key = store_key(campaign, seed, cell_index, cell, max_slots, trials);
+        let mut state = state.clone();
+        state.telemetry.phases = PhaseNanos::default();
+        let ckpt = CellCheckpoint {
+            key: key.clone(),
+            campaign: campaign.to_string(),
+            cell_index,
+            seed,
+            trials_done: trials,
+            state,
+        };
+        let mut doc = checkpoint_to_json(&ckpt, "rcb-store-entry");
+        if let Json::Object(fields) = &mut doc {
+            fields.push((
+                "meta".to_string(),
+                Json::obj(vec![
+                    ("store_schema_version", STORE_SCHEMA_VERSION.into()),
+                    ("trials", trials.into()),
+                    ("max_slots", max_slots.into()),
+                    (
+                        "cell",
+                        format!("{}/{}", cell.protocol.name(), cell.adversary.name())
+                            .as_str()
+                            .into(),
+                    ),
+                ]),
+            ));
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| ServiceError::at(&self.dir, e.to_string()))?;
+        write_atomic(&self.path_for(&key), &doc.to_pretty())?;
+        Ok(key)
+    }
+
+    /// Every entry's summary, sorted by (campaign, cell index, key) for
+    /// stable listings.
+    pub fn list(&self) -> Result<Vec<EntrySummary>, ServiceError> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(ServiceError::at(&self.dir, e.to_string())),
+        };
+        for entry in entries {
+            let path = entry
+                .map_err(|e| ServiceError::at(&self.dir, e.to_string()))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(key) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let ckpt = self.load(key)?.ok_or_else(|| {
+                ServiceError::at(&path, "entry disappeared during listing".to_string())
+            })?;
+            let (max_slots, cell) = self.entry_meta(key)?.unwrap_or((0, String::from("?")));
+            out.push(EntrySummary {
+                key: key.to_string(),
+                campaign: ckpt.campaign,
+                cell_index: ckpt.cell_index,
+                seed: ckpt.seed,
+                trials: ckpt.trials_done,
+                max_slots,
+                cell,
+            });
+        }
+        out.sort_by(|a, b| {
+            (&a.campaign, a.cell_index, &a.key).cmp(&(&b.campaign, b.cell_index, &b.key))
+        });
+        Ok(out)
+    }
+
+    /// The advisory `(max_slots, cell description)` of an entry's meta
+    /// block, if present and well-formed.
+    fn entry_meta(&self, key: &str) -> Result<Option<(u64, String)>, ServiceError> {
+        let path = self.path_for(key);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| ServiceError::at(&path, e.to_string()))?;
+        let v = jsonin::parse(&text).map_err(|e| ServiceError::at(&path, e))?;
+        let Json::Object(fields) = &v else {
+            return Ok(None);
+        };
+        let Some((_, Json::Object(meta))) = fields.iter().find(|(k, _)| k == "meta") else {
+            return Ok(None);
+        };
+        let get_u64 = |key: &str| {
+            meta.iter().find_map(|(k, v)| match v {
+                Json::Int(i) if k == key && *i >= 0 => Some(*i as u64),
+                _ => None,
+            })
+        };
+        let cell = meta.iter().find_map(|(k, v)| match v {
+            Json::Str(s) if k == "cell" => Some(s.clone()),
+            _ => None,
+        });
+        Ok(get_u64("max_slots").zip(cell))
+    }
+
+    /// Resolve a (possibly abbreviated) key to the unique entry it
+    /// prefixes. Zero or multiple matches are errors.
+    pub fn resolve(&self, prefix: &str) -> Result<String, ServiceError> {
+        let matches: Vec<String> = self
+            .list()?
+            .into_iter()
+            .map(|e| e.key)
+            .filter(|k| k.starts_with(prefix))
+            .collect();
+        match matches.len() {
+            0 => Err(ServiceError::msg(format!(
+                "no store entry matches key prefix `{prefix}` in {}",
+                self.dir.display()
+            ))),
+            1 => Ok(matches.into_iter().next().expect("one match")),
+            n => Err(ServiceError::msg(format!(
+                "key prefix `{prefix}` is ambiguous ({n} matches); use more digits"
+            ))),
+        }
+    }
+
+    /// Render one entry as a standalone schema-versioned cell document
+    /// (kind `rcb-store-cell`) — the form `rcb store show` prints and
+    /// `rcb diff store:<key>` compares. The cell spec is resolved from the
+    /// current catalog, so entries the catalog cannot regenerate (gc-dead
+    /// ones) cannot be rendered.
+    pub fn render_cell(&self, prefix: &str) -> Result<String, ServiceError> {
+        let key = self.resolve(prefix)?;
+        let ckpt = self.load(&key)?.expect("resolved keys exist");
+        let scenario = find(&ckpt.campaign).ok_or_else(|| {
+            ServiceError::msg(format!(
+                "entry {key} belongs to campaign `{}`, which is not in the catalog; \
+                 cannot resolve its cell spec to render the report",
+                ckpt.campaign
+            ))
+        })?;
+        let spec = (scenario.build)();
+        let cell = spec.cells.get(ckpt.cell_index as usize).ok_or_else(|| {
+            ServiceError::msg(format!(
+                "entry {key} names cell {} but `{}` has only {} cells",
+                ckpt.cell_index,
+                ckpt.campaign,
+                spec.cells.len()
+            ))
+        })?;
+        let (max_slots, _) = self
+            .entry_meta(&key)?
+            .ok_or_else(|| ServiceError::at(&self.path_for(&key), "entry has no meta block"))?;
+        let doc = Json::obj(vec![
+            ("schema_version", SCHEMA_VERSION.into()),
+            ("kind", "rcb-store-cell".into()),
+            ("key", key.as_str().into()),
+            ("campaign", ckpt.campaign.as_str().into()),
+            ("cell_index", ckpt.cell_index.into()),
+            ("seed", ckpt.seed.into()),
+            ("trials", ckpt.trials_done.into()),
+            ("cell", ckpt.state.report(cell, max_slots).to_json()),
+        ]);
+        Ok(doc.to_pretty())
+    }
+
+    /// Collect garbage: remove every entry the current catalog cannot
+    /// regenerate (see the module docs for the policy). Returns
+    /// `(kept, removed)` key lists.
+    pub fn gc(&self) -> Result<(Vec<String>, Vec<String>), ServiceError> {
+        let mut kept = Vec::new();
+        let mut removed = Vec::new();
+        for entry in self.list()? {
+            if self.is_live(&entry)? {
+                kept.push(entry.key);
+            } else {
+                let path = self.path_for(&entry.key);
+                std::fs::remove_file(&path).map_err(|e| ServiceError::at(&path, e.to_string()))?;
+                removed.push(entry.key);
+            }
+        }
+        Ok((kept, removed))
+    }
+
+    /// An entry is live iff hashing the current catalog's cell spec at the
+    /// entry's recorded parameters reproduces its key.
+    fn is_live(&self, entry: &EntrySummary) -> Result<bool, ServiceError> {
+        let Some(scenario) = find(&entry.campaign) else {
+            return Ok(false);
+        };
+        let spec = (scenario.build)();
+        let Some(cell) = spec.cells.get(entry.cell_index as usize) else {
+            return Ok(false);
+        };
+        let Some((max_slots, _)) = self.entry_meta(&entry.key)? else {
+            return Ok(false);
+        };
+        Ok(store_key(
+            &entry.campaign,
+            entry.seed,
+            entry.cell_index,
+            cell,
+            max_slots,
+            entry.trials,
+        ) == entry.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::registry;
+    use rcb_harness::{AdversaryKind, ProtocolKind, ScheduleEventKind, ScheduleSpec, TopologyKind};
+
+    fn base_cell() -> CellSpec {
+        CellSpec::new(
+            ProtocolKind::Naive {
+                n: 16,
+                act_prob: 1.0,
+            },
+            AdversaryKind::Uniform { t: 500, frac: 0.5 },
+        )
+        .with_max_slots(100_000)
+    }
+
+    fn base_key(cell: &CellSpec) -> String {
+        store_key("camp", 7, 2, cell, 100_000, 50)
+    }
+
+    /// Satellite requirement: any change to protocol/adversary/topology/
+    /// schedule params, trials, seed base, cell position, or slot cap
+    /// changes the key.
+    #[test]
+    fn every_identity_component_moves_the_key() {
+        let cell = base_cell();
+        let reference = base_key(&cell);
+        assert_eq!(reference.len(), 32, "two 64-bit hex halves");
+        assert_eq!(reference, base_key(&cell), "keys are deterministic");
+
+        let mut perturbed = Vec::new();
+        // Protocol param (an internal tuning field detail() would omit).
+        let mut c = base_cell();
+        c.protocol = ProtocolKind::Naive {
+            n: 16,
+            act_prob: 0.99,
+        };
+        perturbed.push(("protocol param", base_key(&c)));
+        // Adversary param.
+        let mut c = base_cell();
+        c.adversary = AdversaryKind::Uniform { t: 501, frac: 0.5 };
+        perturbed.push(("adversary param", base_key(&c)));
+        // Topology.
+        let mut c = base_cell();
+        c.topology = TopologyKind::Line;
+        perturbed.push(("topology", base_key(&c)));
+        // Schedule.
+        let mut c = base_cell();
+        c.schedule = ScheduleSpec::new().at(10, ScheduleEventKind::CrashNodes { nodes: vec![3] });
+        perturbed.push(("schedule", base_key(&c)));
+        // Trial count, seed base, cell position, slot cap, campaign name.
+        let cell = base_cell();
+        perturbed.push(("trials", store_key("camp", 7, 2, &cell, 100_000, 51)));
+        perturbed.push(("seed", store_key("camp", 8, 2, &cell, 100_000, 50)));
+        perturbed.push(("cell index", store_key("camp", 7, 3, &cell, 100_000, 50)));
+        perturbed.push(("max_slots", store_key("camp", 7, 2, &cell, 100_001, 50)));
+        perturbed.push(("campaign", store_key("pmac", 7, 2, &cell, 100_000, 50)));
+
+        for (what, key) in &perturbed {
+            assert_ne!(key, &reference, "{what} change must move the key");
+        }
+        // And all perturbations are mutually distinct (no accidental
+        // collisions among these near-identical identities).
+        let mut all: Vec<&String> = perturbed.iter().map(|(_, k)| k).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), perturbed.len());
+    }
+
+    /// The checkpoint key ignores the trial count but nothing else.
+    #[test]
+    fn checkpoint_key_is_watermark_independent() {
+        let cell = base_cell();
+        let k = checkpoint_key("camp", 7, 2, &cell, 100_000);
+        assert_eq!(k, checkpoint_key("camp", 7, 2, &cell, 100_000));
+        assert_ne!(k, checkpoint_key("camp", 8, 2, &cell, 100_000));
+        assert_ne!(k, store_key("camp", 7, 2, &cell, 100_000, 50));
+    }
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("rcb-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::new(dir)
+    }
+
+    fn filled_state(trials: u64) -> CellAccumulator {
+        let mut acc = CellAccumulator::new();
+        for i in 0..trials {
+            acc.trials += 1;
+            acc.completed += 1;
+            acc.completion_slots.push((i * 37 % 101) as f64);
+            acc.max_cost.push(i as f64);
+            acc.mean_cost.push(i as f64 * 0.5);
+            acc.source_cost.push(1.0);
+            acc.eve_spent.push(0.0);
+            acc.crashed.push(0.0);
+            acc.survivors.push(16.0);
+            acc.survivors_informed.push(16.0);
+        }
+        acc.telemetry.slots_stepped = trials * 1000;
+        acc.telemetry.phases.slot_loop = 5_000; // must be zeroed on insert
+        acc
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips_bit_identically() {
+        let store = temp_store("roundtrip");
+        let cell = base_cell();
+        let state = filled_state(50);
+        let key = store
+            .insert_cell("camp", 7, 2, &cell, 100_000, 50, &state)
+            .expect("insert");
+        assert_eq!(key, base_key(&cell));
+        let hit = store
+            .lookup_cell("camp", 7, 2, &cell, 100_000, 50)
+            .expect("lookup")
+            .expect("hit");
+        // Bit-identical modulo the zeroed phase clocks.
+        let mut expect = state.clone();
+        expect.telemetry.phases = PhaseNanos::default();
+        assert_eq!(
+            crate::checkpoint::state_to_json(&hit).to_compact(),
+            crate::checkpoint::state_to_json(&expect).to_compact()
+        );
+        // A different trial count is a clean miss, not a partial hit.
+        assert!(store
+            .lookup_cell("camp", 7, 2, &cell, 100_000, 51)
+            .expect("lookup")
+            .is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn list_and_prefix_resolution() {
+        let store = temp_store("list");
+        let cell = base_cell();
+        let key = store
+            .insert_cell("camp", 7, 0, &cell, 100_000, 10, &filled_state(10))
+            .expect("insert");
+        let entries = store.list().expect("list");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, key);
+        assert_eq!(entries[0].campaign, "camp");
+        assert_eq!(entries[0].trials, 10);
+        assert_eq!(entries[0].cell, "NaiveEpidemic/uniform");
+        assert_eq!(store.resolve(&key[..8]).expect("prefix"), key);
+        assert!(store.resolve("zzzz").is_err(), "no match is an error");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Satellite requirement: gc never removes an entry the current
+    /// catalog references, and does remove entries it cannot regenerate.
+    #[test]
+    fn gc_keeps_catalog_entries_and_drops_orphans() {
+        let store = temp_store("gc");
+        // A live entry: a real catalog scenario, hashed from its current
+        // cell spec.
+        let scenario = &registry()[0];
+        let spec = (scenario.build)();
+        let cell = &spec.cells[0];
+        let live = store
+            .insert_cell(&spec.name, 7, 0, cell, cell.max_slots, 5, &filled_state(5))
+            .expect("insert live");
+        // A dead entry: a campaign name no catalog scenario has.
+        let dead = store
+            .insert_cell(
+                "no-such-scenario",
+                7,
+                0,
+                &base_cell(),
+                100_000,
+                5,
+                &filled_state(5),
+            )
+            .expect("insert dead");
+        let (kept, removed) = store.gc().expect("gc");
+        assert_eq!(kept, vec![live.clone()]);
+        assert_eq!(removed, vec![dead]);
+        assert!(
+            store.load(&live).expect("load").is_some(),
+            "live entry intact"
+        );
+        // gc is idempotent.
+        let (kept2, removed2) = store.gc().expect("gc again");
+        assert_eq!(kept2, vec![live]);
+        assert!(removed2.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_fail_with_file_context() {
+        let store = temp_store("corrupt");
+        let cell = base_cell();
+        let key = store
+            .insert_cell("camp", 7, 2, &cell, 100_000, 5, &filled_state(5))
+            .expect("insert");
+        let path = store.path_for(&key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"trials\": 5", "\"trials\": 6")).unwrap();
+        let err = store
+            .lookup_cell("camp", 7, 2, &cell, 100_000, 5)
+            .expect_err("tamper detected");
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with(&path.display().to_string()),
+            "{rendered}"
+        );
+        assert!(rendered.contains("checksum mismatch"), "{rendered}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

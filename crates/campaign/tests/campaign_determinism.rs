@@ -11,8 +11,7 @@ use rcb_campaign::{
     diff, find, jsonin, registry, run_campaign, run_campaign_traced, CampaignConfig, CampaignSpec,
     CellSpec, DEFAULT_IGNORES,
 };
-use rcb_harness::{run_trial, AdversaryKind, ProtocolKind, TrialSpec};
-use rcb_sim::derive_seed;
+use rcb_harness::{cell_trial_seed, run_trial, AdversaryKind, ProtocolKind, TrialSpec};
 
 fn small_spec() -> CampaignSpec {
     CampaignSpec {
@@ -179,12 +178,11 @@ fn streaming_aggregation_matches_exact_batch() {
         // Re-run the exact trials the engine derives for this cell.
         let results: Vec<_> = (0..trials)
             .map(|t| {
-                let g = ci as u64 * trials + t;
                 run_trial(
                     &TrialSpec::new(
                         cell_spec.protocol.clone(),
                         cell_spec.adversary.clone(),
-                        derive_seed(seed, g),
+                        cell_trial_seed(seed, ci as u64, t),
                     )
                     .with_max_slots(cell_spec.max_slots),
                 )

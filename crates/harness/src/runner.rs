@@ -508,6 +508,20 @@ pub fn run_trial_telemetry(
     (TrialResult::from_outcome(spec, &out), tel)
 }
 
+/// Master seed for replicate `replicate` of campaign cell `cell`: two-level
+/// positional derivation — a per-cell stream seed first, then the
+/// replicate's draw within that stream.
+///
+/// The two levels matter for the resumable campaign service: a cell's seed
+/// stream depends only on `(campaign_seed, cell)`, **not** on how many
+/// trials the campaign runs per cell. Raising `--trials` therefore extends
+/// every cell's stream in place, so a checkpointed cell can run just the
+/// missing replicates and a content-addressed store entry stays a strict
+/// prefix of any larger run over the same cell.
+pub fn cell_trial_seed(campaign_seed: u64, cell: u64, replicate: u64) -> u64 {
+    derive_seed(derive_seed(campaign_seed, cell), replicate)
+}
+
 /// Resolve a requested worker count: 0 means "use the `RCB_THREADS`
 /// environment variable if set, else one per available core". Lets CLI
 /// tools (e.g. `repro --threads`) control parallelism without plumbing a

@@ -2,7 +2,7 @@
 //! lockstep over structure-of-arrays state.
 //!
 //! A campaign cell runs the *same* protocol/adversary configuration across
-//! many seeds. The scalar [`Simulation`](crate::Simulation) pays the full
+//! many seeds. The scalar [`Simulation`] pays the full
 //! per-slot dispatch — segment lookups, profile checks, observer hooks,
 //! schedule guards — once per trial per slot. [`BatchSimulation`] amortizes
 //! that: one *lane* per trial (up to [`MAX_BATCH_LANES`]), all lanes driven

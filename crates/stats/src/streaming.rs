@@ -97,6 +97,27 @@ impl StreamingMoments {
     pub fn max(&self) -> Option<f64> {
         (self.n > 0).then_some(self.max)
     }
+
+    /// The raw accumulator state `(n, mean, m2, min, max)`, for exact
+    /// (bit-preserving) serialization. `min`/`max` are the sentinel
+    /// infinities before the first push — round-trip them as bit patterns,
+    /// not as JSON numbers.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`raw_parts`](Self::raw_parts) output.
+    /// The inverse is exact: feeding back unmodified parts yields an
+    /// accumulator that continues the stream bit-identically.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// A fixed-size quantile sketch for non-negative values, in the DDSketch
@@ -231,6 +252,49 @@ impl QuantileSketch {
     pub fn live_buckets(&self) -> usize {
         self.buckets.len()
     }
+
+    /// Count of exact zeros ingested (they live outside the log buckets).
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// The live `(bucket index, count)` pairs in ascending index order —
+    /// together with [`zeros`](Self::zeros) and [`count`](Self::count),
+    /// the sketch's complete state for exact serialization.
+    pub fn bucket_entries(&self) -> Vec<(i32, u64)> {
+        self.buckets.iter().map(|(&i, &c)| (i, c)).collect()
+    }
+
+    /// Rebuild a **default-accuracy** sketch ([`new`](Self::new)) from
+    /// saved state. The inverse of
+    /// [`bucket_entries`](Self::bucket_entries)/[`zeros`](Self::zeros)/
+    /// [`count`](Self::count): restoring and then continuing the stream is
+    /// bit-identical to never having paused, because all bucket arithmetic
+    /// is on integers.
+    ///
+    /// # Panics
+    /// Panics if `count` is less than the restored observations
+    /// (`zeros + Σ bucket counts`) or the bucket list exceeds the default
+    /// bound.
+    pub fn from_saved(zeros: u64, count: u64, buckets: &[(i32, u64)]) -> Self {
+        let mut s = Self::new();
+        s.zeros = zeros;
+        s.count = count;
+        let mut restored = zeros;
+        for &(idx, c) in buckets {
+            restored += c;
+            *s.buckets.entry(idx).or_insert(0) += c;
+        }
+        assert!(
+            restored == count,
+            "sketch state inconsistent: {restored} restored observations vs count {count}"
+        );
+        assert!(
+            s.buckets.len() <= s.max_buckets,
+            "sketch state has more buckets than the default bound"
+        );
+        s
+    }
 }
 
 impl Default for QuantileSketch {
@@ -363,6 +427,66 @@ mod tests {
         let top = (1.1f64).powi(299);
         let est = s.quantile(1.0).unwrap();
         assert!((est - top).abs() / top <= 0.0101);
+    }
+
+    #[test]
+    fn moments_raw_parts_round_trip_continues_bit_identically() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 1.37) % 43.0).collect();
+        let mut whole = StreamingMoments::new();
+        let mut paused = StreamingMoments::new();
+        for &x in &xs[..97] {
+            whole.push(x);
+            paused.push(x);
+        }
+        let (n, mean, m2, min, max) = paused.raw_parts();
+        let mut resumed = StreamingMoments::from_raw_parts(n, mean, m2, min, max);
+        for &x in &xs[97..] {
+            whole.push(x);
+            resumed.push(x);
+        }
+        assert_eq!(resumed.count(), whole.count());
+        assert_eq!(resumed.mean().to_bits(), whole.mean().to_bits());
+        assert_eq!(resumed.variance().to_bits(), whole.variance().to_bits());
+        assert_eq!(resumed.min(), whole.min());
+        assert_eq!(resumed.max(), whole.max());
+        // The empty accumulator round-trips its sentinel infinities too.
+        let (n, mean, m2, min, max) = StreamingMoments::new().raw_parts();
+        let empty = StreamingMoments::from_raw_parts(n, mean, m2, min, max);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn sketch_saved_state_round_trip_continues_bit_identically() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 31) % 211) as f64).collect();
+        let mut whole = QuantileSketch::new();
+        let mut paused = QuantileSketch::new();
+        for &x in &xs[..313] {
+            whole.push(x);
+            paused.push(x);
+        }
+        let mut resumed =
+            QuantileSketch::from_saved(paused.zeros(), paused.count(), &paused.bucket_entries());
+        for &x in &xs[313..] {
+            whole.push(x);
+            resumed.push(x);
+        }
+        assert_eq!(resumed.count(), whole.count());
+        assert_eq!(resumed.zeros(), whole.zeros());
+        assert_eq!(resumed.bucket_entries(), whole.bucket_entries());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                resumed.quantile(q).map(f64::to_bits),
+                whole.quantile(q).map(f64::to_bits),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn sketch_from_saved_rejects_inconsistent_counts() {
+        QuantileSketch::from_saved(2, 10, &[(3, 1)]);
     }
 
     #[test]
