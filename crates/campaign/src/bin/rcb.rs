@@ -13,7 +13,14 @@
 //!           [--max-slots M] [--no-reference] [--batch-width W]
 //!           [--min-wall S] [--out FILE] [--quiet]
 //! rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]
-//! rcb store list|show <key>|gc [--store DIR]
+//! rcb shard plan <scenario> --state-dir DIR [--trials N] [--seed S]
+//!               [--batch-width W] [--max-slots M] [--checkpoint-every K]
+//!               [--stale-after-ms MS] [--store DIR]
+//! rcb shard work --state-dir DIR [--worker-id ID] [--threads K]
+//!               [--max-trials-then-exit N] [--poll-ms MS]
+//! rcb shard status --state-dir DIR
+//! rcb shard merge --state-dir DIR [--out FILE]
+//! rcb store list|show <key>|trend <key> <leaf>|gc [--store DIR]
 //! rcb diff <a.json|store:KEY> <b.json|store:KEY> [--threshold X]
 //!          [--ignore KEY ...] [--no-default-ignore] [--store DIR]
 //! ```
@@ -42,6 +49,14 @@
 //! uses to exercise resume. Corrupt or mismatched state fails with
 //! `file: message` context and exit 2.
 //!
+//! `shard` scales one campaign across **many worker processes** with no
+//! network: `plan` pins the campaign's identity in a shared state
+//! directory, any number of `work` processes claim cells via atomic lease
+//! files (stealing stale leases from dead workers), `status` shows the
+//! fleet, and `merge` folds the per-cell checkpoints into an artifact
+//! **byte-identical** to a single-process `rcb run` — at any worker
+//! count, kill pattern, or batch width. See `docs/CAMPAIGN_SERVICE.md`.
+//!
 //! `bench` measures single-threaded engine throughput (slots/sec, wall
 //! time, fast-forward speedup) per catalog cell; `profile` breaks one
 //! cell's time down by engine phase and telemetry counter; `store`
@@ -53,9 +68,11 @@
 //! given.
 
 use rcb_campaign::{
-    describe_campaign, diff, find, jsonin, load_spec, profile_cell, registry, run_bench,
-    run_campaign_service, run_campaign_traced, BenchConfig, CampaignConfig, CampaignSpec,
-    ProfileConfig, ServiceConfig, ServiceRun, Store, DEFAULT_IGNORES, DEFAULT_STORE_DIR,
+    describe_campaign, diff, find, jsonin, load_plan, load_spec, profile_cell, registry, run_bench,
+    run_campaign_service, run_campaign_traced, shard_merge, shard_status, shard_work,
+    validate_service_flags, write_plan, BenchConfig, CampaignConfig, CampaignSpec, CellState,
+    PlanOptions, ProfileConfig, ServiceConfig, ServiceRun, Store, WorkerOptions, WorkerOutcome,
+    DEFAULT_IGNORES, DEFAULT_STORE_DIR,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -72,7 +89,13 @@ fn usage() -> ! {
          rcb bench [scenario ...] [--quick] [--trials N] [--seed S] [--max-slots M] \
          [--no-reference] [--batch-width W] [--min-wall S] [--out FILE] [--quiet]\n  \
          rcb profile <scenario> <cell> [--trials N] [--seed S] [--max-slots M]\n  \
-         rcb store list|show <key>|gc [--store DIR]\n  \
+         rcb shard plan <scenario> --state-dir DIR [--trials N] [--seed S] [--batch-width W] \
+         [--max-slots M] [--checkpoint-every K] [--stale-after-ms MS] [--store DIR]\n  \
+         rcb shard work --state-dir DIR [--worker-id ID] [--threads K] \
+         [--max-trials-then-exit N] [--poll-ms MS]\n  \
+         rcb shard status --state-dir DIR\n  \
+         rcb shard merge --state-dir DIR [--out FILE]\n  \
+         rcb store list|show <key>|trend <key> <leaf>|gc [--store DIR]\n  \
          rcb diff <a.json|store:KEY> <b.json|store:KEY> [--threshold X] \
          [--ignore KEY ...] [--no-default-ignore] [--store DIR]\n\
          \nscenarios:\n{}",
@@ -110,6 +133,7 @@ fn main() {
             (Some(name), Some(cell)) => cmd_profile(name, cell, &args[3..]),
             _ => usage(),
         },
+        Some("shard") => cmd_shard(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("diff") => match (args.get(1), args.get(2)) {
             (Some(a), Some(b)) => cmd_diff(a, b, &args[3..]),
@@ -142,6 +166,7 @@ fn cmd_run(rest: &[String]) {
         ..CampaignConfig::default()
     };
     let mut svc = ServiceConfig::default();
+    let mut explicit_checkpoint_every: Option<u64> = None;
     let mut name: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -163,7 +188,7 @@ fn cmd_run(rest: &[String]) {
                 svc.state_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
             }
             "--resume" => svc.resume = true,
-            "--checkpoint-every" => svc.checkpoint_every = parse(arg, it.next()),
+            "--checkpoint-every" => explicit_checkpoint_every = Some(parse(arg, it.next())),
             "--store" => {
                 svc.store_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
             }
@@ -176,16 +201,15 @@ fn cmd_run(rest: &[String]) {
         }
     }
     if cfg.trials_per_cell == 0 {
-        eprintln!("--trials must be at least 1");
-        usage()
+        eprintln!("--trials: must be at least 1");
+        std::process::exit(2)
     }
-    if svc.resume && svc.state_dir.is_none() {
-        eprintln!("--resume requires --state-dir");
-        usage()
-    }
-    if svc.kill_after_trials == Some(0) {
-        eprintln!("--max-trials-then-exit must be at least 1");
-        usage()
+    svc.checkpoint_every = explicit_checkpoint_every.unwrap_or(svc.checkpoint_every);
+    // Flag-combination misuse fails with `--flag: why` context at exit 2
+    // (never a panic, never a silently-substituted default).
+    if let Err(e) = validate_service_flags(&svc, explicit_checkpoint_every) {
+        eprintln!("{e}");
+        std::process::exit(2)
     }
     let service_active = svc.state_dir.is_some()
         || svc.store_dir.is_some()
@@ -428,21 +452,207 @@ fn cmd_profile(name: &str, cell: &str, rest: &[String]) {
     }
 }
 
-fn cmd_store(rest: &[String]) {
+/// Rebuild the campaign spec a shard plan names. Workers rebuild specs
+/// from the scenario catalog — the plan's per-cell identity keys then
+/// verify the rebuild matches what was planned.
+fn shard_spec(plan: &rcb_campaign::ShardPlan) -> CampaignSpec {
+    match find(&plan.campaign) {
+        Some(s) => (s.build)(),
+        None => {
+            eprintln!(
+                "shard plan names campaign `{}`, which is not in the scenario catalog; shard \
+                 workers rebuild specs from the catalog, so ad-hoc --spec campaigns cannot be \
+                 sharded",
+                plan.campaign
+            );
+            std::process::exit(2)
+        }
+    }
+}
+
+fn cmd_shard(rest: &[String]) {
     let Some(sub) = rest.first() else { usage() };
-    let mut dir = DEFAULT_STORE_DIR.to_string();
-    let mut operand: Option<String> = None;
+    let fail = |e: rcb_campaign::ServiceError| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2)
+    };
+    let mut state_dir: Option<PathBuf> = None;
+    let mut name: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut cfg = CampaignConfig::default();
+    let mut plan_opts = PlanOptions::default();
+    let mut worker_opts = WorkerOptions::default();
     let mut it = rest[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--store" => dir = it.next().cloned().unwrap_or_else(|| usage()),
-            bare if !bare.starts_with('-') && operand.is_none() => operand = Some(bare.to_string()),
+            "--state-dir" => {
+                state_dir = Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
+            }
+            "--trials" => cfg.trials_per_cell = parse(arg, it.next()),
+            "--seed" => cfg.seed = parse(arg, it.next()),
+            "--batch-width" => cfg.batch_width = parse(arg, it.next()),
+            "--max-slots" => cfg.max_slots = Some(parse(arg, it.next())),
+            "--checkpoint-every" => plan_opts.checkpoint_every = parse(arg, it.next()),
+            "--stale-after-ms" => plan_opts.stale_after_ms = parse(arg, it.next()),
+            "--store" => {
+                plan_opts.store_dir =
+                    Some(PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())))
+            }
+            "--worker-id" => worker_opts.worker_id = it.next().cloned().unwrap_or_else(|| usage()),
+            "--threads" => worker_opts.threads = parse(arg, it.next()),
+            "--max-trials-then-exit" => worker_opts.max_trials = Some(parse(arg, it.next())),
+            "--poll-ms" => worker_opts.poll_ms = parse(arg, it.next()),
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            bare if !bare.starts_with('-') && name.is_none() => name = Some(bare.to_string()),
             _ => {
                 eprintln!("unknown flag: {arg}");
                 usage()
             }
         }
     }
+    let Some(state_dir) = state_dir else {
+        eprintln!("--state-dir: required (the shard plan, leases, and checkpoints live there)");
+        std::process::exit(2)
+    };
+
+    match sub.as_str() {
+        "plan" => {
+            let Some(name) = name else {
+                eprintln!("shard plan takes a scenario name (see `rcb list`)");
+                usage()
+            };
+            let Some(s) = find(&name) else {
+                eprintln!("unknown scenario: {name}");
+                usage()
+            };
+            let spec = (s.build)();
+            let plan = write_plan(&spec, &cfg, &state_dir, &plan_opts).unwrap_or_else(|e| fail(e));
+            println!(
+                "plan {} in {}: campaign {} ({} cells x {} trials), seed {}, batch width {}, \
+                 checkpoint every {}, stale after {} ms{}",
+                plan.plan_id,
+                state_dir.display(),
+                plan.campaign,
+                plan.cells(),
+                plan.trials_per_cell,
+                plan.seed,
+                plan.batch_width,
+                plan.checkpoint_every,
+                plan.stale_after_ms,
+                plan.store_dir
+                    .as_ref()
+                    .map(|d| format!(", store {}", d.display()))
+                    .unwrap_or_default(),
+            );
+            println!(
+                "start workers with: rcb shard work --state-dir {}",
+                state_dir.display()
+            );
+        }
+        "work" => {
+            let plan = load_plan(&state_dir).unwrap_or_else(|e| fail(e));
+            let spec = shard_spec(&plan);
+            eprintln!(
+                "[rcb shard] worker {} on plan {} ({} cells x {} trials)",
+                worker_opts.worker_id,
+                plan.plan_id,
+                plan.cells(),
+                plan.trials_per_cell
+            );
+            match shard_work(&spec, &state_dir, &worker_opts).unwrap_or_else(|e| fail(e)) {
+                WorkerOutcome::Finished {
+                    cells_completed,
+                    cells_stolen,
+                    trials_simulated,
+                    store_hits,
+                } => println!(
+                    "[rcb shard] plan complete: this worker finished {cells_completed} cell(s) \
+                     ({cells_stolen} stolen, {store_hits} store hit(s)), simulated \
+                     {trials_simulated} trial(s); merge with: rcb shard merge --state-dir {}",
+                    state_dir.display()
+                ),
+                WorkerOutcome::Killed { trials_simulated } => eprintln!(
+                    "[rcb shard] worker exited after {trials_simulated} simulated trial(s) \
+                     (--max-trials-then-exit); its lease will go stale and be stolen"
+                ),
+            }
+        }
+        "status" => {
+            let plan = load_plan(&state_dir).unwrap_or_else(|e| fail(e));
+            let rows = shard_status(&state_dir, &plan).unwrap_or_else(|e| fail(e));
+            let done = rows.iter().filter(|r| r.state == CellState::Done).count();
+            println!(
+                "plan {}: campaign {}, {done}/{} cells done\n",
+                plan.plan_id,
+                plan.campaign,
+                rows.len()
+            );
+            println!(
+                "  {:>4} {:<10} {:>12} {:<12} beat age",
+                "cell", "state", "trials", "owner"
+            );
+            for r in &rows {
+                let state = match r.state {
+                    CellState::Done => "done",
+                    CellState::Claimed => "claimed",
+                    CellState::Stealable => "stealable",
+                    CellState::Available => "available",
+                };
+                println!(
+                    "  {:>4} {:<10} {:>5}/{:<6} {:<12} {}",
+                    r.cell,
+                    state,
+                    r.watermark,
+                    plan.trials_per_cell,
+                    r.owner.as_deref().unwrap_or("-"),
+                    r.beat_age_ms
+                        .map(|ms| format!("{ms} ms"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+        }
+        "merge" => {
+            let plan = load_plan(&state_dir).unwrap_or_else(|e| fail(e));
+            let spec = shard_spec(&plan);
+            let merged = shard_merge(&spec, &state_dir).unwrap_or_else(|e| fail(e));
+            println!("{}", merged.report.to_table());
+            if merged.swept_files > 0 {
+                eprintln!(
+                    "[rcb shard] swept {} leftover lease/tmp file(s)",
+                    merged.swept_files
+                );
+            }
+            if let Some(path) = out_path.as_ref() {
+                std::fs::write(path, merged.report.to_json().as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2)
+                });
+                println!("artifact written to {path}");
+            }
+        }
+        _ => {
+            eprintln!("unknown shard subcommand: {sub}");
+            usage()
+        }
+    }
+}
+
+fn cmd_store(rest: &[String]) {
+    let Some(sub) = rest.first() else { usage() };
+    let mut dir = DEFAULT_STORE_DIR.to_string();
+    let mut operands: Vec<String> = Vec::new();
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => dir = it.next().cloned().unwrap_or_else(|| usage()),
+            bare if !bare.starts_with('-') && operands.len() < 2 => operands.push(bare.to_string()),
+            _ => {
+                eprintln!("unknown flag: {arg}");
+                usage()
+            }
+        }
+    }
+    let operand = operands.first().cloned();
     let fail = |e: rcb_campaign::ServiceError| -> ! {
         eprintln!("{e}");
         std::process::exit(2)
@@ -474,6 +684,31 @@ fn cmd_store(rest: &[String]) {
             };
             let text = store.render_cell(&prefix).unwrap_or_else(|e| fail(e));
             println!("{text}");
+        }
+        "trend" => {
+            let (Some(prefix), Some(leaf)) = (operands.first(), operands.get(1)) else {
+                eprintln!(
+                    "store trend takes a key (or unique key prefix) and a report leaf path, \
+                     e.g. `rcb store trend 3f2a metrics.completion_slots.p50`"
+                );
+                usage()
+            };
+            let rows = store.trend(prefix, leaf).unwrap_or_else(|e| fail(e));
+            println!(
+                "store {dir}: {} build(s) of the cell behind {prefix}, leaf {leaf}\n",
+                rows.len()
+            );
+            println!("  {:<20} {:<10} value", "code_version", "key");
+            for row in &rows {
+                let value = match &row.value {
+                    Some(rcb_campaign::Json::Int(i)) => i.to_string(),
+                    Some(rcb_campaign::Json::Float(x)) => format!("{x:.6}"),
+                    Some(rcb_campaign::Json::Str(s)) => s.clone(),
+                    Some(other) => other.to_compact(),
+                    None => "-".to_string(),
+                };
+                println!("  {:<20} {:<10} {value}", row.code_version, &row.key[..8]);
+            }
         }
         "gc" => {
             let (kept, removed) = store.gc().unwrap_or_else(|e| fail(e));

@@ -237,7 +237,7 @@ pub(crate) fn state_to_json(acc: &CellAccumulator) -> Json {
 
 // -- parsing ----------------------------------------------------------------
 
-fn get<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
+pub(crate) fn get<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
     match v {
         Json::Object(fields) => fields
             .iter()
@@ -248,7 +248,7 @@ fn get<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
     }
 }
 
-fn as_u64(v: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn as_u64(v: &Json, key: &str) -> Result<u64, String> {
     match get(v, key)? {
         Json::Int(i) if *i >= 0 && *i <= u64::MAX as i128 => Ok(*i as u64),
         other => Err(format!(
@@ -258,7 +258,7 @@ fn as_u64(v: &Json, key: &str) -> Result<u64, String> {
     }
 }
 
-fn as_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+pub(crate) fn as_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
     match get(v, key)? {
         Json::Str(s) => Ok(s),
         other => Err(format!(
@@ -272,7 +272,7 @@ fn as_f64_bits(v: &Json, key: &str) -> Result<f64, String> {
     Ok(f64::from_bits(as_u64(v, key)?))
 }
 
-fn as_arr<'j>(v: &'j Json, key: &str) -> Result<&'j [Json], String> {
+pub(crate) fn as_arr<'j>(v: &'j Json, key: &str) -> Result<&'j [Json], String> {
     match get(v, key)? {
         Json::Array(items) => Ok(items),
         other => Err(format!(

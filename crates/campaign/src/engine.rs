@@ -446,8 +446,179 @@ impl Progress {
     }
 }
 
+/// The `(start, end)` global-trial blocks still to simulate: up to
+/// `batch_width` remaining same-cell trials per block (size 1 at the
+/// default width — the scalar scheduling). Blocks never cross a cell
+/// boundary, so a block maps to one batched engine call; a resumed
+/// cell's first block starts at its watermark.
+pub(crate) fn trial_blocks(
+    spec: &CampaignSpec,
+    cfg: &CampaignConfig,
+    watermarks: &[u64],
+) -> Vec<(u64, u64)> {
+    let n = cfg.trials_per_cell;
+    let width = cfg.batch_width.clamp(1, 64);
+    spec.cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| {
+            let base = c as u64 * n;
+            (watermarks[c]..n)
+                .step_by(width as usize)
+                .map(move |t| (base + t, base + (t + width).min(n)))
+        })
+        .collect()
+}
+
+/// What the per-ingest callback of [`run_trial_blocks`] tells the
+/// aggregator to do next.
+pub(crate) enum IngestControl {
+    /// Keep ingesting.
+    Continue,
+    /// Stop cleanly: drain nothing further, unwind the worker threads, and
+    /// report `stopped = true` (the kill hook and the shard worker's
+    /// lost-lease abandon path).
+    Stop,
+}
+
+/// Per-ingest callback of [`run_trial_blocks`]:
+/// `(cell, watermark, acc, simulated)` after every ingested trial.
+pub(crate) type OnIngest<'a> =
+    dyn FnMut(usize, u64, &CellAccumulator, u64) -> Result<IngestControl, ServiceError> + 'a;
+
+/// Outcome of [`run_trial_blocks`].
+pub(crate) struct BlocksOutcome {
+    /// Trials simulated *and ingested* by this call.
+    pub(crate) simulated: u64,
+    /// Whether the callback stopped the run before the block list drained.
+    pub(crate) stopped: bool,
+}
+
+/// The campaign engine's inner loop, shared by [`run_campaign_service`]
+/// and the shard worker ([`crate::shard`]): simulate every `(start, end)`
+/// global-trial block across worker threads and ingest the metrics into
+/// `accs`/`watermarks` **strictly in ascending global-index order** (the
+/// positional-aggregation determinism mechanism — see the module docs).
+///
+/// `on_ingest(cell, watermark, acc, simulated)` runs after every ingested
+/// trial, in ingest order, on the aggregator thread. It is where callers
+/// hang checkpoint boundaries, kill hooks, lease heartbeats, and fencing;
+/// returning [`IngestControl::Stop`] or an error unwinds the worker
+/// threads promptly (their sends fail once the receiver drops).
+///
+/// Blocks must not cross cell boundaries and must be listed in ascending
+/// start order; `watermarks[c]` is set to `replicate + 1` as each trial of
+/// cell `c` lands.
+pub(crate) fn run_trial_blocks(
+    spec: &CampaignSpec,
+    cfg: &CampaignConfig,
+    blocks: &[(u64, u64)],
+    accs: &mut [CellAccumulator],
+    watermarks: &mut [u64],
+    on_ingest: &mut OnIngest<'_>,
+) -> Result<BlocksOutcome, ServiceError> {
+    let n = cfg.trials_per_cell;
+    // The exact ingest order: ascending global index over scheduled work.
+    let order: Vec<u64> = blocks.iter().flat_map(|&(s, e)| s..e).collect();
+    let scheduled = order.len() as u64;
+
+    let threads = rcb_harness::resolve_threads(cfg.threads)
+        .min(scheduled.max(1) as usize)
+        .max(1);
+
+    let next = AtomicU64::new(0);
+    // Bounded channel: workers stall rather than flood the aggregator, so
+    // the reorder buffer stays small even with a straggler trial.
+    let (tx, rx) = mpsc::sync_channel::<Pending>(1024);
+
+    let mut simulated = 0u64;
+    let mut stopped = false;
+    let mut cb_error: Option<ServiceError> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let bi = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if bi >= blocks.len() {
+                    break;
+                }
+                let (start, end) = blocks[bi];
+                let ts = trial_spec(spec, cfg, start);
+                if end - start > 1 && batch_supported(&ts) {
+                    let seeds: Vec<u64> = (start..end)
+                        .map(|g| cell_trial_seed(cfg.seed, g / n, g % n))
+                        .collect();
+                    let engine = EngineConfig {
+                        time_phases: cfg.telemetry,
+                        ..EngineConfig::default()
+                    };
+                    for (i, (r, tel)) in
+                        run_trial_batch(&ts, &seeds, engine).into_iter().enumerate()
+                    {
+                        let metrics = TrialMetrics::new(&r, tel);
+                        if tx.send(Pending(start + i as u64, metrics)).is_err() {
+                            return; // aggregator gone; shutting down
+                        }
+                    }
+                } else {
+                    for g in start..end {
+                        let ts = trial_spec(spec, cfg, g);
+                        let (r, tel) = run_trial_telemetry(&ts, trial_options(cfg));
+                        let metrics = TrialMetrics::new(&r, tel);
+                        if tx.send(Pending(g, metrics)).is_err() {
+                            return; // aggregator gone; shutting down
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Aggregate strictly in scheduled (ascending global-index) order.
+        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut pos: usize = 0;
+        let mut progress = Progress::new(cfg.progress, scheduled.max(1));
+        'ingest: for pending in rx.iter() {
+            heap.push(pending);
+            while pos < order.len() && heap.peek().is_some_and(|p| p.0 == order[pos]) {
+                let Pending(g, m) = heap.pop().expect("peeked");
+                let c = (g / n) as usize;
+                accs[c].push(&m);
+                watermarks[c] = g % n + 1;
+                simulated += 1;
+                pos += 1;
+                progress.tick(spec, cfg, g, &m, pos as u64, scheduled);
+                match on_ingest(c, watermarks[c], &accs[c], simulated) {
+                    Ok(IngestControl::Continue) => {}
+                    Ok(IngestControl::Stop) => {
+                        stopped = true;
+                        break 'ingest;
+                    }
+                    Err(e) => {
+                        cb_error = Some(e);
+                        break 'ingest;
+                    }
+                }
+            }
+        }
+        // Dropping the receiver makes every blocked worker's send fail, so
+        // the scope joins promptly on the stop/error paths.
+        drop(rx);
+        if !stopped && cb_error.is_none() {
+            assert_eq!(pos, order.len(), "aggregator lost trials");
+        }
+    });
+
+    if let Some(e) = cb_error {
+        return Err(e);
+    }
+    Ok(BlocksOutcome { simulated, stopped })
+}
+
 /// Assemble the final artifact from the filled per-cell accumulators.
-fn assemble_report(
+pub(crate) fn assemble_report(
     spec: &CampaignSpec,
     cfg: &CampaignConfig,
     total: u64,
@@ -494,6 +665,51 @@ pub struct ServiceConfig {
     /// assembling an artifact — a deterministic stand-in for `kill -9` that
     /// leaves exactly the on-disk state a real kill would.
     pub kill_after_trials: Option<u64>,
+}
+
+/// Validate a [`ServiceConfig`] assembled from CLI flags before any work
+/// happens, so flag misuse fails fast with `flag: message` context instead
+/// of panicking or silently defaulting.
+///
+/// `explicit_checkpoint_every` is the value of `--checkpoint-every` **iff
+/// the user typed the flag**: an explicit `0` is rejected (it would silently
+/// mean "completion-only", almost certainly not what was asked for) and an
+/// explicit value without `--state-dir` is rejected (it would silently be
+/// ignored). The programmatic default — `checkpoint_every: 0`, no flag —
+/// stays legal.
+///
+/// # Errors
+/// Returns a [`ServiceError`] whose message begins with the offending flag.
+pub fn validate_service_flags(
+    svc: &ServiceConfig,
+    explicit_checkpoint_every: Option<u64>,
+) -> Result<(), ServiceError> {
+    if svc.resume && svc.state_dir.is_none() {
+        return Err(ServiceError::msg(
+            "--resume: requires --state-dir (there is no checkpoint directory to resume from)",
+        ));
+    }
+    if let Some(every) = explicit_checkpoint_every {
+        if every == 0 {
+            return Err(ServiceError::msg(
+                "--checkpoint-every: must be at least 1; omit the flag to checkpoint only at \
+                 cell completion",
+            ));
+        }
+        if svc.state_dir.is_none() {
+            return Err(ServiceError::msg(
+                "--checkpoint-every: requires --state-dir (checkpoints need a directory to \
+                 land in)",
+            ));
+        }
+    }
+    if svc.kill_after_trials == Some(0) {
+        return Err(ServiceError::msg(
+            "--max-trials-then-exit: must be at least 1 (the hook fires after a trial is \
+             ingested, so 0 can never trigger)",
+        ));
+    }
+    Ok(())
 }
 
 /// Outcome of [`run_campaign_service`].
@@ -613,135 +829,46 @@ pub fn run_campaign_service(
     // unchanged). Blocks never cross a cell boundary, so a block maps to
     // one batched engine call; a resumed cell's first block starts at its
     // watermark.
-    let width = cfg.batch_width.clamp(1, 64);
-    let blocks: Vec<(u64, u64)> = spec
-        .cells
-        .iter()
-        .enumerate()
-        .flat_map(|(c, _)| {
-            let base = c as u64 * n;
-            (watermarks[c]..n)
-                .step_by(width as usize)
-                .map(move |t| (base + t, base + (t + width).min(n)))
-        })
-        .collect();
-    // The exact ingest order: ascending global index over scheduled work.
-    let order: Vec<u64> = blocks.iter().flat_map(|&(s, e)| s..e).collect();
-    let scheduled = order.len() as u64;
+    let blocks = trial_blocks(spec, cfg, &watermarks);
 
-    let threads = rcb_harness::resolve_threads(cfg.threads)
-        .min(scheduled.max(1) as usize)
-        .max(1);
-
-    let next = AtomicU64::new(0);
-    // Bounded channel: workers stall rather than flood the aggregator, so
-    // the reorder buffer stays small even with a straggler trial.
-    let (tx, rx) = mpsc::sync_channel::<Pending>(1024);
-
-    let mut simulated = 0u64;
-    let mut killed = false;
-    let mut io_error: Option<ServiceError> = None;
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let blocks = &blocks;
-            scope.spawn(move || loop {
-                let bi = next.fetch_add(1, Ordering::Relaxed) as usize;
-                if bi >= blocks.len() {
-                    break;
-                }
-                let (start, end) = blocks[bi];
-                let ts = trial_spec(spec, cfg, start);
-                if end - start > 1 && batch_supported(&ts) {
-                    let seeds: Vec<u64> = (start..end)
-                        .map(|g| cell_trial_seed(cfg.seed, g / n, g % n))
-                        .collect();
-                    let engine = EngineConfig {
-                        time_phases: cfg.telemetry,
-                        ..EngineConfig::default()
-                    };
-                    for (i, (r, tel)) in
-                        run_trial_batch(&ts, &seeds, engine).into_iter().enumerate()
-                    {
-                        let metrics = TrialMetrics::new(&r, tel);
-                        if tx.send(Pending(start + i as u64, metrics)).is_err() {
-                            return; // aggregator gone; shutting down
-                        }
-                    }
-                } else {
-                    for g in start..end {
-                        let ts = trial_spec(spec, cfg, g);
-                        let (r, tel) = run_trial_telemetry(&ts, trial_options(cfg));
-                        let metrics = TrialMetrics::new(&r, tel);
-                        if tx.send(Pending(g, metrics)).is_err() {
-                            return; // aggregator gone; shutting down
-                        }
-                    }
-                }
-            });
-        }
-        drop(tx);
-
-        // Aggregate strictly in scheduled (ascending global-index) order.
-        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
-        let mut pos: usize = 0;
-        let mut progress = Progress::new(cfg.progress, scheduled.max(1));
-        'ingest: for pending in rx.iter() {
-            heap.push(pending);
-            while pos < order.len() && heap.peek().is_some_and(|p| p.0 == order[pos]) {
-                let Pending(g, m) = heap.pop().expect("peeked");
-                let c = (g / n) as usize;
-                accs[c].push(&m);
-                watermarks[c] = g % n + 1;
-                simulated += 1;
-                pos += 1;
-                progress.tick(spec, cfg, g, &m, pos as u64, scheduled);
-                // Boundary checkpoint: every `checkpoint_every` trials of
-                // the cell's absolute watermark, plus cell completion.
-                let w = watermarks[c];
-                let boundary =
-                    w == n || (svc.checkpoint_every > 0 && w.is_multiple_of(svc.checkpoint_every));
-                if boundary {
-                    if let Some(dir) = svc.state_dir.as_ref() {
-                        let cell = &spec.cells[c];
-                        let max_slots = cfg.max_slots.unwrap_or(cell.max_slots);
-                        let ckpt = CellCheckpoint {
-                            key: checkpoint_key(&spec.name, cfg.seed, c as u64, cell, max_slots),
-                            campaign: spec.name.clone(),
-                            cell_index: c as u64,
-                            seed: cfg.seed,
-                            trials_done: w,
-                            state: accs[c].clone(),
-                        };
-                        if let Err(e) = write_checkpoint(dir, &ckpt) {
-                            io_error = Some(e);
-                            break 'ingest;
-                        }
-                    }
-                }
-                // The kill hook fires *after* boundary persistence, exactly
-                // like a hard kill between two checkpoint writes: whatever
-                // was ingested past the last boundary is simply lost.
-                if svc.kill_after_trials.is_some_and(|k| simulated >= k) {
-                    killed = true;
-                    break 'ingest;
-                }
+    // Boundary checkpoint: every `checkpoint_every` trials of the cell's
+    // absolute watermark, plus cell completion. The kill hook fires
+    // *after* boundary persistence, exactly like a hard kill between two
+    // checkpoint writes: whatever was ingested past the last boundary is
+    // simply lost.
+    let mut on_ingest = |c: usize, w: u64, acc: &CellAccumulator, simulated: u64| {
+        let boundary =
+            w == n || (svc.checkpoint_every > 0 && w.is_multiple_of(svc.checkpoint_every));
+        if boundary {
+            if let Some(dir) = svc.state_dir.as_ref() {
+                let cell = &spec.cells[c];
+                let max_slots = cfg.max_slots.unwrap_or(cell.max_slots);
+                let ckpt = CellCheckpoint {
+                    key: checkpoint_key(&spec.name, cfg.seed, c as u64, cell, max_slots),
+                    campaign: spec.name.clone(),
+                    cell_index: c as u64,
+                    seed: cfg.seed,
+                    trials_done: w,
+                    state: acc.clone(),
+                };
+                write_checkpoint(dir, &ckpt)?;
             }
         }
-        // Dropping the receiver makes every blocked worker's send fail, so
-        // the scope joins promptly on the kill/error paths.
-        drop(rx);
-        if !killed && io_error.is_none() {
-            assert_eq!(pos, order.len(), "aggregator lost trials");
+        if svc.kill_after_trials.is_some_and(|k| simulated >= k) {
+            return Ok(IngestControl::Stop);
         }
-    });
-
-    if let Some(e) = io_error {
-        return Err(e);
-    }
-    if killed {
+        Ok(IngestControl::Continue)
+    };
+    let outcome = run_trial_blocks(
+        spec,
+        cfg,
+        &blocks,
+        &mut accs,
+        &mut watermarks,
+        &mut on_ingest,
+    )?;
+    let simulated = outcome.simulated;
+    if outcome.stopped {
         return Ok(ServiceRun::Killed {
             simulated_trials: simulated,
         });
@@ -863,6 +990,63 @@ mod tests {
                 .with_max_slots(100_000),
             ],
         }
+    }
+
+    #[test]
+    fn service_flag_misuse_is_rejected_with_flag_context() {
+        // --resume without --state-dir.
+        let svc = ServiceConfig {
+            resume: true,
+            ..Default::default()
+        };
+        let err = validate_service_flags(&svc, None).expect_err("resume without state dir");
+        assert!(
+            err.to_string().starts_with("--resume:"),
+            "missing flag context: {err}"
+        );
+
+        // Explicit --checkpoint-every 0.
+        let svc = ServiceConfig {
+            state_dir: Some(PathBuf::from("/tmp/x")),
+            ..Default::default()
+        };
+        let err = validate_service_flags(&svc, Some(0)).expect_err("checkpoint-every 0");
+        assert!(
+            err.to_string().starts_with("--checkpoint-every:"),
+            "missing flag context: {err}"
+        );
+
+        // Explicit --checkpoint-every without --state-dir would be silently
+        // ignored; that is an error too.
+        let err = validate_service_flags(&ServiceConfig::default(), Some(2))
+            .expect_err("checkpoint-every without state dir");
+        assert!(
+            err.to_string().starts_with("--checkpoint-every:"),
+            "missing flag context: {err}"
+        );
+
+        // --max-trials-then-exit 0 can never fire.
+        let svc = ServiceConfig {
+            kill_after_trials: Some(0),
+            ..Default::default()
+        };
+        let err = validate_service_flags(&svc, None).expect_err("kill after 0");
+        assert!(
+            err.to_string().starts_with("--max-trials-then-exit:"),
+            "missing flag context: {err}"
+        );
+
+        // The programmatic default (checkpoint_every 0, no explicit flag)
+        // stays legal, as does a well-formed service config.
+        validate_service_flags(&ServiceConfig::default(), None).expect("default config");
+        let svc = ServiceConfig {
+            state_dir: Some(PathBuf::from("/tmp/x")),
+            resume: true,
+            checkpoint_every: 2,
+            kill_after_trials: Some(5),
+            ..Default::default()
+        };
+        validate_service_flags(&svc, Some(2)).expect("well-formed config");
     }
 
     #[test]

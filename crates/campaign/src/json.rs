@@ -37,6 +37,33 @@ impl Json {
         Json::Array(items)
     }
 
+    /// Walk a dotted path into the value: segments are object keys,
+    /// optionally with one `[i]` index suffix (`metrics[2].mean`,
+    /// `cell.completion_slots.p50`). `None` when any segment is absent or
+    /// the shape does not match.
+    pub fn at_path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            let (key, index) = match seg.strip_suffix(']').and_then(|s| s.split_once('[')) {
+                Some((key, idx)) => (key, Some(idx.parse::<usize>().ok()?)),
+                None => (seg, None),
+            };
+            if !key.is_empty() {
+                let Json::Object(fields) = cur else {
+                    return None;
+                };
+                cur = fields.iter().find_map(|(k, v)| (k == key).then_some(v))?;
+            }
+            if let Some(i) = index {
+                let Json::Array(items) = cur else {
+                    return None;
+                };
+                cur = items.get(i)?;
+            }
+        }
+        Some(cur)
+    }
+
     /// Serialize compactly (no whitespace).
     pub fn to_compact(&self) -> String {
         let mut out = String::new();

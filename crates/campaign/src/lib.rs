@@ -67,6 +67,7 @@ pub mod jsonin;
 pub mod profile;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod specfile;
 pub mod store;
 pub mod tracefile;
@@ -77,8 +78,8 @@ pub use checkpoint::{
 };
 pub use diff::{diff, DiffKind, DiffOutput, DiffRow, DEFAULT_IGNORES};
 pub use engine::{
-    run_campaign, run_campaign_service, run_campaign_traced, CampaignConfig, ServiceConfig,
-    ServiceRun,
+    run_campaign, run_campaign_service, run_campaign_traced, validate_service_flags,
+    CampaignConfig, ServiceConfig, ServiceRun,
 };
 pub use json::Json;
 pub use profile::{profile_cell, ProfileConfig};
@@ -87,8 +88,13 @@ pub use report::{
     ScheduleReport, SpanLenBucket, TimelineEntry, SCHEMA_VERSION,
 };
 pub use scenario::{describe_campaign, find, registry, CampaignSpec, CellSpec, Scenario};
+pub use shard::{
+    load_plan, shard_merge, shard_status, shard_work, write_plan, CellState, CellStatus,
+    MergeOutcome, PlanOptions, ShardPlan, WorkerOptions, WorkerOutcome, SHARD_SCHEMA_VERSION,
+};
 pub use specfile::{load_spec, parse_spec, SpecError};
 pub use store::{
-    checkpoint_key, store_key, EntrySummary, Store, DEFAULT_STORE_DIR, STORE_SCHEMA_VERSION,
+    checkpoint_key, store_key, EntrySummary, Store, TrendRow, DEFAULT_STORE_DIR,
+    STORE_SCHEMA_VERSION,
 };
 pub use tracefile::{TraceWriter, TrialTraceObserver, TRACE_SCHEMA_VERSION};

@@ -88,7 +88,7 @@ fn cell_identity(
 }
 
 /// 32-hex-digit content hash: two independent FNV-1a 64-bit passes.
-fn hash128(identity: &str) -> String {
+pub(crate) fn hash128(identity: &str) -> String {
     format!(
         "{:016x}{:016x}",
         fnv1a64(identity.as_bytes(), FNV_BASIS),
@@ -137,6 +137,33 @@ pub struct EntrySummary {
     pub max_slots: u64,
     /// Human-readable cell description (`protocol/adversary` names).
     pub cell: String,
+}
+
+/// Parsed advisory `meta` block of one entry.
+struct EntryMeta {
+    max_slots: u64,
+    cell: String,
+    /// Build stamp recorded at insert time; absent in entries written
+    /// before the stamp joined the meta block.
+    code_version: Option<String>,
+}
+
+/// One row of `rcb store trend`: the same logical cell observed under one
+/// build of the code.
+#[derive(Clone, Debug)]
+pub struct TrendRow {
+    /// Full content key of the entry.
+    pub key: String,
+    /// Build stamp that produced the entry (`?` for entries predating the
+    /// stamp in the meta block).
+    pub code_version: String,
+    /// Entry file modification time (ms since epoch) — the trend's time
+    /// axis, since content keys carry no chronology.
+    pub mtime_ms: u64,
+    /// The requested leaf, rendered from the entry's state under the
+    /// current catalog's cell spec. `None` when the leaf is absent from
+    /// this entry's report (metric-schema drift between builds).
+    pub value: Option<Json>,
 }
 
 /// Handle on a store directory. Creating the handle does not touch the
@@ -236,6 +263,11 @@ impl Store {
                             .as_str()
                             .into(),
                     ),
+                    // Advisory: which build produced the entry. The build
+                    // stamp is already baked into the key; recording it in
+                    // clear text is what lets `rcb store trend` label its
+                    // rows without reversing hashes.
+                    ("code_version", code_version().into()),
                 ]),
             ));
         }
@@ -264,18 +296,23 @@ impl Store {
             let Some(key) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
+            // Shard planrefs live beside entries but are scheduler
+            // registrations, not content (see `crate::shard`).
+            if key.ends_with(".planref") {
+                continue;
+            }
             let ckpt = self.load(key)?.ok_or_else(|| {
                 ServiceError::at(&path, "entry disappeared during listing".to_string())
             })?;
-            let (max_slots, cell) = self.entry_meta(key)?.unwrap_or((0, String::from("?")));
+            let meta = self.entry_meta(key)?;
             out.push(EntrySummary {
                 key: key.to_string(),
                 campaign: ckpt.campaign,
                 cell_index: ckpt.cell_index,
                 seed: ckpt.seed,
                 trials: ckpt.trials_done,
-                max_slots,
-                cell,
+                max_slots: meta.as_ref().map(|m| m.max_slots).unwrap_or(0),
+                cell: meta.map(|m| m.cell).unwrap_or_else(|| String::from("?")),
             });
         }
         out.sort_by(|a, b| {
@@ -284,9 +321,8 @@ impl Store {
         Ok(out)
     }
 
-    /// The advisory `(max_slots, cell description)` of an entry's meta
-    /// block, if present and well-formed.
-    fn entry_meta(&self, key: &str) -> Result<Option<(u64, String)>, ServiceError> {
+    /// The advisory meta block of an entry, if present and well-formed.
+    fn entry_meta(&self, key: &str) -> Result<Option<EntryMeta>, ServiceError> {
         let path = self.path_for(key);
         let text =
             std::fs::read_to_string(&path).map_err(|e| ServiceError::at(&path, e.to_string()))?;
@@ -303,11 +339,20 @@ impl Store {
                 _ => None,
             })
         };
-        let cell = meta.iter().find_map(|(k, v)| match v {
-            Json::Str(s) if k == "cell" => Some(s.clone()),
-            _ => None,
-        });
-        Ok(get_u64("max_slots").zip(cell))
+        let get_str = |key: &str| {
+            meta.iter().find_map(|(k, v)| match v {
+                Json::Str(s) if k == key => Some(s.clone()),
+                _ => None,
+            })
+        };
+        Ok(get_u64("max_slots")
+            .zip(get_str("cell"))
+            .map(|(max_slots, cell)| EntryMeta {
+                max_slots,
+                cell,
+                // Entries written before the stamp was recorded have none.
+                code_version: get_str("code_version"),
+            }))
     }
 
     /// Resolve a (possibly abbreviated) key to the unique entry it
@@ -355,9 +400,10 @@ impl Store {
                 spec.cells.len()
             ))
         })?;
-        let (max_slots, _) = self
+        let max_slots = self
             .entry_meta(&key)?
-            .ok_or_else(|| ServiceError::at(&self.path_for(&key), "entry has no meta block"))?;
+            .ok_or_else(|| ServiceError::at(&self.path_for(&key), "entry has no meta block"))?
+            .max_slots;
         let doc = Json::obj(vec![
             ("schema_version", SCHEMA_VERSION.into()),
             ("kind", "rcb-store-cell".into()),
@@ -374,11 +420,19 @@ impl Store {
     /// Collect garbage: remove every entry the current catalog cannot
     /// regenerate (see the module docs for the policy). Returns
     /// `(kept, removed)` key lists.
+    ///
+    /// Lease-aware: entries referenced by an **unfinished shard plan**
+    /// (registered via a `*.planref.json` file beside the entries — see
+    /// [`crate::shard`]) are never collected, even when dead under the
+    /// catalog policy; collecting them would steal warm cells out from
+    /// under a running fleet. Planrefs whose plan is gone or complete are
+    /// retired here, returning their keys to the normal policy.
     pub fn gc(&self) -> Result<(Vec<String>, Vec<String>), ServiceError> {
+        let protected = crate::shard::protected_store_keys(&self.dir)?;
         let mut kept = Vec::new();
         let mut removed = Vec::new();
         for entry in self.list()? {
-            if self.is_live(&entry)? {
+            if protected.contains(&entry.key) || self.is_live(&entry)? {
                 kept.push(entry.key);
             } else {
                 let path = self.path_for(&entry.key);
@@ -399,7 +453,7 @@ impl Store {
         let Some(cell) = spec.cells.get(entry.cell_index as usize) else {
             return Ok(false);
         };
-        let Some((max_slots, _)) = self.entry_meta(&entry.key)? else {
+        let Some(meta) = self.entry_meta(&entry.key)? else {
             return Ok(false);
         };
         Ok(store_key(
@@ -407,9 +461,92 @@ impl Store {
             entry.seed,
             entry.cell_index,
             cell,
-            max_slots,
+            meta.max_slots,
             entry.trials,
         ) == entry.key)
+    }
+
+    /// Trend one report leaf across store history: every entry recording
+    /// the **same logical cell** as the anchor (same campaign, cell index,
+    /// seed, trial count, slot cap) under a *different build* has a
+    /// different content key — the build stamp is part of the identity —
+    /// so the store naturally accumulates one entry per code version the
+    /// cell ran under. This renders each of them and extracts `leaf` (a
+    /// dotted path into the cell report, e.g. `metrics[0].p50` or
+    /// `perf.counters.slots_stepped`), giving the leaf's trajectory over
+    /// `code_version`.
+    ///
+    /// Rows are ordered by entry file mtime (then key) — insertion order,
+    /// oldest first. A row whose report lacks the leaf (metric-schema
+    /// drift) carries `value: None` rather than failing the whole trend.
+    ///
+    /// # Errors
+    /// Unresolvable anchor prefix, a campaign the catalog no longer has
+    /// (the report rendering needs the current cell spec), or a leaf path
+    /// absent even from the anchor's own report.
+    pub fn trend(&self, prefix: &str, leaf: &str) -> Result<Vec<TrendRow>, ServiceError> {
+        let anchor_key = self.resolve(prefix)?;
+        let entries = self.list()?;
+        let anchor = entries
+            .iter()
+            .find(|e| e.key == anchor_key)
+            .expect("resolved keys are listed");
+        let scenario = find(&anchor.campaign).ok_or_else(|| {
+            ServiceError::msg(format!(
+                "entry {anchor_key} belongs to campaign `{}`, which is not in the catalog; \
+                 cannot resolve its cell spec to render reports",
+                anchor.campaign
+            ))
+        })?;
+        let spec = (scenario.build)();
+        let cell = spec.cells.get(anchor.cell_index as usize).ok_or_else(|| {
+            ServiceError::msg(format!(
+                "entry {anchor_key} names cell {} but `{}` has only {} cells",
+                anchor.cell_index,
+                anchor.campaign,
+                spec.cells.len()
+            ))
+        })?;
+
+        let mut rows = Vec::new();
+        for entry in &entries {
+            let same_cell = entry.campaign == anchor.campaign
+                && entry.cell_index == anchor.cell_index
+                && entry.seed == anchor.seed
+                && entry.trials == anchor.trials
+                && entry.max_slots == anchor.max_slots;
+            if !same_cell {
+                continue;
+            }
+            let ckpt = self.load(&entry.key)?.expect("listed keys exist");
+            let meta = self.entry_meta(&entry.key)?.ok_or_else(|| {
+                ServiceError::at(&self.path_for(&entry.key), "entry has no meta block")
+            })?;
+            let report = ckpt.state.report(cell, meta.max_slots).to_json();
+            let value = report.at_path(leaf).cloned();
+            if value.is_none() && entry.key == anchor_key {
+                return Err(ServiceError::msg(format!(
+                    "leaf `{leaf}` not found in the cell report of entry {anchor_key}; \
+                     inspect the report shape with `rcb store show {}`",
+                    &anchor_key[..8]
+                )));
+            }
+            let path = self.path_for(&entry.key);
+            let mtime_ms = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(std::time::SystemTime::UNIX_EPOCH).ok())
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            rows.push(TrendRow {
+                key: entry.key.clone(),
+                code_version: meta.code_version.unwrap_or_else(|| String::from("?")),
+                mtime_ms,
+                value,
+            });
+        }
+        rows.sort_by(|a, b| (a.mtime_ms, &a.key).cmp(&(b.mtime_ms, &b.key)));
+        Ok(rows)
     }
 }
 
@@ -601,6 +738,174 @@ mod tests {
         assert_eq!(kept2, vec![live]);
         assert!(removed2.is_empty());
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Satellite requirement: `rcb store trend` lines up entries of the
+    /// same logical cell across build stamps, oldest first, labelled with
+    /// the recorded `code_version` (`?` for pre-stamp entries).
+    #[test]
+    fn trend_follows_one_cell_across_code_versions() {
+        let store = temp_store("trend");
+        let scenario = &registry()[0];
+        let spec = (scenario.build)();
+        let cell = &spec.cells[0];
+        let state = filled_state(5);
+
+        // Forge two entries as if written by older builds: same logical
+        // cell, fake content keys, distinct (or missing) recorded stamps.
+        // The checkpoint checksum binds the key, so each doc is rebuilt
+        // around its fake key rather than copied.
+        let forge = |key: &str, stamp: Option<&str>| {
+            let mut state = state.clone();
+            state.telemetry.phases = PhaseNanos::default();
+            let ckpt = CellCheckpoint {
+                key: key.to_string(),
+                campaign: spec.name.clone(),
+                cell_index: 0,
+                seed: 7,
+                trials_done: 5,
+                state,
+            };
+            let mut doc = checkpoint_to_json(&ckpt, "rcb-store-entry");
+            let mut meta = vec![
+                ("store_schema_version", STORE_SCHEMA_VERSION.into()),
+                ("trials", 5u64.into()),
+                ("max_slots", cell.max_slots.into()),
+                (
+                    "cell",
+                    format!("{}/{}", cell.protocol.name(), cell.adversary.name())
+                        .as_str()
+                        .into(),
+                ),
+            ];
+            if let Some(stamp) = stamp {
+                meta.push(("code_version", stamp.into()));
+            }
+            if let Json::Object(fields) = &mut doc {
+                fields.push(("meta".to_string(), Json::obj(meta)));
+            }
+            std::fs::create_dir_all(store.dir()).unwrap();
+            write_atomic(&store.path_for(key), &doc.to_pretty()).expect("forge");
+            std::thread::sleep(std::time::Duration::from_millis(5)); // distinct mtimes
+        };
+        forge("00000000000000000000000000000001", None); // pre-stamp entry
+        forge("00000000000000000000000000000002", Some("build-old"));
+        let anchor = store
+            .insert_cell(&spec.name, 7, 0, cell, cell.max_slots, 5, &state)
+            .expect("insert current");
+        // A same-campaign entry at a different seed stays out of the trend.
+        store
+            .insert_cell(&spec.name, 8, 0, cell, cell.max_slots, 5, &state)
+            .expect("insert other seed");
+
+        let rows = store
+            .trend(&anchor[..8], "metrics.completion_slots.mean")
+            .expect("trend");
+        assert_eq!(rows.len(), 3, "three builds of the same logical cell");
+        let stamps: Vec<&str> = rows.iter().map(|r| r.code_version.as_str()).collect();
+        assert_eq!(stamps, vec!["?", "build-old", code_version()]);
+        assert!(
+            rows.windows(2).all(|w| w[0].mtime_ms <= w[1].mtime_ms),
+            "oldest first"
+        );
+        // All three rows carry the leaf, rendered from identical state.
+        for row in &rows {
+            assert_eq!(row.value, rows[0].value, "same state, same leaf");
+            assert!(matches!(row.value, Some(Json::Float(_))));
+        }
+        // Indexed path segments work (this fixture's report arrays are
+        // empty, so exercise the walker against a literal value).
+        let doc = Json::obj(vec![(
+            "hist",
+            Json::arr(vec![Json::obj(vec![("log2", 3u64.into())])]),
+        )]);
+        assert_eq!(doc.at_path("hist[0].log2"), Some(&Json::Int(3)));
+        assert_eq!(doc.at_path("hist[1].log2"), None);
+        // A bogus leaf names the probe command in its error.
+        let err = store.trend(&anchor[..8], "no.such.leaf").expect_err("leaf");
+        assert!(err.to_string().contains("rcb store show"), "{err}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Satellite requirement: gc never collects entries an unfinished
+    /// shard plan references, and retires the planref (returning the keys
+    /// to the normal policy) once the plan completes.
+    #[test]
+    fn gc_protects_unfinished_shard_plan_entries() {
+        use crate::engine::CampaignConfig;
+        use crate::scenario::CampaignSpec;
+        use crate::shard::{shard_work, write_plan, PlanOptions, WorkerOptions};
+
+        let store = temp_store("gc-planref");
+        let state_dir = std::env::temp_dir().join(format!(
+            "rcb-store-test-gc-planref-state-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        // A campaign the catalog does not know: its entries are dead under
+        // the catalog policy, so only the planref can keep them alive.
+        let spec = CampaignSpec {
+            name: "no-such-scenario".into(),
+            description: "gc planref fixture".into(),
+            cells: vec![base_cell()],
+        };
+        let cfg = CampaignConfig {
+            seed: 7,
+            trials_per_cell: 3,
+            threads: 1,
+            ..Default::default()
+        };
+        write_plan(
+            &spec,
+            &cfg,
+            &state_dir,
+            &PlanOptions {
+                store_dir: Some(store.dir().to_path_buf()),
+                ..Default::default()
+            },
+        )
+        .expect("plan");
+        let key = store
+            .insert_cell(
+                "no-such-scenario",
+                7,
+                0,
+                &base_cell(),
+                100_000,
+                3,
+                &filled_state(3),
+            )
+            .expect("insert");
+        // The planref sits beside the entries but is not an entry.
+        let entries = store.list().expect("list skips planrefs");
+        assert_eq!(entries.len(), 1);
+
+        let (kept, removed) = store.gc().expect("gc");
+        assert_eq!(
+            kept,
+            vec![key.clone()],
+            "unfinished plan protects the entry"
+        );
+        assert!(removed.is_empty());
+
+        // Finish the plan (the protected entry itself serves the cell as a
+        // warm hit); the next gc retires the planref and the entry reverts
+        // to the normal policy — dead, collected.
+        shard_work(
+            &spec,
+            &state_dir,
+            &WorkerOptions {
+                worker_id: "gc-test".into(),
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("work");
+        let (kept, removed) = store.gc().expect("gc after completion");
+        assert!(kept.is_empty());
+        assert_eq!(removed, vec![key]);
+        let _ = std::fs::remove_dir_all(store.dir());
+        let _ = std::fs::remove_dir_all(&state_dir);
     }
 
     #[test]
